@@ -1,0 +1,103 @@
+// Command macrobench regenerates the paper's Figure 5: nginx-like and
+// lighttpd-like web servers serving static files of varying sizes under
+// every interposition mechanism, with 1 and 12 pre-forked workers,
+// loaded by a wrk-like keep-alive client.
+//
+// Usage:
+//
+//	macrobench [-requests N] [-conns N] [-sizes 64,1024,...] [-workers 1,12] [-servers nginx,lighttpd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lazypoline/internal/experiments"
+	"lazypoline/internal/guest"
+)
+
+func main() {
+	requests := flag.Int("requests", 240, "requests per configuration")
+	conns := flag.Int("conns", 36, "keep-alive client connections (wrk threads)")
+	sizes := flag.String("sizes", "64,1024,16384,65536,262144", "file sizes in bytes")
+	workers := flag.String("workers", "1,12", "worker process counts")
+	servers := flag.String("servers", "nginx,lighttpd", "server styles")
+	capFactor := flag.Float64("clientcap", 10, "client capacity as a multiple of the 1-worker baseline (0 disables)")
+	flag.Parse()
+
+	cfg := experiments.Figure5Config{
+		Requests:        *requests,
+		Connections:     *conns,
+		ClientCapFactor: *capFactor,
+	}
+	var err error
+	if cfg.FileSizes, err = parseInts(*sizes); err != nil {
+		fatal(err)
+	}
+	if cfg.Workers, err = parseInts(*workers); err != nil {
+		fatal(err)
+	}
+	for _, s := range strings.Split(*servers, ",") {
+		switch strings.TrimSpace(s) {
+		case "nginx":
+			cfg.Servers = append(cfg.Servers, guest.StyleNginx)
+		case "lighttpd":
+			cfg.Servers = append(cfg.Servers, guest.StyleLighttpd)
+		default:
+			fatal(fmt.Errorf("unknown server style %q", s))
+		}
+	}
+
+	fmt.Printf("Figure 5 — web server throughput under interposition\n")
+	fmt.Printf("(%d requests, %d keep-alive connections per run; relative = vs same-config baseline)\n",
+		cfg.Requests, cfg.Connections)
+
+	points, err := experiments.Figure5(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	lastKey := ""
+	for _, p := range points {
+		key := fmt.Sprintf("%s, %d worker(s), %s files", p.Server, p.Workers, size(p.FileSize))
+		if key != lastKey {
+			fmt.Printf("\n%s\n", key)
+			lastKey = key
+		}
+		capped := ""
+		if p.ClientCapped {
+			capped = " (client-limited)"
+		}
+		fmt.Printf("  %-22s %12.0f req/s   %6.1f%%%s\n", p.Mechanism, p.Throughput, 100*p.Relative, capped)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func size(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "macrobench:", err)
+	os.Exit(1)
+}

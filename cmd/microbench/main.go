@@ -1,0 +1,73 @@
+// Command microbench regenerates the paper's Table II and Figure 4: the
+// cycle cost of interposing a non-existent syscall (number 500) under
+// every mechanism, and the breakdown of lazypoline's overhead into
+// rewriting, SUD-enablement and xstate preservation.
+//
+// Usage:
+//
+//	microbench [-iters N] [-breakdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lazypoline/internal/experiments"
+)
+
+func main() {
+	iters := flag.Int64("iters", 100_000, "microbenchmark iterations (the paper uses 100M on hardware)")
+	breakdown := flag.Bool("breakdown", false, "also print the Figure 4 overhead breakdown")
+	flag.Parse()
+
+	if err := run(*iters, *breakdown); err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(iters int64, breakdown bool) error {
+	fmt.Printf("Table II — microbenchmark: syscall %s x%d (paper: Xeon Gold 5318S @ 2.10 GHz)\n\n",
+		"500 (non-existent)", iters)
+	rows, err := experiments.Table2(iters)
+	if err != nil {
+		return err
+	}
+	paper := map[string]string{
+		experiments.MechZpoline:      "(n/a)",
+		experiments.MechLazypolineNX: "1.66x",
+		experiments.MechLazypoline:   "2.38x",
+		experiments.MechSUD:          "20.8x",
+		experiments.MechBaselineSUD:  "1.42x",
+		experiments.MechBaseline:     "1.00x",
+	}
+	fmt.Printf("  %-24s %12s %10s %10s\n", "configuration", "cycles/call", "measured", "paper")
+	for _, r := range rows {
+		fmt.Printf("  %-24s %12.1f %9.2fx %10s\n", r.Mechanism, r.CyclesPerCall, r.Overhead, paper[r.Mechanism])
+	}
+
+	if !breakdown {
+		return nil
+	}
+	fmt.Printf("\nFigure 4 — lazypoline overhead breakdown (cycles/call over baseline)\n\n")
+	f4, err := experiments.Figure4(iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-28s %10.1f\n", "baseline", f4.BaselineCycles)
+	fmt.Printf("  %-28s %10.1f  (+%.1f rewriting/trampoline)\n", "zpoline (pure rewriting)", f4.ZpolineCycles, f4.RewritingOver)
+	fmt.Printf("  %-28s %10.1f  (+%.1f enabling SUD)\n", "lazypoline w/o xstate", f4.NoXStateCycles, f4.EnablingSUDOver)
+	fmt.Printf("  %-28s %10.1f  (+%.1f xstate preservation)\n", "lazypoline", f4.FullCycles, f4.XStateOver)
+	fmt.Printf("\n  verification: fast path with SUD disabled = %.1f cycles/call (zpoline: %.1f)\n",
+		f4.FastPathNoSUD, f4.ZpolineCycles)
+
+	// §VI ablation: MPK-protected selector.
+	mpk, err := experiments.Table2Single(experiments.MechLazypolineMPK, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  ablation: lazypoline + MPK selector protection = %.1f cycles/call (+%.1f)\n",
+		mpk, mpk-f4.FullCycles)
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command runsim runs a guest program on the simulated machine under a
+// chosen syscall interposition mechanism and prints an strace-style log.
+//
+// The program may be an assembly source file (.s, assembled on the fly)
+// or a serialized SELF image produced by sasm. A few built-in demo
+// programs are available via -builtin.
+//
+// Usage:
+//
+//	runsim [-mech lazypoline|zpoline|sud|seccomp-user|ptrace|none] [-trace] program.s
+//	runsim -builtin jit -mech zpoline -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/ldpreload"
+	"lazypoline/internal/loader"
+	"lazypoline/internal/ptracer"
+	"lazypoline/internal/seccomputil"
+	"lazypoline/internal/sud"
+	"lazypoline/internal/trace"
+	"lazypoline/internal/zpoline"
+)
+
+func main() {
+	mech := flag.String("mech", "lazypoline", "interposition mechanism: lazypoline, lazypoline-noxstate, zpoline, sud, seccomp-user, ptrace, ldpreload, none")
+	doTrace := flag.Bool("trace", true, "print an strace-style syscall log")
+	builtin := flag.String("builtin", "", "run a built-in demo guest: jit, microbench, cat")
+	stats := flag.Bool("stats", true, "print cycle and mechanism statistics")
+	flag.Parse()
+
+	if err := run(*mech, *doTrace, *builtin, *stats, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "runsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mech string, doTrace bool, builtin string, stats bool, args []string) error {
+	k := kernel.New(kernel.Config{})
+	prog, err := loadProgram(k, builtin, args)
+	if err != nil {
+		return err
+	}
+	task, err := k.SpawnImage(prog.Image, kernel.SpawnOpts{Name: prog.Name})
+	if err != nil {
+		return err
+	}
+
+	rec := &trace.Recorder{}
+	var ip interpose.Interposer = rec
+	var lpStats *core.Runtime
+	var zpStats *zpoline.Mechanism
+	switch mech {
+	case "lazypoline":
+		lpStats, err = core.Attach(k, task, ip, core.Options{})
+	case "lazypoline-noxstate":
+		lpStats, err = core.Attach(k, task, ip, core.Options{NoXStateDefault: true})
+	case "zpoline":
+		zpStats, err = zpoline.Attach(k, task, ip, zpoline.Options{})
+	case "sud":
+		_, err = sud.Attach(k, task, ip)
+	case "seccomp-user":
+		_, err = seccomputil.AttachUser(k, task, ip)
+	case "ptrace":
+		ptracer.Attach(k, task, ip)
+	case "ldpreload":
+		var lp *ldpreload.Mechanism
+		lp, err = ldpreload.Attach(k, task, ip, prog.Image.Symbols, ldpreload.DefaultWrappers)
+		if err == nil && len(lp.Hooked) == 0 {
+			fmt.Fprintln(os.Stderr, "runsim: warning: no known wrappers found; nothing hooked")
+		}
+	case "none":
+	default:
+		return fmt.Errorf("unknown mechanism %q", mech)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := k.Run(500_000_000); err != nil {
+		return err
+	}
+
+	if doTrace && mech != "none" {
+		for _, e := range rec.Entries() {
+			fmt.Println(e)
+		}
+	}
+	if out := task.ConsoleOut; len(out) > 0 {
+		fmt.Printf("--- console ---\n%s", out)
+		if out[len(out)-1] != '\n' {
+			fmt.Println()
+		}
+	}
+	fmt.Printf("--- exit code %d ---\n", task.ExitCode)
+	if stats {
+		fmt.Printf("cycles: %d\n", task.CPU.Cycles)
+		if lpStats != nil {
+			s := lpStats.Stats
+			fmt.Printf("lazypoline: %d slow-path hits, %d sites rewritten, %d signals wrapped, %d sigreturns routed\n",
+				s.SlowPathHits, s.Rewrites, s.WrappedSignals, s.SigreturnsRouted)
+		}
+		if zpStats != nil {
+			fmt.Printf("zpoline: %d sites rewritten at load time (%d bytes scanned)\n",
+				zpStats.Stats.Rewritten, zpStats.Stats.ScannedBytes)
+		}
+	}
+	return nil
+}
+
+// loadProgram resolves the guest: a builtin, a .s source, or a SELF image.
+func loadProgram(k *kernel.Kernel, builtin string, args []string) (*guest.Program, error) {
+	switch builtin {
+	case "jit":
+		if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+			return nil, err
+		}
+		if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+			return nil, err
+		}
+		return guest.JIT()
+	case "microbench":
+		return guest.Microbench(kernel.NonexistentSyscall, 10_000)
+	case "cat":
+		if err := k.FS.MkdirAll("/tmp", 0o755); err != nil {
+			return nil, err
+		}
+		if err := k.FS.WriteFile("/tmp/file.txt", []byte("hello from the simulated fs\n"), 0o644); err != nil {
+			return nil, err
+		}
+		return guest.Coreutil("cat", guest.LibcUbuntu2004(false))
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q (try: jit, microbench, cat)", builtin)
+	}
+
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected one program argument (or -builtin)")
+	}
+	path := args[0]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		return guest.Build(path, guest.Header+string(data))
+	}
+	img, err := loader.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("not a SELF image (%w); use a .s suffix for assembly", err)
+	}
+	return &guest.Program{Name: path, Image: img}, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltins(t *testing.T) {
+	for _, builtin := range []string{"jit", "microbench", "cat"} {
+		for _, mech := range []string{"lazypoline", "zpoline", "sud", "ldpreload", "none"} {
+			t.Run(builtin+"/"+mech, func(t *testing.T) {
+				if err := run(mech, false, builtin, false, nil); err != nil {
+					t.Errorf("run(%s under %s): %v", builtin, mech, err)
+				}
+			})
+		}
+	}
+}
+
+func TestRunAssemblyFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "hello.s")
+	if err := os.WriteFile(src, []byte(`
+_start:
+	mov64 rax, SYS_write
+	mov64 rdi, 1
+	lea rsi, msg
+	mov64 rdx, 6
+	syscall
+	mov64 rax, SYS_exit
+	mov64 rdi, 0
+	syscall
+msg:
+	.ascii "hello\n"
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("lazypoline", false, "", false, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("bogus-mech", false, "jit", false, nil); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if err := run("none", false, "bogus-builtin", false, nil); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	if err := run("none", false, "", false, nil); err == nil {
+		t.Error("missing program accepted")
+	}
+}

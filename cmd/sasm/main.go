@@ -1,0 +1,109 @@
+// Command sasm is the assembler/disassembler for the simulated ISA.
+//
+// Usage:
+//
+//	sasm -o prog.self prog.s        assemble to a SELF image
+//	sasm -d prog.self               disassemble an image's text segment
+//	sasm -d prog.s                  assemble + disassemble (round trip)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lazypoline/internal/asm"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/loader"
+	"lazypoline/internal/mem"
+)
+
+func main() {
+	out := flag.String("o", "", "output SELF image path")
+	dis := flag.Bool("d", false, "disassemble instead of assembling")
+	base := flag.Uint64("base", guest.CodeBase, "load address for assembly")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sasm [-o out.self] [-d] prog.s|prog.self")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *dis, *base); err != nil {
+		fmt.Fprintln(os.Stderr, "sasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, out string, dis bool, base uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+
+	var img *loader.Image
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		p, err := asm.Assemble(guest.Header+string(data), base)
+		if err != nil {
+			return err
+		}
+		img, err = loader.FromProgram(p, "_start")
+		if err != nil {
+			// Without a _start the image still disassembles; entry = base.
+			img = &loader.Image{
+				Entry:    p.Base,
+				Segments: []loader.Segment{{Addr: p.Base, Prot: mem.ProtRX, Data: p.Code}},
+				Symbols:  p.Symbols,
+			}
+		}
+	} else {
+		img, err = loader.Unmarshal(data)
+		if err != nil {
+			return err
+		}
+	}
+
+	if dis {
+		return disassemble(img)
+	}
+	if out == "" {
+		out = strings.TrimSuffix(path, ".s") + ".self"
+	}
+	if err := os.WriteFile(out, img.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (entry %#x, %d segment(s), %d symbol(s))\n",
+		out, img.Entry, len(img.Segments), len(img.Symbols))
+	return nil
+}
+
+// disassemble prints every executable segment with symbol annotations.
+func disassemble(img *loader.Image) error {
+	// Invert the symbol table for labels.
+	labels := make(map[uint64][]string)
+	for name, addr := range img.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	for _, seg := range img.Segments {
+		if seg.Prot&mem.ProtExec == 0 {
+			continue
+		}
+		fmt.Printf("; segment %#x (%d bytes, %s)\n", seg.Addr, len(seg.Data), seg.Prot)
+		for off := 0; off < len(seg.Data); {
+			addr := seg.Addr + uint64(off)
+			for _, l := range labels[addr] {
+				fmt.Printf("%s:\n", l)
+			}
+			in, err := isa.Decode(seg.Data[off:])
+			if err != nil {
+				fmt.Printf("  %08x:  .byte %#02x\n", addr, seg.Data[off])
+				off++
+				continue
+			}
+			fmt.Printf("  %08x:  % -24x %s\n", addr, seg.Data[off:off+in.Len], in)
+			off += in.Len
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lazypoline/internal/loader"
+)
+
+func TestAssembleThenDisassemble(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	out := filepath.Join(dir, "prog.self")
+	if err := os.WriteFile(src, []byte(`
+_start:
+	mov64 rax, SYS_getpid
+	syscall
+	mov rdi, rax
+	mov64 rax, SYS_exit
+	syscall
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, out, false, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != 0x10000 {
+		t.Errorf("entry = %#x", img.Entry)
+	}
+	if _, ok := img.Symbol("_start"); !ok {
+		t.Error("_start symbol missing from image")
+	}
+	// Disassembly path must succeed on the produced image.
+	if err := run(out, "", true, 0x10000); err != nil {
+		t.Errorf("disassemble: %v", err)
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.self")
+	if err := os.WriteFile(bad, []byte("not an image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", true, 0); err == nil {
+		t.Error("garbage image accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// JIT exhaustiveness demo (paper §V-A): the same just-in-time-compiling
+// guest runs under zpoline (static rewriting), SUD, and lazypoline. The
+// program emits a getpid syscall instruction at run time — from
+// immediates, so no scanner could have seen the 0F 05 bytes — and calls
+// it. zpoline misses it; SUD and lazypoline interpose it.
+//
+//	go run ./examples/jit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/sud"
+	"lazypoline/internal/trace"
+	"lazypoline/internal/zpoline"
+)
+
+func main() {
+	fmt.Println("compiling and running under three mechanisms:")
+	fmt.Printf("source (%s):\n%s\n", guest.JITSourcePath, indent(guest.JITSource))
+
+	for _, mech := range []string{"zpoline", "SUD", "lazypoline"} {
+		rec, task, err := runUnder(mech)
+		if err != nil {
+			log.Fatalf("%s: %v", mech, err)
+		}
+		var names []string
+		for _, nr := range rec.Nrs() {
+			names = append(names, kernel.SyscallName(nr))
+		}
+		fmt.Printf("%-11s trace: %s\n", mech, strings.Join(names, ", "))
+		if rec.Contains(kernel.SysGetpid) {
+			fmt.Printf("%-11s   -> interposed the JIT-generated getpid (exit=%d)\n", "", task.ExitCode)
+		} else {
+			fmt.Printf("%-11s   -> MISSED the JIT-generated getpid (it still ran: exit=%d)\n", "", task.ExitCode)
+		}
+	}
+}
+
+func runUnder(mech string) (*trace.Recorder, *kernel.Task, error) {
+	k := kernel.New(kernel.Config{})
+	if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+		return nil, nil, err
+	}
+	prog, err := guest.JIT()
+	if err != nil {
+		return nil, nil, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &trace.Recorder{}
+	switch mech {
+	case "zpoline":
+		_, err = zpoline.Attach(k, task, rec, zpoline.Options{})
+	case "SUD":
+		_, err = sud.Attach(k, task, rec)
+	case "lazypoline":
+		_, err = core.Attach(k, task, rec, core.Options{})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := k.Run(10_000_000); err != nil {
+		return nil, nil, err
+	}
+	return rec, task, nil
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}

@@ -1,0 +1,173 @@
+// MVEE: a miniature multi-variant execution environment — one of the
+// syscall-interposition use cases motivating the paper (security through
+// diversified replicas; its references include GHUMVEE, Orchestra,
+// MvArmor). Two variants of the same program run side by side, each under
+// lazypoline; a monitor compares their syscall streams in lockstep and
+// flags the first divergence.
+//
+// Exhaustiveness is what makes this sound: an attacker who can execute
+// syscalls the monitor does not see (e.g. from JIT-sprayed code, which
+// static rewriters miss) defeats the whole scheme. The demo's second
+// round simulates a compromised variant issuing an extra syscall from
+// runtime-generated code — lazypoline still sees it, so the monitor
+// catches the divergence.
+//
+//	go run ./examples/mvee
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/trace"
+)
+
+// benignGuest is the common program: a few file operations.
+const benignGuest = `
+_start:
+	mov64 rax, SYS_open
+	lea rdi, path
+	mov64 rsi, O_RDONLY
+	mov64 rdx, 0
+	syscall
+	mov rbx, rax
+	mov64 rax, SYS_read
+	mov rdi, rbx
+	mov64 rsi, DATA
+	mov64 rdx, 32
+	syscall
+	mov64 rax, SYS_close
+	mov rdi, rbx
+	syscall
+	mov64 rdi, 0
+	mov64 rax, SYS_exit
+	syscall
+path:
+	.ascii "/etc/motd"
+	.byte 0
+`
+
+// compromisedGuest is the same program, but "exploited": before exiting
+// it JITs a page that exfiltrates via an extra write syscall — code no
+// static scan ever saw.
+const compromisedGuest = `
+_start:
+	mov64 rax, SYS_open
+	lea rdi, path
+	mov64 rsi, O_RDONLY
+	mov64 rdx, 0
+	syscall
+	mov rbx, rax
+	mov64 rax, SYS_read
+	mov rdi, rbx
+	mov64 rsi, DATA
+	mov64 rdx, 32
+	syscall
+	mov64 rax, SYS_close
+	mov rdi, rbx
+	syscall
+	; ---- injected payload: JIT a "write(1, DATA, 8); ret" gadget ----
+	mov64 rax, SYS_mmap
+	mov64 rdi, 0
+	mov64 rsi, 4096
+	mov64 rdx, 7
+	mov64 r10, 0x20
+	syscall
+	mov r12, rax
+	mov64 rcx, 0x10001     ; mov64 rax, 1 (first 8 bytes, LE)
+	store [r12], rcx
+	mov64 rcx, 0x909090C3050F0000
+	store [r12+8], rcx
+	mov64 rdi, 1
+	mov64 rsi, DATA
+	mov64 rdx, 8
+	call r12               ; exfiltrate
+	; ---- payload end ----
+	mov64 rdi, 0
+	mov64 rax, SYS_exit
+	syscall
+path:
+	.ascii "/etc/motd"
+	.byte 0
+`
+
+// runVariant executes one variant to completion and returns its trace.
+func runVariant(name, src string) ([]trace.Entry, error) {
+	k := kernel.New(kernel.Config{})
+	if err := k.FS.MkdirAll("/etc", 0o755); err != nil {
+		return nil, err
+	}
+	if err := k.FS.WriteFile("/etc/motd", []byte("multi-variant demo file\n"), 0o644); err != nil {
+		return nil, err
+	}
+	prog, err := guest.Build(name, guest.Header+src)
+	if err != nil {
+		return nil, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return nil, err
+	}
+	rec := &trace.Recorder{}
+	if _, err := core.Attach(k, task, rec, core.Options{}); err != nil {
+		return nil, err
+	}
+	if err := k.Run(10_000_000); err != nil {
+		return nil, err
+	}
+	return rec.Entries(), nil
+}
+
+// monitor compares two variants' syscall streams in lockstep.
+func monitor(a, b []trace.Entry) (diverged bool, at int, what string) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Nr != b[i].Nr {
+			return true, i, fmt.Sprintf("%s vs %s", kernel.SyscallName(a[i].Nr), kernel.SyscallName(b[i].Nr))
+		}
+	}
+	if len(a) != len(b) {
+		longer := a
+		if len(b) > len(a) {
+			longer = b
+		}
+		return true, n, fmt.Sprintf("extra %s", kernel.SyscallName(longer[n].Nr))
+	}
+	return false, 0, ""
+}
+
+func main() {
+	fmt.Println("round 1: two healthy variants")
+	a, err := runVariant("variant-A", benignGuest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := runVariant("variant-B", benignGuest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diverged, at, what := monitor(a, b); diverged {
+		fmt.Printf("  UNEXPECTED divergence at syscall %d: %s\n", at, what)
+	} else {
+		fmt.Printf("  lockstep OK: %d syscalls, identical streams\n", len(a))
+	}
+
+	fmt.Println("round 2: variant B compromised (JIT-injected exfiltration)")
+	b2, err := runVariant("variant-B-pwned", compromisedGuest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diverged, at, what := monitor(a, b2); diverged {
+		fmt.Printf("  DIVERGENCE detected at syscall %d: %s — variant quarantined\n", at, what)
+		fmt.Println("  (the extra syscalls came from runtime-generated code;")
+		fmt.Println("   a static rewriter would never have shown them to the monitor)")
+	} else {
+		fmt.Println("  MISSED the attack — exhaustiveness broken!")
+	}
+}

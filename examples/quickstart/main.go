@@ -1,0 +1,87 @@
+// Quickstart: boot the simulated machine, run a small guest program
+// under lazypoline with a tracing interposer, and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/trace"
+)
+
+func main() {
+	// 1. A kernel with an in-memory filesystem.
+	k := kernel.New(kernel.Config{})
+	if err := k.FS.MkdirAll("/etc", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.FS.WriteFile("/etc/motd", []byte("welcome to lazypoline-go\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A guest program, written in the simulator's assembly dialect:
+	//    it reads /etc/motd and writes it to stdout.
+	prog, err := guest.Build("quickstart", guest.Header+`
+	_start:
+		mov64 rax, SYS_open
+		lea rdi, path
+		mov64 rsi, O_RDONLY
+		mov64 rdx, 0
+		syscall
+		mov rbx, rax              ; fd
+		mov64 rax, SYS_read
+		mov rdi, rbx
+		mov64 rsi, DATA
+		mov64 rdx, 128
+		syscall
+		mov rdx, rax              ; byte count
+		mov64 rax, SYS_write
+		mov64 rdi, 1
+		mov64 rsi, DATA
+		syscall
+		mov64 rax, SYS_close
+		mov rdi, rbx
+		syscall
+		mov64 rax, SYS_exit
+		mov64 rdi, 0
+		syscall
+	path:
+		.ascii "/etc/motd"
+		.byte 0
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Attach lazypoline with a tracing interposer. Every syscall —
+	//    lazily rewritten on first use, fast-pathed afterwards — flows
+	//    through the Recorder.
+	rec := &trace.Recorder{}
+	rt, err := core.Attach(k, task, rec, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run to completion.
+	if err := k.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("syscall trace (via lazypoline):")
+	for _, e := range rec.Entries() {
+		fmt.Println(" ", e)
+	}
+	fmt.Printf("\nconsole output: %q\n", task.ConsoleOut)
+	fmt.Printf("exit code: %d\n", task.ExitCode)
+	fmt.Printf("lazypoline: %d slow-path activations, %d sites rewritten to call rax\n",
+		rt.Stats.SlowPathHits, rt.Stats.Rewrites)
+}

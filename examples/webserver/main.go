@@ -1,0 +1,52 @@
+// Webserver: the Figure 5 macrobenchmark in miniature. A simulated
+// nginx-style event-loop server serves a static file to a wrk-like
+// keep-alive client, natively and under lazypoline, and the example
+// prints the throughput cost of exhaustive interposition.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/webbench"
+)
+
+func main() {
+	cfg := webbench.Config{
+		Style:       guest.StyleNginx,
+		Workers:     1,
+		FileSize:    4096,
+		Connections: 8,
+		Requests:    200,
+	}
+
+	native, err := webbench.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Attach = func(k *kernel.Kernel, t *kernel.Task) error {
+		_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{})
+		return err
+	}
+	interposed, err := webbench.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("nginx-style server, 1 worker, %d B static file, %d keep-alive connections, %d requests\n\n",
+		cfg.FileSize, cfg.Connections, cfg.Requests)
+	fmt.Printf("  native:      %10.0f req/s  (%.0f cycles/request)\n",
+		native.Throughput, native.CyclesPerRequest)
+	fmt.Printf("  lazypoline:  %10.0f req/s  (%.0f cycles/request)\n",
+		interposed.Throughput, interposed.CyclesPerRequest)
+	fmt.Printf("\n  retained throughput: %.1f%% — with EVERY syscall interposed,\n",
+		100*interposed.Throughput/native.Throughput)
+	fmt.Println("  including any the server might generate at run time.")
+}

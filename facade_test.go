@@ -1,0 +1,85 @@
+package lazypoline_test
+
+import (
+	"testing"
+
+	"lazypoline"
+)
+
+// TestFacadeWorkflow exercises the public API end to end.
+func TestFacadeWorkflow(t *testing.T) {
+	k := lazypoline.NewKernel()
+	prog, err := lazypoline.BuildGuest("facade", lazypoline.GuestHeader+`
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := lazypoline.NewRecorder()
+	rt, err := lazypoline.Attach(k, task, rec, lazypoline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != task.Tgid {
+		t.Errorf("exit = %d, want pid", task.ExitCode)
+	}
+	if len(rec.Entries()) != 2 {
+		t.Errorf("trace: %v", rec.Entries())
+	}
+	if rt.Stats.Rewrites != 2 {
+		t.Errorf("rewrites = %d", rt.Stats.Rewrites)
+	}
+	if lazypoline.SyscallName(39) != "getpid" {
+		t.Error("SyscallName broken")
+	}
+}
+
+// TestFacadeEmulation checks the re-exported interposer verdicts.
+func TestFacadeEmulation(t *testing.T) {
+	k := lazypoline.NewKernel()
+	prog, err := lazypoline.BuildGuest("facade", lazypoline.GuestHeader+`
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := lazypoline.FuncInterposer{
+		OnEnter: func(c *lazypoline.Call) lazypoline.Action {
+			if lazypoline.SyscallName(c.Nr) == "getpid" {
+				c.Ret = 4242
+				return lazypoline.Emulate
+			}
+			return lazypoline.Continue
+		},
+	}
+	if _, err := lazypoline.Attach(k, task, ip, lazypoline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != 4242 {
+		t.Errorf("exit = %d", task.ExitCode)
+	}
+}

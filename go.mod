@@ -1,0 +1,3 @@
+module lazypoline
+
+go 1.22

@@ -1,0 +1,23 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkAssemble measures assembling a mid-sized program (both passes).
+func BenchmarkAssemble(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("_start:\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("\tmov64 rax, 39\n\tsyscall\n\taddi rbx, 1\n")
+	}
+	sb.WriteString("\thlt\n")
+	src := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src, 0x1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package asm
+
+import (
+	"strings"
+
+	"lazypoline/internal/isa"
+)
+
+// instruction assembles one instruction mnemonic with parsed operands.
+func (a *assembler) instruction(mnem string, ops []string) error {
+	e := &isa.Enc{Buf: a.buf}
+	defer func() { a.buf = e.Buf }()
+
+	want := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Nop(1)
+	case "pause":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Pause()
+	case "ret":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Ret()
+	case "int3":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Trap()
+	case "hlt":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Hlt()
+	case "syscall":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Syscall()
+	case "sysenter":
+		if err := want(0); err != nil {
+			return err
+		}
+		e.Sysenter()
+
+	case "mov64":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovImm64(r, v)
+	case "mov32":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovImm32(r, v)
+	case "mov":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovReg(d, s)
+
+	case "load", "loadb", "load32":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		b, disp, err := a.memOp(ops[1])
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "load":
+			e.Load(d, b, disp)
+		case "loadb":
+			e.LoadB(d, b, disp)
+		case "load32":
+			e.Load32(d, b, disp)
+		}
+	case "store", "storeb":
+		if err := want(2); err != nil {
+			return err
+		}
+		b, disp, err := a.memOp(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "store" {
+			e.Store(b, disp, s)
+		} else {
+			e.StoreB(b, disp, s)
+		}
+
+	case "add", "sub", "mul", "and", "or", "xor", "cmp", "xchg":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "add":
+			e.Add(d, s)
+		case "sub":
+			e.Sub(d, s)
+		case "mul":
+			e.Mul(d, s)
+		case "and":
+			e.And(d, s)
+		case "or":
+			e.Or(d, s)
+		case "xor":
+			e.Xor(d, s)
+		case "cmp":
+			e.Cmp(d, s)
+		case "xchg":
+			e.Xchg(d, s)
+		}
+
+	case "addi", "cmpi":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "addi" {
+			e.AddImm(r, v)
+		} else {
+			e.CmpImm(r, v)
+		}
+	case "shli", "shri":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "shli" {
+			e.ShlImm(r, v)
+		} else {
+			e.ShrImm(r, v)
+		}
+
+	case "jmp", "jz", "jnz", "jl", "jg", "jle", "jge":
+		if err := want(1); err != nil {
+			return err
+		}
+		// jmp reg is the FF E0+r form.
+		if r, ok := isa.RegByName(strings.TrimSpace(ops[0])); ok && mnem == "jmp" {
+			e.JmpReg(r)
+			return nil
+		}
+		rel, err := a.rel(ops[0], 5)
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "jmp":
+			e.Jmp(rel)
+		case "jz":
+			e.Jz(rel)
+		case "jnz":
+			e.Jnz(rel)
+		case "jl":
+			e.Jl(rel)
+		case "jg":
+			e.Jg(rel)
+		case "jle":
+			e.Jle(rel)
+		case "jge":
+			e.Jge(rel)
+		}
+	case "call":
+		if err := want(1); err != nil {
+			return err
+		}
+		// call reg is the FF D0+r form (call rax!).
+		if r, ok := isa.RegByName(strings.TrimSpace(ops[0])); ok {
+			e.CallReg(r)
+			return nil
+		}
+		rel, err := a.rel(ops[0], 5)
+		if err != nil {
+			return err
+		}
+		e.Call(rel)
+
+	case "push", "pop", "fld", "fst", "rdcycle", "punpck", "wrpkru", "rdpkru":
+		if err := want(1); err != nil {
+			return err
+		}
+		if mnem == "punpck" {
+			x, err := a.xreg(ops[0])
+			if err != nil {
+				return err
+			}
+			e.Punpck(x)
+			return nil
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "push":
+			e.Push(r)
+		case "pop":
+			e.Pop(r)
+		case "fld":
+			e.Fld(r)
+		case "fst":
+			e.Fst(r)
+		case "rdcycle":
+			e.RdCycle(r)
+		case "wrpkru":
+			e.Wrpkru(r)
+		case "rdpkru":
+			e.Rdpkru(r)
+		}
+
+	case "lea":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rel, err := a.rel(ops[1], 6)
+		if err != nil {
+			return err
+		}
+		e.Lea(r, rel)
+
+	case "movq2x":
+		if err := want(2); err != nil {
+			return err
+		}
+		x, err := a.xreg(ops[0])
+		if err != nil {
+			return err
+		}
+		r, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovQ2X(x, r)
+	case "movx2q":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		x, err := a.xreg(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovX2Q(r, x)
+	case "movups_st":
+		if err := want(2); err != nil {
+			return err
+		}
+		b, disp, err := a.memOp(ops[0])
+		if err != nil {
+			return err
+		}
+		x, err := a.xreg(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovupsStore(b, disp, x)
+	case "movups_ld":
+		if err := want(2); err != nil {
+			return err
+		}
+		x, err := a.xreg(ops[0])
+		if err != nil {
+			return err
+		}
+		b, disp, err := a.memOp(ops[1])
+		if err != nil {
+			return err
+		}
+		e.MovupsLoad(x, b, disp)
+	case "xorps":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.xreg(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := a.xreg(ops[1])
+		if err != nil {
+			return err
+		}
+		e.Xorps(d, s)
+
+	case "gsload", "gsloadb":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		d, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "gsload" {
+			e.GsLoad(r, d)
+		} else {
+			e.GsLoadB(r, d)
+		}
+	case "gsstore", "gsstoreb":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		r, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "gsstore" {
+			e.GsStore(d, r)
+		} else {
+			e.GsStoreB(d, r)
+		}
+	case "gsstorebi":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		e.GsStoreBI(d, byte(v))
+	case "gspush":
+		if err := want(1); err != nil {
+			return err
+		}
+		d, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		e.GsPush(d)
+	case "gsaddi":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		e.GsAddI(d, v)
+	case "gsmovb", "gsmov":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "gsmovb" {
+			e.GsMovB(d, s)
+		} else {
+			e.GsMov(d, s)
+		}
+	case "gsloadidxb":
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		i, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		e.GsLoadIdxB(d, i)
+	case "gsloadidx":
+		// gsloadidx dst, [idxreg+disp]
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		i, disp, err := a.memOp(ops[1])
+		if err != nil {
+			return err
+		}
+		e.GsLoadIdx(d, i, disp)
+
+	case "xsave", "xrstor":
+		if err := want(1); err != nil {
+			return err
+		}
+		r, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		if mnem == "xsave" {
+			e.Xsave(r)
+		} else {
+			e.Xrstor(r)
+		}
+	case "hcall":
+		if err := want(1); err != nil {
+			return err
+		}
+		v, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		e.Hcall(v)
+
+	default:
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lazypoline/internal/isa"
+)
+
+// TestDisassembleReassembleFixpoint: assemble a program, disassemble
+// every instruction, and verify each decoded instruction re-encodes to
+// the identical bytes (the codec is a bijection on the encoded subset).
+func TestDisassembleReassembleFixpoint(t *testing.T) {
+	p, err := Assemble(`
+	_start:
+		mov64 rax, 0x123456789
+		mov32 rbx, 77
+		mov rcx, rax
+		load rdx, [rsp+8]
+		store [rbp-16], rsi
+		loadb r8, [rdi+1]
+		storeb [r9+2], r10
+		load32 r11, [r12+4]
+		add rax, rbx
+		sub rax, rbx
+		mul rax, rbx
+		and rax, rbx
+		or rax, rbx
+		xor rax, rbx
+		addi rax, -5
+		cmp rax, rbx
+		cmpi rax, 3
+		shli rax, 2
+		shri rax, 1
+		push rax
+		pop rax
+		lea r13, _start
+		movq2x xmm1, rax
+		movx2q rax, xmm1
+		punpck xmm2
+		movups_st [rax+0], xmm3
+		movups_ld xmm4, [rbx+16]
+		xorps xmm5, xmm5
+		fld rax
+		fst rbx
+		rdcycle rcx
+		gsload rax, 8
+		gsstore 8, rax
+		gsloadb rax, 1
+		gsstoreb 1, rax
+		gsstorebi 0, 1
+		gspush 32
+		gsaddi 16, -16
+		gsmovb 0, 1
+		gsmov 8, 16
+		gsloadidx rax, [rbx+8]
+		gsloadidxb rax, rbx
+		xchg rax, rbx
+		xsave rax
+		xrstor rax
+		wrpkru rax
+		rdpkru rax
+		hcall 3
+		pause
+		nop
+		syscall
+		sysenter
+		call rax
+		jmp rbx
+		int3
+		hlt
+		ret
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := p.Code
+	for off := 0; off < len(code); {
+		in, err := isa.Decode(code[off:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		re := reencode(t, in)
+		if len(re) != in.Len || !bytesEqual(re, code[off:off+in.Len]) {
+			t.Errorf("at %d (%s): bytes % x re-encode to % x", off, in, code[off:off+in.Len], re)
+		}
+		off += in.Len
+	}
+}
+
+// reencode rebuilds an instruction's bytes from its decoded form.
+func reencode(t *testing.T, in isa.Inst) []byte {
+	t.Helper()
+	var e isa.Enc
+	switch in.Mnem {
+	case isa.MSyscall:
+		e.Syscall()
+	case isa.MSysenter:
+		e.Sysenter()
+	case isa.MCallReg:
+		e.CallReg(in.A)
+	case isa.MJmpReg:
+		e.JmpReg(in.A)
+	case isa.MOp:
+		reencodeOp(&e, in)
+	}
+	return e.Buf
+}
+
+func reencodeOp(e *isa.Enc, in isa.Inst) {
+	switch in.Op {
+	case isa.OpNop:
+		e.Nop(1)
+	case isa.OpPause:
+		e.Pause()
+	case isa.OpRet:
+		e.Ret()
+	case isa.OpTrap:
+		e.Trap()
+	case isa.OpHlt:
+		e.Hlt()
+	case isa.OpMovImm64:
+		e.MovImm64(in.A, in.Imm)
+	case isa.OpMovImm32:
+		e.MovImm32(in.A, in.Imm)
+	case isa.OpMovReg:
+		e.MovReg(in.A, in.B)
+	case isa.OpLoad:
+		e.Load(in.A, in.B, in.Imm)
+	case isa.OpStore:
+		e.Store(in.A, in.Imm, in.B)
+	case isa.OpLoadB:
+		e.LoadB(in.A, in.B, in.Imm)
+	case isa.OpStoreB:
+		e.StoreB(in.A, in.Imm, in.B)
+	case isa.OpLoad32:
+		e.Load32(in.A, in.B, in.Imm)
+	case isa.OpAdd:
+		e.Add(in.A, in.B)
+	case isa.OpSub:
+		e.Sub(in.A, in.B)
+	case isa.OpMul:
+		e.Mul(in.A, in.B)
+	case isa.OpAnd:
+		e.And(in.A, in.B)
+	case isa.OpOr:
+		e.Or(in.A, in.B)
+	case isa.OpXor:
+		e.Xor(in.A, in.B)
+	case isa.OpAddImm:
+		e.AddImm(in.A, in.Imm)
+	case isa.OpCmp:
+		e.Cmp(in.A, in.B)
+	case isa.OpCmpImm:
+		e.CmpImm(in.A, in.Imm)
+	case isa.OpShlImm:
+		e.ShlImm(in.A, in.Imm)
+	case isa.OpShrImm:
+		e.ShrImm(in.A, in.Imm)
+	case isa.OpJmp:
+		e.Jmp(in.Imm)
+	case isa.OpJz:
+		e.Jz(in.Imm)
+	case isa.OpJnz:
+		e.Jnz(in.Imm)
+	case isa.OpJl:
+		e.Jl(in.Imm)
+	case isa.OpJg:
+		e.Jg(in.Imm)
+	case isa.OpJle:
+		e.Jle(in.Imm)
+	case isa.OpJge:
+		e.Jge(in.Imm)
+	case isa.OpCall:
+		e.Call(in.Imm)
+	case isa.OpPush:
+		e.Push(in.A)
+	case isa.OpPop:
+		e.Pop(in.A)
+	case isa.OpLea:
+		e.Lea(in.A, in.Imm)
+	case isa.OpMovQ2X:
+		e.MovQ2X(isa.XReg(in.A), in.B)
+	case isa.OpMovX2Q:
+		e.MovX2Q(in.A, isa.XReg(in.B))
+	case isa.OpPunpck:
+		e.Punpck(isa.XReg(in.A))
+	case isa.OpMovupsStore:
+		e.MovupsStore(in.B, in.Imm, isa.XReg(in.A))
+	case isa.OpMovupsLoad:
+		e.MovupsLoad(isa.XReg(in.A), in.B, in.Imm)
+	case isa.OpXorps:
+		e.Xorps(isa.XReg(in.A), isa.XReg(in.B))
+	case isa.OpFld:
+		e.Fld(in.A)
+	case isa.OpFst:
+		e.Fst(in.A)
+	case isa.OpRdCycle:
+		e.RdCycle(in.A)
+	case isa.OpGsLoad:
+		e.GsLoad(in.A, in.Imm)
+	case isa.OpGsStore:
+		e.GsStore(in.Imm, in.A)
+	case isa.OpGsLoadB:
+		e.GsLoadB(in.A, in.Imm)
+	case isa.OpGsStoreB:
+		e.GsStoreB(in.Imm, in.A)
+	case isa.OpGsStoreBI:
+		e.GsStoreBI(in.Imm2, byte(in.Imm))
+	case isa.OpGsPush:
+		e.GsPush(in.Imm)
+	case isa.OpGsAddI:
+		e.GsAddI(in.Imm, in.Imm2)
+	case isa.OpGsMovB:
+		e.GsMovB(in.Imm, in.Imm2)
+	case isa.OpGsMov:
+		e.GsMov(in.Imm, in.Imm2)
+	case isa.OpGsLoadIdx:
+		e.GsLoadIdx(in.A, in.B, in.Imm)
+	case isa.OpGsLoadIdxB:
+		e.GsLoadIdxB(in.A, in.B)
+	case isa.OpXchg:
+		e.Xchg(in.A, in.B)
+	case isa.OpXsave:
+		e.Xsave(in.A)
+	case isa.OpXrstor:
+		e.Xrstor(in.A)
+	case isa.OpWrpkru:
+		e.Wrpkru(in.A)
+	case isa.OpRdpkru:
+		e.Rdpkru(in.A)
+	case isa.OpHcall:
+		e.Hcall(in.Imm)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRandomProgramsAssembleDeterministically generates random but valid
+// programs and checks assembly is a pure function of the source.
+func TestRandomProgramsAssembleDeterministically(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	regs := []string{"rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r13"}
+	for trial := 0; trial < 50; trial++ {
+		var b strings.Builder
+		b.WriteString("_start:\n")
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			r := regs[rng.Intn(len(regs))]
+			s := regs[rng.Intn(len(regs))]
+			switch rng.Intn(7) {
+			case 0:
+				fmt.Fprintf(&b, "\tmov64 %s, %d\n", r, rng.Int63n(1<<40)-1<<39)
+			case 1:
+				fmt.Fprintf(&b, "\tmov %s, %s\n", r, s)
+			case 2:
+				fmt.Fprintf(&b, "\tadd %s, %s\n", r, s)
+			case 3:
+				fmt.Fprintf(&b, "\taddi %s, %d\n", r, rng.Intn(1000)-500)
+			case 4:
+				fmt.Fprintf(&b, "\tpush %s\n\tpop %s\n", r, s)
+			case 5:
+				b.WriteString("\tnop\n")
+			case 6:
+				fmt.Fprintf(&b, "\tcmpi %s, %d\n", r, rng.Intn(100))
+			}
+		}
+		b.WriteString("\thlt\n")
+		src := b.String()
+		p1, err := Assemble(src, 0x1000)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		p2, err := Assemble(src, 0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytesEqual(p1.Code, p2.Code) {
+			t.Fatalf("trial %d: non-deterministic output", trial)
+		}
+		// And the output always decodes end-to-end.
+		for off := 0; off < len(p1.Code); {
+			in, err := isa.Decode(p1.Code[off:])
+			if err != nil {
+				t.Fatalf("trial %d: decode at %d: %v", trial, off, err)
+			}
+			off += in.Len
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package bpf
+
+import "testing"
+
+// BenchmarkSeccompFilter measures one allow-list filter evaluation (what
+// the kernel charges per syscall under seccomp).
+func BenchmarkSeccompFilter(b *testing.B) {
+	p, err := AllowList([]int32{0, 1, 2, 3, 60, 231}, RetTrap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := (&SeccompData{Nr: 231, Arch: AuditArch}).Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Run(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package bpf implements a classic BPF (cBPF) virtual machine with the
+// seccomp profile, plus helpers to build seccomp filter programs.
+//
+// seccomp filters are the kernel-space interposition mechanism the paper
+// classifies as efficient but *limited in expressiveness* (Table I): a
+// filter sees only the fixed 64-byte seccomp_data snapshot — syscall
+// number, architecture, instruction pointer and six raw argument words —
+// and it cannot dereference pointers. This package reproduces exactly
+// those limits: the VM's only input is the seccomp_data buffer.
+package bpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Instruction classes (low 3 bits of Code).
+const (
+	ClassLd   = 0x00
+	ClassLdx  = 0x01
+	ClassSt   = 0x02
+	ClassStx  = 0x03
+	ClassAlu  = 0x04
+	ClassJmp  = 0x05
+	ClassRet  = 0x06
+	ClassMisc = 0x07
+)
+
+// Size field (bits 3-4) for load instructions.
+const (
+	SizeW = 0x00 // 32-bit word
+	SizeH = 0x08 // 16-bit halfword
+	SizeB = 0x10 // byte
+)
+
+// Mode field (bits 5-7).
+const (
+	ModeImm = 0x00
+	ModeAbs = 0x20
+	ModeInd = 0x40
+	ModeMem = 0x60
+	ModeLen = 0x80
+	ModeMsh = 0xa0
+)
+
+// ALU/JMP operation field (bits 4-7).
+const (
+	AluAdd = 0x00
+	AluSub = 0x10
+	AluMul = 0x20
+	AluDiv = 0x30
+	AluOr  = 0x40
+	AluAnd = 0x50
+	AluLsh = 0x60
+	AluRsh = 0x70
+	AluNeg = 0x80
+	AluMod = 0x90
+	AluXor = 0xa0
+
+	JmpJa   = 0x00
+	JmpJeq  = 0x10
+	JmpJgt  = 0x20
+	JmpJge  = 0x30
+	JmpJset = 0x40
+)
+
+// Source field (bit 3 of ALU/JMP): K immediate or X register.
+const (
+	SrcK = 0x00
+	SrcX = 0x08
+)
+
+// RetK / RetA select the return value source.
+const (
+	RetK = 0x00
+	RetA = 0x10
+)
+
+// MiscTax / MiscTxa transfer between A and X.
+const (
+	MiscTax = 0x00
+	MiscTxa = 0x80
+)
+
+// ScratchSize is the number of scratch memory slots (M[]).
+const ScratchSize = 16
+
+// MaxInsns is the kernel's BPF_MAXINSNS limit.
+const MaxInsns = 4096
+
+// Instruction is one cBPF instruction (struct sock_filter).
+type Instruction struct {
+	Code uint16
+	Jt   uint8
+	Jf   uint8
+	K    uint32
+}
+
+// String renders the instruction approximately like bpf_dbg.
+func (in Instruction) String() string {
+	return fmt.Sprintf("{code:%#04x jt:%d jf:%d k:%#x}", in.Code, in.Jt, in.Jf, in.K)
+}
+
+// Program is a validated cBPF program.
+type Program struct {
+	insns []Instruction
+}
+
+// Errors returned by New and Run.
+var (
+	ErrTooLong     = errors.New("bpf: program exceeds BPF_MAXINSNS")
+	ErrEmpty       = errors.New("bpf: empty program")
+	ErrBadJump     = errors.New("bpf: jump out of range")
+	ErrNoReturn    = errors.New("bpf: last instruction must be a return")
+	ErrBadInsn     = errors.New("bpf: invalid instruction")
+	ErrDivByZero   = errors.New("bpf: division by zero")
+	ErrOutOfBounds = errors.New("bpf: data access out of bounds")
+	ErrBadScratch  = errors.New("bpf: scratch index out of range")
+)
+
+// New validates and returns a program. Validation mirrors the kernel's
+// static checks: length limits, forward-only jumps within bounds, a
+// terminating return, and known opcodes.
+func New(insns []Instruction) (*Program, error) {
+	if len(insns) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(insns) > MaxInsns {
+		return nil, ErrTooLong
+	}
+	last := insns[len(insns)-1]
+	if last.Code&0x07 != ClassRet {
+		return nil, ErrNoReturn
+	}
+	for pc, in := range insns {
+		switch in.Code & 0x07 {
+		case ClassJmp:
+			op := in.Code & 0xf0
+			if op == JmpJa {
+				if pc+1+int(in.K) >= len(insns) {
+					return nil, fmt.Errorf("%w: at %d", ErrBadJump, pc)
+				}
+			} else {
+				if pc+1+int(in.Jt) >= len(insns) || pc+1+int(in.Jf) >= len(insns) {
+					return nil, fmt.Errorf("%w: at %d", ErrBadJump, pc)
+				}
+			}
+		case ClassSt, ClassStx:
+			if in.K >= ScratchSize {
+				return nil, fmt.Errorf("%w: at %d", ErrBadScratch, pc)
+			}
+		case ClassLd, ClassLdx, ClassAlu, ClassRet, ClassMisc:
+			// Checked at execution; modes validated below for loads.
+		default:
+			return nil, fmt.Errorf("%w: code %#x at %d", ErrBadInsn, in.Code, pc)
+		}
+	}
+	p := &Program{insns: make([]Instruction, len(insns))}
+	copy(p.insns, insns)
+	return p, nil
+}
+
+// Len returns the instruction count (used by the kernel cost model: each
+// executed filter charges per-instruction cycles).
+func (p *Program) Len() int { return len(p.insns) }
+
+// Run executes the program over data (a seccomp_data buffer) and returns
+// the 32-bit filter result plus the number of instructions executed.
+func (p *Program) Run(data []byte) (uint32, int, error) {
+	var a, x uint32
+	var scratch [ScratchSize]uint32
+	steps := 0
+	for pc := 0; pc < len(p.insns); pc++ {
+		steps++
+		in := p.insns[pc]
+		switch in.Code & 0x07 {
+		case ClassLd:
+			v, err := loadValue(data, in, x, a)
+			if err != nil {
+				return 0, steps, err
+			}
+			if in.Code&0xe0 == ModeMem {
+				if in.K >= ScratchSize {
+					return 0, steps, ErrBadScratch
+				}
+				v = scratch[in.K]
+			}
+			a = v
+		case ClassLdx:
+			switch in.Code & 0xe0 {
+			case ModeImm:
+				x = in.K
+			case ModeMem:
+				if in.K >= ScratchSize {
+					return 0, steps, ErrBadScratch
+				}
+				x = scratch[in.K]
+			case ModeLen:
+				x = uint32(len(data))
+			default:
+				return 0, steps, fmt.Errorf("%w: ldx mode %#x", ErrBadInsn, in.Code)
+			}
+		case ClassSt:
+			scratch[in.K] = a
+		case ClassStx:
+			scratch[in.K] = x
+		case ClassAlu:
+			var operand uint32
+			if in.Code&SrcX != 0 {
+				operand = x
+			} else {
+				operand = in.K
+			}
+			var err error
+			a, err = alu(in.Code&0xf0, a, operand)
+			if err != nil {
+				return 0, steps, err
+			}
+		case ClassJmp:
+			var operand uint32
+			if in.Code&SrcX != 0 {
+				operand = x
+			} else {
+				operand = in.K
+			}
+			switch in.Code & 0xf0 {
+			case JmpJa:
+				pc += int(in.K)
+			case JmpJeq:
+				pc += condOffset(a == operand, in)
+			case JmpJgt:
+				pc += condOffset(a > operand, in)
+			case JmpJge:
+				pc += condOffset(a >= operand, in)
+			case JmpJset:
+				pc += condOffset(a&operand != 0, in)
+			default:
+				return 0, steps, fmt.Errorf("%w: jmp op %#x", ErrBadInsn, in.Code)
+			}
+		case ClassRet:
+			if in.Code&0x18 == RetA {
+				return a, steps, nil
+			}
+			return in.K, steps, nil
+		case ClassMisc:
+			if in.Code&0xf8 == MiscTxa {
+				a = x
+			} else {
+				x = a
+			}
+		}
+	}
+	return 0, steps, ErrNoReturn
+}
+
+func condOffset(cond bool, in Instruction) int {
+	if cond {
+		return int(in.Jt)
+	}
+	return int(in.Jf)
+}
+
+func alu(op uint16, a, b uint32) (uint32, error) {
+	switch op {
+	case AluAdd:
+		return a + b, nil
+	case AluSub:
+		return a - b, nil
+	case AluMul:
+		return a * b, nil
+	case AluDiv:
+		if b == 0 {
+			return 0, ErrDivByZero
+		}
+		return a / b, nil
+	case AluMod:
+		if b == 0 {
+			return 0, ErrDivByZero
+		}
+		return a % b, nil
+	case AluOr:
+		return a | b, nil
+	case AluAnd:
+		return a & b, nil
+	case AluXor:
+		return a ^ b, nil
+	case AluLsh:
+		return a << (b & 31), nil
+	case AluRsh:
+		return a >> (b & 31), nil
+	case AluNeg:
+		return -a, nil
+	}
+	return 0, fmt.Errorf("%w: alu op %#x", ErrBadInsn, op)
+}
+
+func loadValue(data []byte, in Instruction, x, a uint32) (uint32, error) {
+	mode := in.Code & 0xe0
+	switch mode {
+	case ModeImm:
+		return in.K, nil
+	case ModeLen:
+		return uint32(len(data)), nil
+	case ModeMem:
+		return a, nil // caller handles scratch
+	}
+	off := int64(in.K)
+	if mode == ModeInd {
+		off += int64(x)
+	}
+	size := 4
+	switch in.Code & 0x18 {
+	case SizeH:
+		size = 2
+	case SizeB:
+		size = 1
+	}
+	if off < 0 || off+int64(size) > int64(len(data)) {
+		return 0, ErrOutOfBounds
+	}
+	switch size {
+	case 1:
+		return uint32(data[off]), nil
+	case 2:
+		return uint32(binary.BigEndian.Uint16(data[off:])), nil
+	default:
+		// seccomp_data is little-endian on x86; classic network BPF is
+		// big-endian, but the seccomp profile reads native-endian words.
+		return binary.LittleEndian.Uint32(data[off:]), nil
+	}
+}
+
+// Stmt builds a non-jump instruction.
+func Stmt(code uint16, k uint32) Instruction {
+	return Instruction{Code: code, K: k}
+}
+
+// Jump builds a conditional jump.
+func Jump(code uint16, k uint32, jt, jf uint8) Instruction {
+	return Instruction{Code: code, Jt: jt, Jf: jf, K: k}
+}

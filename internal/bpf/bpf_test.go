@@ -1,0 +1,280 @@
+package bpf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, insns []Instruction, data []byte) uint32 {
+	t.Helper()
+	p, err := New(insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := p.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRetConstant(t *testing.T) {
+	if v := run(t, []Instruction{Ret(42)}, nil); v != 42 {
+		t.Errorf("got %d", v)
+	}
+}
+
+func TestAluOps(t *testing.T) {
+	tests := []struct {
+		name string
+		op   uint16
+		a, k uint32
+		want uint32
+	}{
+		{"add", AluAdd, 10, 5, 15},
+		{"sub", AluSub, 10, 5, 5},
+		{"mul", AluMul, 10, 5, 50},
+		{"div", AluDiv, 10, 5, 2},
+		{"mod", AluMod, 10, 3, 1},
+		{"or", AluOr, 0b1010, 0b0101, 0b1111},
+		{"and", AluAnd, 0b1110, 0b0111, 0b0110},
+		{"xor", AluXor, 0b1111, 0b0101, 0b1010},
+		{"lsh", AluLsh, 1, 4, 16},
+		{"rsh", AluRsh, 16, 4, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			insns := []Instruction{
+				Stmt(ClassLd|ModeImm, tt.a),
+				Stmt(ClassAlu|tt.op|SrcK, tt.k),
+				Stmt(ClassRet|RetA, 0),
+			}
+			if v := run(t, insns, nil); v != tt.want {
+				t.Errorf("got %d, want %d", v, tt.want)
+			}
+		})
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	p, err := New([]Instruction{
+		Stmt(ClassLd|ModeImm, 10),
+		Stmt(ClassAlu|AluDiv|SrcK, 0),
+		Stmt(ClassRet|RetA, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run(nil); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("got %v, want ErrDivByZero", err)
+	}
+}
+
+func TestScratchMemory(t *testing.T) {
+	insns := []Instruction{
+		Stmt(ClassLd|ModeImm, 7),
+		Stmt(ClassSt, 3), // M[3] = 7
+		Stmt(ClassLd|ModeImm, 0),
+		Stmt(ClassLd|ModeMem, 3), // A = M[3]
+		Stmt(ClassRet|RetA, 0),
+	}
+	if v := run(t, insns, nil); v != 7 {
+		t.Errorf("got %d", v)
+	}
+}
+
+func TestTaxTxa(t *testing.T) {
+	insns := []Instruction{
+		Stmt(ClassLd|ModeImm, 9),
+		Stmt(ClassMisc|MiscTax, 0), // X = A
+		Stmt(ClassLd|ModeImm, 0),
+		Stmt(ClassMisc|MiscTxa, 0), // A = X
+		Stmt(ClassRet|RetA, 0),
+	}
+	if v := run(t, insns, nil); v != 9 {
+		t.Errorf("got %d", v)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := New([]Instruction{Stmt(ClassLd|ModeImm, 1)}); !errors.Is(err, ErrNoReturn) {
+		t.Errorf("no return: %v", err)
+	}
+	if _, err := New([]Instruction{JeqK(1, 5, 0), Ret(0)}); !errors.Is(err, ErrBadJump) {
+		t.Errorf("bad jump: %v", err)
+	}
+	long := make([]Instruction, MaxInsns+1)
+	for i := range long {
+		long[i] = Ret(0)
+	}
+	if _, err := New(long); !errors.Is(err, ErrTooLong) {
+		t.Errorf("too long: %v", err)
+	}
+	if _, err := New([]Instruction{Stmt(ClassSt, 99), Ret(0)}); !errors.Is(err, ErrBadScratch) {
+		t.Errorf("bad scratch: %v", err)
+	}
+}
+
+func TestOutOfBoundsLoad(t *testing.T) {
+	p, err := New([]Instruction{
+		Stmt(ClassLd|SizeW|ModeAbs, 100),
+		Stmt(ClassRet|RetA, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run(make([]byte, 64)); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("got %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestSeccompAllowList(t *testing.T) {
+	p, err := AllowList([]int32{0, 1, 60}, RetTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(nr int32, want uint32) {
+		d := SeccompData{Nr: nr, Arch: AuditArch}
+		v, _, err := p.Run(d.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v&RetActionMask != want {
+			t.Errorf("nr %d: action %#x, want %#x", nr, v&RetActionMask, want)
+		}
+	}
+	check(0, RetAllow)
+	check(1, RetAllow)
+	check(60, RetAllow)
+	check(2, RetTrap)
+	check(500, RetTrap)
+}
+
+func TestSeccompArchCheckKills(t *testing.T) {
+	p, err := AllowList([]int32{1}, RetTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := SeccompData{Nr: 1, Arch: 0x1234}
+	v, _, err := p.Run(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v&RetActionMask != RetKillProcess&RetActionMask {
+		t.Errorf("wrong arch: action %#x, want kill", v)
+	}
+}
+
+func TestTrapAllWithAllowedRange(t *testing.T) {
+	p, err := TrapAll(0x1000, 0x100, RetTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(ip uint64, want uint32) {
+		d := SeccompData{Nr: 1, Arch: AuditArch, InstructionPointer: ip}
+		v, _, err := p.Run(d.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v&RetActionMask != want {
+			t.Errorf("ip %#x: action %#x, want %#x", ip, v&RetActionMask, want)
+		}
+	}
+	check(0x0500, RetTrap)  // below range
+	check(0x1000, RetAllow) // range start
+	check(0x10ff, RetAllow) // inside
+	check(0x1100, RetTrap)  // past end
+}
+
+func TestErrnoFor(t *testing.T) {
+	p, err := ErrnoFor([]int32{2, 257}, 13) // EACCES for open/openat
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := SeccompData{Nr: 257, Arch: AuditArch}
+	v, _, _ := p.Run(d.Marshal())
+	if v&RetActionMask != RetErrno || v&RetDataMask != 13 {
+		t.Errorf("got %#x, want errno 13", v)
+	}
+	d.Nr = 1
+	v, _, _ = p.Run(d.Marshal())
+	if v&RetActionMask != RetAllow {
+		t.Errorf("got %#x, want allow", v)
+	}
+}
+
+func TestStepCountCharged(t *testing.T) {
+	// The kernel cost model charges per executed BPF instruction; verify
+	// the VM reports the count.
+	p, err := AllowList([]int32{7}, RetTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := SeccompData{Nr: 7, Arch: AuditArch}
+	_, steps, err := p.Run(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arch load + jeq + nr load + jeq + ret = 5
+	if steps != 5 {
+		t.Errorf("steps = %d, want 5", steps)
+	}
+}
+
+func TestFilterCannotDereferencePointers(t *testing.T) {
+	// Expressiveness limit: a filter sees only 64 bytes of seccomp_data.
+	// An attempt to read beyond (e.g. to follow a pointer argument)
+	// faults. This is the Table I "Limited" cell made concrete.
+	p, err := New([]Instruction{
+		LoadArgLow(0),                  // A = low bits of a pointer argument
+		Stmt(ClassMisc|MiscTax, 0),     // X = A
+		Stmt(ClassLd|SizeW|ModeInd, 0), // A = data[X] — "dereference"
+		Stmt(ClassRet|RetA, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := SeccompData{Nr: 1, Arch: AuditArch, Args: [6]uint64{0xdeadbeef}}
+	if _, _, err := p.Run(d.Marshal()); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("pointer-chase should be impossible, got %v", err)
+	}
+}
+
+func TestJumpsQuick(t *testing.T) {
+	// Property: for any nr, AllowList(nrs)(nr) == allow iff nr in nrs.
+	allowed := []int32{3, 17, 255, 4000}
+	p, err := AllowList(allowed, RetTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := func(nr int32) bool {
+		for _, a := range allowed {
+			if a == nr {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(nr int32) bool {
+		if nr < 0 {
+			nr = -nr
+		}
+		d := SeccompData{Nr: nr, Arch: AuditArch}
+		v, _, err := p.Run(d.Marshal())
+		if err != nil {
+			return false
+		}
+		want := uint32(RetTrap)
+		if inSet(nr) {
+			want = RetAllow
+		}
+		return v&RetActionMask == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

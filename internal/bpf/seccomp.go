@@ -1,0 +1,132 @@
+package bpf
+
+import "encoding/binary"
+
+// Seccomp filter return actions (high 16 bits of the filter result), in
+// decreasing order of precedence, matching the Linux uapi.
+const (
+	RetKillProcess = 0x80000000
+	RetKillThread  = 0x00000000
+	RetTrap        = 0x00030000
+	RetErrno       = 0x00050000
+	RetUserNotif   = 0x7fc00000
+	RetTrace       = 0x7ff00000
+	RetLog         = 0x7ffc0000
+	RetAllow       = 0x7fff0000
+
+	// RetActionMask extracts the action from a filter result.
+	RetActionMask = 0xffff0000
+	// RetDataMask extracts the 16-bit data (e.g. the errno).
+	RetDataMask = 0x0000ffff
+)
+
+// AuditArch identifies our simulated architecture in seccomp_data.
+const AuditArch = 0xc000003e // AUDIT_ARCH_X86_64
+
+// SeccompData is the fixed input snapshot a seccomp filter sees. Note
+// what is absent: no memory, no pointers — only raw argument words. This
+// is the expressiveness limit of Table I.
+type SeccompData struct {
+	Nr                 int32
+	Arch               uint32
+	InstructionPointer uint64
+	Args               [6]uint64
+}
+
+// SeccompDataSize is the marshaled size of SeccompData.
+const SeccompDataSize = 64
+
+// Marshal serializes the snapshot in the kernel's layout.
+func (d *SeccompData) Marshal() []byte {
+	b := make([]byte, SeccompDataSize)
+	binary.LittleEndian.PutUint32(b[0:], uint32(d.Nr))
+	binary.LittleEndian.PutUint32(b[4:], d.Arch)
+	binary.LittleEndian.PutUint64(b[8:], d.InstructionPointer)
+	for i, a := range d.Args {
+		binary.LittleEndian.PutUint64(b[16+8*i:], a)
+	}
+	return b
+}
+
+// Offsets into the marshaled SeccompData.
+const (
+	OffNr     = 0
+	OffArch   = 4
+	OffIPLow  = 8
+	OffIPHigh = 12
+	OffArgs   = 16
+)
+
+// ArgLowOff returns the offset of the low 32 bits of argument i.
+func ArgLowOff(i int) uint32 { return uint32(OffArgs + 8*i) }
+
+// LoadNr emits "A = data.nr".
+func LoadNr() Instruction { return Stmt(ClassLd|SizeW|ModeAbs, OffNr) }
+
+// LoadArch emits "A = data.arch".
+func LoadArch() Instruction { return Stmt(ClassLd|SizeW|ModeAbs, OffArch) }
+
+// LoadIPLow emits "A = low32(data.instruction_pointer)".
+func LoadIPLow() Instruction { return Stmt(ClassLd|SizeW|ModeAbs, OffIPLow) }
+
+// LoadArgLow emits "A = low32(data.args[i])".
+func LoadArgLow(i int) Instruction { return Stmt(ClassLd|SizeW|ModeAbs, ArgLowOff(i)) }
+
+// Ret emits "return k".
+func Ret(k uint32) Instruction { return Stmt(ClassRet|RetK, k) }
+
+// JeqK emits "if A == k goto +jt else goto +jf".
+func JeqK(k uint32, jt, jf uint8) Instruction { return Jump(ClassJmp|JmpJeq|SrcK, k, jt, jf) }
+
+// JgeK emits "if A >= k goto +jt else goto +jf".
+func JgeK(k uint32, jt, jf uint8) Instruction { return Jump(ClassJmp|JmpJge|SrcK, k, jt, jf) }
+
+// AllowList builds an arch-checked filter that returns defaultAction
+// unless the syscall number is in allowed (which returns RET_ALLOW).
+func AllowList(allowed []int32, defaultAction uint32) (*Program, error) {
+	insns := []Instruction{
+		LoadArch(),
+		JeqK(AuditArch, 1, 0),
+		Ret(RetKillProcess),
+		LoadNr(),
+	}
+	for _, nr := range allowed {
+		insns = append(insns, JeqK(uint32(nr), 0, 1), Ret(RetAllow))
+	}
+	insns = append(insns, Ret(defaultAction))
+	return New(insns)
+}
+
+// TrapAll builds a filter that traps every syscall except those invoked
+// from the code address range [lo, lo+len) — the classic "allowlisted
+// rewriter/interposer region" deployment used by seccomp-based user-space
+// interposition (and criticized by the paper for its attack surface).
+// A zero-length range traps everything.
+func TrapAll(rangeLo uint64, rangeLen uint64, action uint32) (*Program, error) {
+	if rangeLen == 0 {
+		return New([]Instruction{Ret(action)})
+	}
+	lo := uint32(rangeLo)
+	hi := uint32(rangeLo + rangeLen)
+	// Compare only the low 32 bits of the IP: our guests live below 4 GiB,
+	// as the validation in kernel.ConfigSUD also assumes.
+	insns := []Instruction{
+		LoadIPLow(),
+		JgeK(lo, 0, 2), // ip >= lo ? check hi : trap
+		JgeK(hi, 1, 0), // ip >= hi ? trap : allow
+		Ret(RetAllow),
+		Ret(action),
+	}
+	return New(insns)
+}
+
+// ErrnoFor builds a filter returning RET_ERRNO|errno for syscalls in
+// denied and RET_ALLOW otherwise.
+func ErrnoFor(denied []int32, errno uint16) (*Program, error) {
+	insns := []Instruction{LoadNr()}
+	for _, nr := range denied {
+		insns = append(insns, JeqK(uint32(nr), 0, 1), Ret(RetErrno|uint32(errno)))
+	}
+	insns = append(insns, Ret(RetAllow))
+	return New(insns)
+}

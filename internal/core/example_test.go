@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+)
+
+// Example demonstrates the three-step public API: build a guest, attach
+// lazypoline with an interposer, run.
+func Example() {
+	k := kernel.New(kernel.Config{})
+	prog, err := guest.Build("demo", guest.Header+`
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov64 rdi, 0
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The interposer sees — and may change — every syscall.
+	ip := interpose.FuncInterposer{
+		OnEnter: func(c *interpose.Call) interpose.Action {
+			fmt.Printf("enter %s\n", kernel.SyscallName(c.Nr))
+			return interpose.Continue
+		},
+	}
+	rt, err := core.Attach(k, task, ip, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Run(-1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewritten sites: %d\n", rt.Stats.Rewrites)
+	// Output:
+	// enter getpid
+	// enter exit
+	// rewritten sites: 2
+}
+
+// Example_emulate shows syscall emulation: the guest's getpid never
+// reaches the kernel; the interposer supplies the result.
+func Example_emulate() {
+	k := kernel.New(kernel.Config{})
+	prog, err := guest.Build("demo", guest.Header+`
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip := interpose.FuncInterposer{
+		OnEnter: func(c *interpose.Call) interpose.Action {
+			if c.Nr == kernel.SysGetpid {
+				c.Ret = 12345
+				return interpose.Emulate
+			}
+			return interpose.Continue
+		},
+	}
+	if _, err := core.Attach(k, task, ip, core.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Run(-1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exit code:", task.ExitCode)
+	// Output:
+	// exit code: 12345
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/trace"
+)
+
+// TestSelectorOverwriteDisablesInterposition demonstrates the §VI threat:
+// WITHOUT protection, application code that learns the selector address
+// can set it to ALLOW and execute syscalls invisibly.
+func TestSelectorOverwriteDisablesInterposition(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, attackGuest)
+	rec := &trace.Recorder{}
+	rt, err := Attach(k, task, rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tell the guest where the selector lives (an attacker would leak it).
+	if err := task.AS.WriteU64(0x7fef0400, task.CPU.GSBase+interpose.GSSelector); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Fatalf("attack guest exited %d", task.ExitCode)
+	}
+	// The attacker's getpid bypassed interposition entirely.
+	if rec.Contains(kernel.SysGetpid) {
+		t.Error("getpid was interposed — the attack should have bypassed it")
+	}
+	_ = rt
+}
+
+// TestProtectSelectorBlocksOverwrite enables the MPK extension: the same
+// attack now faults on the selector store and the task dies with SIGSEGV
+// instead of silently escaping the sandbox.
+func TestProtectSelectorBlocksOverwrite(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, attackGuest)
+	rec := &trace.Recorder{}
+	if _, err := Attach(k, task, rec, Options{ProtectSelector: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.WriteU64(0x7fef0400, task.CPU.GSBase+interpose.GSSelector); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != 128+kernel.SIGSEGV {
+		t.Errorf("exit = %d, want SIGSEGV death on the pkey fault", task.ExitCode)
+	}
+}
+
+// attackGuest overwrites the selector byte to ALLOW (address supplied by
+// the harness at 0x7fef0400), then performs a getpid that — if the
+// attack succeeded — no interposer sees.
+const attackGuest = `
+_start:
+	; one interposed syscall to warm up (gettid)
+	mov64 rax, 186
+	syscall
+	; attack: selector = ALLOW
+	mov64 rbx, 0x7fef0400
+	load rbx, [rbx]          ; leaked selector address
+	mov64 rcx, 0
+	storeb [rbx], rcx        ; faults under ProtectSelector
+	; this syscall now bypasses interposition entirely
+	mov64 rax, 39            ; getpid
+	syscall
+	mov64 rdi, 0
+	mov64 rax, 60
+	syscall
+`
+
+// TestProtectSelectorStillFullyFunctional runs the signal-heavy workload
+// with protection enabled: the runtime's own stubs must open/close the
+// key correctly around every gs access (entry stub, wrapper, sigreturn
+// trampoline).
+func TestProtectSelectorStillFullyFunctional(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, `
+	.equ MARK 0x7fef0000
+	_start:
+		mov64 rax, 13        ; sigaction(SIGUSR1, act, 0)
+		mov64 rdi, 10
+		lea rsi, act
+		mov64 rdx, 0
+		syscall
+		mov64 rax, 39        ; getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, 62        ; kill(self, SIGUSR1)
+		syscall
+		mov64 rbx, MARK
+		load rdi, [rbx]
+		mov64 rax, 60
+		syscall
+	handler:
+		mov64 rax, 186       ; gettid inside the handler (interposed)
+		syscall
+		mov64 r14, MARK
+		mov64 r15, 64
+		store [r14], r15
+		ret
+	.align 8
+	act:
+		.quad handler, 0, 0
+	`)
+	rec := &trace.Recorder{}
+	rt, err := Attach(k, task, rec, Options{ProtectSelector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != 64 {
+		t.Fatalf("exit = %d, want 64", task.ExitCode)
+	}
+	if !rec.Contains(kernel.SysGettid) {
+		t.Error("handler syscall not interposed under ProtectSelector")
+	}
+	if rt.Stats.SigreturnsRouted != 1 {
+		t.Errorf("sigreturns routed = %d", rt.Stats.SigreturnsRouted)
+	}
+}
+
+// TestProtectSelectorForkInheritsProtection verifies children keep the
+// protection (fresh gs regions get re-tagged, PKRU is inherited).
+func TestProtectSelectorForkInheritsProtection(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, `
+	_start:
+		mov64 rax, 57        ; fork
+		syscall
+		cmpi rax, 0
+		jz child
+		mov64 rdi, -1
+		mov64 rsi, 0x7fef0100
+		mov64 rdx, 0
+		mov64 rax, 61
+		syscall
+		mov64 rsi, 0x7fef0100
+		load32 rdi, [rsi]
+		mov64 rax, 60
+		syscall
+	child:
+		; the child attacks its own selector: must die with SIGSEGV
+		mov64 rbx, 0x7fef0400
+		load rbx, [rbx]
+		mov64 rcx, 0
+		storeb [rbx], rcx
+		mov64 rdi, 7         ; not reached
+		mov64 rax, 60
+		syscall
+	`)
+	if _, err := Attach(k, task, interpose.Dummy{}, Options{ProtectSelector: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.WriteU64(0x7fef0400, task.CPU.GSBase+interpose.GSSelector); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	// Parent reports the child's exit status: SIGSEGV death (the fork
+	// copies the selector address leak along with the stack).
+	if int32(task.ExitCode) != 128+kernel.SIGSEGV {
+		t.Errorf("child exit = %d, want SIGSEGV death", task.ExitCode)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/trace"
+)
+
+// TestNestedSignalsUnderInterposition layers Figure 3 twice: SIGUSR1's
+// handler raises SIGUSR2, whose handler performs syscalls; every level
+// is interposed and both sigreturn trampolines must unwind the selector
+// stack in LIFO order.
+func TestNestedSignalsUnderInterposition(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, `
+	.equ MARK 0x7fef0000
+	_start:
+		mov64 rax, 13
+		mov64 rdi, 10
+		lea rsi, act1
+		mov64 rdx, 0
+		syscall
+		mov64 rax, 13
+		mov64 rdi, 12
+		lea rsi, act2
+		mov64 rdx, 0
+		syscall
+		mov64 rax, 39
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, 62
+		syscall
+		; after both handlers unwound, syscalls must still be interposed
+		mov64 rax, 186
+		syscall
+		mov64 rbx, MARK
+		load rdi, [rbx]
+		mov64 rax, 60
+		syscall
+	handler1:
+		mov64 rax, 39        ; interposed getpid inside handler 1
+		syscall
+		mov rdi, rax
+		mov64 rsi, 12
+		mov64 rax, 62        ; raise SIGUSR2 (nested)
+		syscall
+		mov64 r14, MARK
+		load r15, [r14]
+		addi r15, 1
+		store [r14], r15
+		ret
+	handler2:
+		mov64 rax, 186       ; interposed gettid inside handler 2
+		syscall
+		mov64 r14, MARK
+		load r15, [r14]
+		addi r15, 10
+		store [r14], r15
+		ret
+	.align 8
+	act1:
+		.quad handler1, 0, 0
+	act2:
+		.quad handler2, 0, 0
+	`)
+	rec := &trace.Recorder{}
+	rt, err := Attach(k, task, rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != 11 {
+		t.Fatalf("exit = %d, want 11 (nested handlers both ran)", task.ExitCode)
+	}
+	if rt.Stats.SigreturnsRouted != 2 {
+		t.Errorf("sigreturns routed = %d, want 2", rt.Stats.SigreturnsRouted)
+	}
+	if rt.Stats.WrappedSignals != 2 {
+		t.Errorf("wrapped signals = %d, want 2", rt.Stats.WrappedSignals)
+	}
+	// Every level's syscalls traced: 2 sigactions, getpid, kill, (h1:
+	// getpid, kill, (h2: gettid, rt_sigreturn), rt_sigreturn), gettid, exit.
+	sigreturns := 0
+	for _, nr := range rec.Nrs() {
+		if nr == kernel.SysRtSigreturn {
+			sigreturns++
+		}
+	}
+	if sigreturns != 2 {
+		t.Errorf("traced %d rt_sigreturns, want 2", sigreturns)
+	}
+}
+
+// TestSysenterAlsoRewritten verifies the second 2-byte syscall encoding
+// is handled identically by the lazy rewriter.
+func TestSysenterAlsoRewritten(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, `
+	_start:
+		mov64 rax, 39
+		sysenter            ; getpid via SYSENTER
+		mov rdi, rax
+		mov64 rax, 60
+		syscall
+	`)
+	rec := &trace.Recorder{}
+	rt, err := Attach(k, task, rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != task.Tgid {
+		t.Fatalf("exit = %d, want pid", task.ExitCode)
+	}
+	if !rec.Contains(kernel.SysGetpid) {
+		t.Error("sysenter-based getpid not interposed")
+	}
+	if rt.Stats.Rewrites != 2 {
+		t.Errorf("rewrites = %d, want 2 (sysenter + syscall sites)", rt.Stats.Rewrites)
+	}
+}
+
+// TestManySitesManyIterations hammers the full hybrid: a dozen distinct
+// sites in a loop, verifying the slow path fires exactly once per site
+// and the fast path handles the rest.
+func TestManySitesManyIterations(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, `
+	_start:
+		mov64 rcx, 50
+	loop:
+		push rcx
+		mov64 rax, 39
+		syscall          ; site 1
+		mov64 rax, 186
+		syscall          ; site 2
+		mov64 rax, 39
+		syscall          ; site 3
+		mov64 rax, 186
+		syscall          ; site 4
+		mov64 rax, 39
+		syscall          ; site 5
+		pop rcx
+		addi rcx, -1
+		jnz loop
+		mov64 rdi, 0
+		mov64 rax, 60
+		syscall          ; site 6
+	`)
+	rec := &trace.Recorder{}
+	rt, err := Attach(k, task, rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Fatalf("exit = %d", task.ExitCode)
+	}
+	if rt.Stats.SlowPathHits != 6 {
+		t.Errorf("slow path hits = %d, want 6 (one per site)", rt.Stats.SlowPathHits)
+	}
+	if got := len(rec.Nrs()); got != 50*5+1 {
+		t.Errorf("traced %d syscalls, want 251", got)
+	}
+}
+
+// TestInterposerRewritesPathArgument exercises deep argument
+// modification through the whole hybrid plumbing: the interposer
+// redirects an open("/etc/passwd") to another file.
+func TestInterposerRewritesPathArgument(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	if err := k.FS.MkdirAll("/etc", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS.WriteFile("/etc/passwd", []byte("root:secret"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS.WriteFile("/etc/decoy", []byte("nothing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	task := spawn(t, k, `
+	_start:
+		mov64 rax, 2        ; open("/etc/passwd")
+		lea rdi, path
+		mov64 rsi, 0
+		mov64 rdx, 0
+		syscall
+		mov rbx, rax
+		mov64 rax, 0        ; read(fd, buf, 16)
+		mov rdi, rbx
+		mov64 rsi, 0x7fef0000
+		mov64 rdx, 16
+		syscall
+		mov rdi, rax        ; exit(bytes read)
+		mov64 rax, 60
+		syscall
+	path:
+		.ascii "/etc/passwd"
+		.byte 0
+	`)
+	redirect := interpose.FuncInterposer{
+		OnEnter: func(c *interpose.Call) interpose.Action {
+			if c.Nr != kernel.SysOpen {
+				return interpose.Continue
+			}
+			if path, ok := c.ReadString(c.Args[0]); ok && path == "/etc/passwd" {
+				// Rewrite the guest's path bytes in place: full
+				// expressiveness, invisible to the application.
+				_ = c.WriteMem(c.Args[0], []byte("/etc/decoy\x00"))
+			}
+			return interpose.Continue
+		},
+	}
+	if _, err := Attach(k, task, redirect, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != len("nothing") {
+		t.Fatalf("exit = %d, want %d (read the decoy)", task.ExitCode, len("nothing"))
+	}
+	var buf [7]byte
+	if err := task.AS.ReadForce(0x7fef0000, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:]) != "nothing" {
+		t.Errorf("guest read %q, want the decoy contents", buf)
+	}
+}
+
+// TestZeroSyscallNumberTraversesWholeSled: syscall nr 0 (read) enters
+// the nop sled at its very top — the worst case the batched-NOP cost
+// model is about.
+func TestZeroSyscallNumberTraversesWholeSled(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, `
+	_start:
+		; read(0, buf, 0) -> 0 (console EOF)
+		mov64 rax, 0
+		mov64 rdi, 0
+		mov64 rsi, 0x7fef0000
+		mov64 rdx, 0
+		syscall
+		mov rdi, rax
+		mov64 rax, 60
+		syscall
+	`)
+	rec := &trace.Recorder{}
+	if _, err := Attach(k, task, rec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Fatalf("exit = %d", task.ExitCode)
+	}
+	if !rec.Contains(kernel.SysRead) {
+		t.Error("read (nr 0) not interposed through the full sled")
+	}
+}

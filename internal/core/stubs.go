@@ -1,0 +1,97 @@
+package core
+
+import (
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/mem"
+)
+
+// buildSigsysStub emits the SIGSYS slow-path handler body. All the work
+// — selector flip to ALLOW, spinlocked rewrite, REG_RIP redirection —
+// happens in the slow-path payload; the stub then returns through the
+// kernel's vdso sigreturn, which dispatches because the payload left the
+// selector at ALLOW (§IV-A(c): "we sigreturn out of the signal handler
+// with the selector byte still set to ALLOW").
+func buildSigsysStub(e *isa.Enc, slowID int64) {
+	e.Hcall(slowID)
+	e.Ret() // to the kernel-pushed vdso sigreturn stub
+}
+
+// buildSignalWrapper emits the wrapper registered in place of every
+// application signal handler (Figure 3, step ①). On entry: RDI=signum,
+// RSI=&siginfo, RDX=&ucontext; every register is dead (sigreturn will
+// restore the interrupted context), so the wrapper clobbers freely.
+func buildSignalWrapper(e *isa.Enc, handlerTable uint64, protectGS bool) {
+	if protectGS {
+		e.MovImm64(isa.RAX, 0)
+		e.Wrpkru(isa.RAX) // open the gs key for the bookkeeping below
+	}
+	// Push {selector, rip-placeholder} onto the gs sigreturn stack.
+	e.GsLoad(isa.RBX, interpose.GSSigretTop)
+	e.GsLoad(isa.RAX, interpose.GSSelf)
+	e.Add(isa.RAX, isa.RBX) // rax = &frame
+	e.GsLoadB(isa.RCX, interpose.GSSelector)
+	e.Store(isa.RAX, 0, isa.RCX) // frame.sel = selector
+	e.MovImm64(isa.RCX, 0)
+	e.Store(isa.RAX, 8, isa.RCX) // frame.rip = 0 (filled at sigreturn)
+	e.GsAddI(interpose.GSSigretTop, 16)
+	// Interpose everything the handler does.
+	e.GsStoreBI(interpose.GSSelector, kernel.SyscallDispatchFilterBlock)
+	if protectGS {
+		e.MovImm64(isa.RAX, int64(mem.PkeyWriteDisableBit(interpose.GSPkey)))
+		e.Wrpkru(isa.RAX) // close before running application code
+	}
+	// Call the real application handler from the table (step ① -> ②).
+	e.MovImm64(isa.RBX, int64(handlerTable))
+	e.MovReg(isa.RCX, isa.RDI)
+	e.ShlImm(isa.RCX, 3)
+	e.Add(isa.RBX, isa.RCX)
+	e.Load(isa.RBX, isa.RBX, 0)
+	e.CallReg(isa.RBX)
+	// The handler returned: rt_sigreturn. The selector is BLOCK, so this
+	// syscall is interposed like any other; the interposer special-cases
+	// it (step ③) and routes the resume through the trampoline (step ④).
+	e.MovImm32(isa.RAX, kernel.SysRtSigreturn)
+	e.Syscall()
+	// Unreachable.
+	e.Trap()
+}
+
+// buildSigreturnTrampoline emits the sigreturn trampoline (Figure 3,
+// step ④). It runs with the full application context already restored,
+// so it must preserve every register AND the flags: only push/pop,
+// plain loads/stores and gs ops (all flags-free in this ISA) are used.
+//
+// It pops the top {selector, resume rip} frame from the gs sigreturn
+// stack, restores the selector, and returns to the resume address.
+func buildSigreturnTrampoline(e *isa.Enc, protectGS bool) {
+	e.Push(isa.RAX) // future resume-rip slot
+	e.Push(isa.RAX) // rax save
+	e.Push(isa.RBX) // rbx save
+	ripSlot := int64(16)
+	if protectGS {
+		// The signal may have interrupted a runtime stub that held the gs
+		// key open; rt_sigreturn restored that context's PKRU (it lives
+		// in the frame's extended state, as on x86). Preserve whatever it
+		// was and open for the bookkeeping below.
+		e.Rdpkru(isa.RBX)
+		e.Push(isa.RBX) // entry PKRU save
+		ripSlot += 8
+		e.MovImm64(isa.RBX, 0)
+		e.Wrpkru(isa.RBX)
+	}
+	e.GsAddI(interpose.GSSigretTop, -16)
+	e.GsLoad(isa.RAX, interpose.GSSigretTop) // rax = frame offset
+	e.GsLoadIdx(isa.RBX, isa.RAX, 8)         // rbx = resume rip
+	e.Store(isa.RSP, ripSlot, isa.RBX)       // rip slot = resume
+	e.GsLoadIdx(isa.RBX, isa.RAX, 0)         // rbx = saved selector
+	e.GsStoreB(interpose.GSSelector, isa.RBX)
+	if protectGS {
+		e.Pop(isa.RBX)
+		e.Wrpkru(isa.RBX) // restore the interrupted context's PKRU
+	}
+	e.Pop(isa.RBX)
+	e.Pop(isa.RAX)
+	e.Ret() // pops the resume rip
+}

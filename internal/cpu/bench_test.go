@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"testing"
+
+	"lazypoline/internal/isa"
+	"lazypoline/internal/mem"
+)
+
+// BenchmarkStepLoop measures raw interpreter throughput (host ns per
+// simulated instruction) on a register-only loop.
+func BenchmarkStepLoop(b *testing.B) {
+	var e isa.Enc
+	e.MovImm64(isa.RCX, 1<<60)
+	loop := e.Len()
+	e.AddImm(isa.RCX, -1)
+	e.Jnz(int64(loop) - int64(e.Len()) - 5)
+	as := mem.NewAddressSpace()
+	if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRWX); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.WriteAt(0x1000, e.Buf); err != nil {
+		b.Fatal(err)
+	}
+	c := New(as)
+	c.RIP = 0x1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := c.Step(); ev != EvNone {
+			b.Fatalf("event %v", ev)
+		}
+	}
+}
+
+// BenchmarkStepMemoryOps measures the load/store path (page-table walk
+// per access).
+func BenchmarkStepMemoryOps(b *testing.B) {
+	var e isa.Enc
+	start := e.Len()
+	e.Load(isa.RAX, isa.RBX, 0)
+	e.Store(isa.RBX, 8, isa.RAX)
+	e.Jmp(int64(start) - int64(e.Len()) - 5)
+	as := mem.NewAddressSpace()
+	if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRWX); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.WriteAt(0x1000, e.Buf); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.MapFixed(0x10000, mem.PageSize, mem.ProtRW); err != nil {
+		b.Fatal(err)
+	}
+	c := New(as)
+	c.RIP = 0x1000
+	c.Regs[isa.RBX] = 0x10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := c.Step(); ev != EvNone {
+			b.Fatalf("event %v", ev)
+		}
+	}
+}
+
+// BenchmarkXsave measures the extended-state save path.
+func BenchmarkXsave(b *testing.B) {
+	var e isa.Enc
+	start := e.Len()
+	e.Xsave(isa.RBX)
+	e.Jmp(int64(start) - int64(e.Len()) - 5)
+	as := mem.NewAddressSpace()
+	if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRWX); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.WriteAt(0x1000, e.Buf); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.MapFixed(0x10000, mem.PageSize, mem.ProtRW); err != nil {
+		b.Fatal(err)
+	}
+	c := New(as)
+	c.RIP = 0x1000
+	c.Regs[isa.RBX] = 0x10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"testing"
+
+	"lazypoline/internal/isa"
+	"lazypoline/internal/mem"
+)
+
+// TestMemoryOpFaults drives every memory-touching instruction against an
+// unmapped address and checks it faults with RIP rewound — the contract
+// the kernel's SIGSEGV machinery (and the lazy rewriter's ucontext
+// handling) depends on.
+func TestMemoryOpFaults(t *testing.T) {
+	const bad = 0xdead0000
+	tests := []struct {
+		name string
+		emit func(e *isa.Enc)
+	}{
+		{"load", func(e *isa.Enc) { e.Load(isa.RAX, isa.RBX, 0) }},
+		{"store", func(e *isa.Enc) { e.Store(isa.RBX, 0, isa.RAX) }},
+		{"loadb", func(e *isa.Enc) { e.LoadB(isa.RAX, isa.RBX, 0) }},
+		{"storeb", func(e *isa.Enc) { e.StoreB(isa.RBX, 0, isa.RAX) }},
+		{"load32", func(e *isa.Enc) { e.Load32(isa.RAX, isa.RBX, 0) }},
+		{"movups_ld", func(e *isa.Enc) { e.MovupsLoad(0, isa.RBX, 0) }},
+		{"movups_st", func(e *isa.Enc) { e.MovupsStore(isa.RBX, 0, 0) }},
+		{"xchg", func(e *isa.Enc) { e.Xchg(isa.RBX, isa.RAX) }},
+		{"xsave", func(e *isa.Enc) { e.Xsave(isa.RBX) }},
+		{"xrstor", func(e *isa.Enc) { e.Xrstor(isa.RBX) }},
+		{"push-to-bad-rsp", func(e *isa.Enc) { e.MovImm64(isa.RSP, bad).Push(isa.RAX) }},
+		{"pop-from-bad-rsp", func(e *isa.Enc) { e.MovImm64(isa.RSP, bad).Pop(isa.RAX) }},
+		{"ret-from-bad-rsp", func(e *isa.Enc) { e.MovImm64(isa.RSP, bad).Ret() }},
+		{"callreg-bad-stack", func(e *isa.Enc) { e.MovImm64(isa.RSP, bad).CallReg(isa.RBX) }},
+		{"gsload", func(e *isa.Enc) { e.GsLoad(isa.RAX, 0) }},
+		{"gsstore", func(e *isa.Enc) { e.GsStore(0, isa.RAX) }},
+		{"gsloadb", func(e *isa.Enc) { e.GsLoadB(isa.RAX, 0) }},
+		{"gsstoreb", func(e *isa.Enc) { e.GsStoreB(0, isa.RAX) }},
+		{"gsstorebi", func(e *isa.Enc) { e.GsStoreBI(0, 1) }},
+		{"gspush", func(e *isa.Enc) { e.GsPush(0) }},
+		{"gsaddi", func(e *isa.Enc) { e.GsAddI(0, 1) }},
+		{"gsmovb", func(e *isa.Enc) { e.GsMovB(0, 8) }},
+		{"gsmov", func(e *isa.Enc) { e.GsMov(0, 8) }},
+		{"gsloadidx", func(e *isa.Enc) { e.GsLoadIdx(isa.RAX, isa.RCX, 0) }},
+		{"gsloadidxb", func(e *isa.Enc) { e.GsLoadIdxB(isa.RAX, isa.RCX) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var e isa.Enc
+			tt.emit(&e)
+			as := mem.NewAddressSpace()
+			if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRX); err != nil {
+				t.Fatal(err)
+			}
+			if err := as.WriteForce(0x1000, e.Buf); err != nil {
+				t.Fatal(err)
+			}
+			c := New(as)
+			c.RIP = 0x1000
+			c.GSBase = bad // gs ops hit unmapped memory
+			c.Regs[isa.RBX] = bad
+			var ev Event
+			var faultPC uint64
+			for i := 0; i < 8; i++ {
+				faultPC = c.RIP
+				ev = c.Step()
+				if ev != EvNone {
+					break
+				}
+			}
+			if ev != EvFault {
+				t.Fatalf("event = %v, want fault", ev)
+			}
+			if c.RIP != faultPC {
+				t.Errorf("rip = %#x, want rewound to %#x", c.RIP, faultPC)
+			}
+			if c.FaultErr == nil {
+				t.Error("FaultErr not set")
+			}
+		})
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for ev, want := range map[Event]string{
+		EvNone: "none", EvSyscall: "syscall", EvSysenter: "sysenter",
+		EvTrap: "trap", EvHlt: "hlt", EvHcall: "hcall", EvFault: "fault",
+		Event(99): "unknown",
+	} {
+		if got := ev.String(); got != want {
+			t.Errorf("Event(%d).String() = %q, want %q", ev, got, want)
+		}
+	}
+}
+
+func TestSysenterEvent(t *testing.T) {
+	var e isa.Enc
+	e.MovImm64(isa.RAX, 39)
+	e.Sysenter()
+	as := mem.NewAddressSpace()
+	if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteForce(0x1000, e.Buf); err != nil {
+		t.Fatal(err)
+	}
+	c := New(as)
+	c.RIP = 0x1000
+	if ev := c.Step(); ev != EvNone {
+		t.Fatalf("mov: %v", ev)
+	}
+	if ev := c.Step(); ev != EvSysenter {
+		t.Fatalf("event = %v, want sysenter", ev)
+	}
+	// SYSENTER clobbers like SYSCALL.
+	if c.Regs[isa.RCX] != 0x1000+12 {
+		t.Errorf("rcx = %#x", c.Regs[isa.RCX])
+	}
+}
+
+func TestWrpkruRdpkru(t *testing.T) {
+	var e isa.Enc
+	e.MovImm64(isa.RAX, 0x8)
+	e.Wrpkru(isa.RAX)
+	e.Rdpkru(isa.RBX)
+	e.Hlt()
+	as := mem.NewAddressSpace()
+	if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteForce(0x1000, e.Buf); err != nil {
+		t.Fatal(err)
+	}
+	c := New(as)
+	c.RIP = 0x1000
+	for i := 0; i < 4; i++ {
+		if ev := c.Step(); ev == EvHlt {
+			break
+		}
+	}
+	if c.PKRU != 0x8 || c.Regs[isa.RBX] != 0x8 {
+		t.Errorf("pkru=%#x rbx=%#x", c.PKRU, c.Regs[isa.RBX])
+	}
+	if as.ActivePKRU() != 0x8 {
+		t.Error("wrpkru did not install the PKRU into the address space")
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestAblationMPK(t *testing.T) {
+	lp, err := Table2Single(MechLazypoline, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpk, err := Table2Single(MechLazypolineMPK, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lazypoline=%.1f +MPK=%.1f (+%.1f cycles/call)", lp, mpk, mpk-lp)
+	if mpk <= lp {
+		t.Error("MPK protection should cost a few cycles")
+	}
+	if mpk-lp > 60 {
+		t.Errorf("MPK overhead %.1f cycles/call seems too high", mpk-lp)
+	}
+}

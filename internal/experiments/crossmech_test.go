@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/trace"
+)
+
+// TestAllMechanismsAgreeOnCoreutils runs `cat` (a real multi-syscall
+// workload) under every exhaustive user-space mechanism and checks that
+// each produces the identical syscall-number sequence: mechanisms differ
+// in COST, never in WHAT the interposer observes.
+func TestAllMechanismsAgreeOnCoreutils(t *testing.T) {
+	mechs := []string{MechLazypoline, MechLazypolineNX, MechSUD, MechSeccompUser, MechPtrace}
+	traces := make(map[string][]int64, len(mechs))
+	for _, mech := range mechs {
+		k := kernel.New(kernel.Config{})
+		for _, dir := range []string{"/tmp", "/etc", "/var/log"} {
+			if err := k.FS.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for path, contents := range guest.CoreutilFSFiles {
+			if err := k.FS.WriteFile(path, []byte(contents), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prog, err := guest.Coreutil("cat", guest.LibcUbuntu2004(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := prog.Spawn(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &trace.Recorder{}
+		if err := attachTracing(mech, k, task, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if task.ExitCode != 0 {
+			t.Fatalf("%s: cat exited %d", mech, task.ExitCode)
+		}
+		traces[mech] = rec.Nrs()
+	}
+	ref := traces[MechSUD]
+	if len(ref) < 8 {
+		t.Fatalf("suspiciously short reference trace: %v", ref)
+	}
+	for _, mech := range mechs {
+		if d := trace.DiffNrs(traces[mech], ref); d != "" {
+			t.Errorf("%s trace differs from SUD: %s", mech, d)
+		}
+	}
+}

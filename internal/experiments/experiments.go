@@ -1,0 +1,215 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the characteristics matrix (Table I), the microbenchmark
+// (Table II), the overhead breakdown (Figure 4), the coreutils xstate
+// analysis (Table III, via package pin), the web-server macrobenchmark
+// (Figure 5), and the §V-A JIT exhaustiveness experiment. The cmd/
+// binaries and the repository benchmarks are thin wrappers over this
+// package.
+package experiments
+
+import (
+	"fmt"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/mem"
+	"lazypoline/internal/ptracer"
+	"lazypoline/internal/seccomputil"
+	"lazypoline/internal/sud"
+	"lazypoline/internal/zpoline"
+)
+
+// Mechanism names used across experiments.
+const (
+	MechBaseline     = "baseline"
+	MechBaselineSUD  = "baseline+SUD-enabled"
+	MechZpoline      = "zpoline"
+	MechLazypolineNX = "lazypoline-noxstate"
+	MechLazypoline   = "lazypoline"
+	MechSUD          = "SUD"
+	MechSeccompUser  = "seccomp-user"
+	MechPtrace       = "ptrace"
+	// MechLazypolineMPK is the §VI ablation: lazypoline with the selector
+	// byte isolated behind a memory protection key (two extra WRPKRU
+	// pairs per interposed syscall).
+	MechLazypolineMPK = "lazypoline+MPK"
+)
+
+// attach installs the named mechanism (with a Dummy interposer) on a
+// task. MechBaseline attaches nothing; MechBaselineSUD arms SUD with the
+// selector parked at ALLOW, isolating the kernel entry-path tax.
+// preRewrite selects lazypoline's up-front rewriting pass: on for the
+// microbenchmark (pure steady state, as in the paper), off for the
+// macrobenchmark (the deployed lazy configuration).
+func attach(name string, k *kernel.Kernel, t *kernel.Task, preRewrite bool) error {
+	switch name {
+	case MechBaseline:
+		return nil
+	case MechBaselineSUD:
+		selPage, err := t.AS.MapAnon(4096, mem.ProtRW)
+		if err != nil {
+			return err
+		}
+		if err := t.AS.WriteForce(selPage, []byte{kernel.SyscallDispatchFilterAllow}); err != nil {
+			return err
+		}
+		return k.ConfigSUD(t, kernel.SUDConfig{Enabled: true, SelectorAddr: selPage})
+	case MechZpoline:
+		_, err := zpoline.Attach(k, t, interpose.Dummy{}, zpoline.Options{})
+		return err
+	case MechLazypolineNX:
+		_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{
+			NoXStateDefault: true, PreRewrite: preRewrite,
+		})
+		return err
+	case MechLazypoline:
+		_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{PreRewrite: preRewrite})
+		return err
+	case MechLazypolineMPK:
+		_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{
+			PreRewrite: preRewrite, ProtectSelector: true,
+		})
+		return err
+	case MechSUD:
+		_, err := sud.Attach(k, t, interpose.Dummy{})
+		return err
+	case MechSeccompUser:
+		_, err := seccomputil.AttachUser(k, t, interpose.Dummy{})
+		return err
+	case MechPtrace:
+		ptracer.Attach(k, t, interpose.Dummy{})
+		return nil
+	default:
+		return fmt.Errorf("experiments: unknown mechanism %q", name)
+	}
+}
+
+// MicroResult is one Table II row.
+type MicroResult struct {
+	Mechanism     string
+	CyclesPerCall float64
+	// Overhead is CyclesPerCall relative to the baseline row.
+	Overhead float64
+}
+
+// Table2Mechanisms is the paper's Table II row order.
+var Table2Mechanisms = []string{
+	MechBaseline, MechZpoline, MechLazypolineNX, MechLazypoline, MechSUD, MechBaselineSUD,
+}
+
+// Table2 runs the microbenchmark — syscall 500, `iters` times — under
+// every Table II configuration and returns cycles/call plus overheads.
+// For the lazypoline rows the sites are rewritten up front, exactly as
+// in the paper, so the numbers are pure steady state.
+func Table2(iters int64) ([]MicroResult, error) {
+	return microbench(Table2Mechanisms, iters)
+}
+
+// Table2Single measures one mechanism's cycles/call (for benchmarks that
+// report a single configuration per run).
+func Table2Single(mech string, iters int64) (float64, error) {
+	cycles, err := microCycles(mech, iters)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cycles) / float64(iters), nil
+}
+
+func microbench(mechs []string, iters int64) ([]MicroResult, error) {
+	var out []MicroResult
+	var baseline float64
+	for _, mech := range mechs {
+		cycles, err := microCycles(mech, iters)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", mech, err)
+		}
+		per := float64(cycles) / float64(iters)
+		if mech == MechBaseline {
+			baseline = per
+		}
+		r := MicroResult{Mechanism: mech, CyclesPerCall: per}
+		if baseline > 0 {
+			r.Overhead = per / baseline
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// microCycles measures total guest cycles for the microbench loop.
+func microCycles(mech string, iters int64) (uint64, error) {
+	k := kernel.New(kernel.Config{})
+	prog, err := guest.Microbench(kernel.NonexistentSyscall, iters)
+	if err != nil {
+		return 0, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return 0, err
+	}
+	if err := attach(mech, k, task, true); err != nil {
+		return 0, err
+	}
+	if err := k.Run(-1); err != nil {
+		return 0, err
+	}
+	if task.ExitCode != 0 {
+		return 0, fmt.Errorf("microbench exited %d", task.ExitCode)
+	}
+	return task.CPU.Cycles, nil
+}
+
+// Figure4 decomposes lazypoline's overhead (cycles per call) into the
+// paper's components: pure rewriting (zpoline), the cost of enabling SUD
+// (the exhaustiveness guarantee), and xstate preservation. It also
+// verifies the paper's claim that lazypoline's fast path with SUD
+// disabled matches zpoline.
+type Figure4Result struct {
+	BaselineCycles  float64
+	ZpolineCycles   float64
+	NoXStateCycles  float64
+	FullCycles      float64
+	FastPathNoSUD   float64 // lazypoline's stub without SUD = zpoline
+	RewritingOver   float64 // zpoline - baseline
+	EnablingSUDOver float64 // noxstate - zpoline
+	XStateOver      float64 // full - noxstate
+}
+
+// Figure4 runs the breakdown microbenchmarks.
+func Figure4(iters int64) (Figure4Result, error) {
+	var r Figure4Result
+	rows, err := microbench([]string{MechBaseline, MechZpoline, MechLazypolineNX, MechLazypoline}, iters)
+	if err != nil {
+		return r, err
+	}
+	r.BaselineCycles = rows[0].CyclesPerCall
+	r.ZpolineCycles = rows[1].CyclesPerCall
+	r.NoXStateCycles = rows[2].CyclesPerCall
+	r.FullCycles = rows[3].CyclesPerCall
+
+	// "lazypoline's fast path with SUD disabled": structurally the same
+	// stub as zpoline's; measured through the zpoline attach (UseSUD off).
+	k := kernel.New(kernel.Config{})
+	prog, err := guest.Microbench(kernel.NonexistentSyscall, iters)
+	if err != nil {
+		return r, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return r, err
+	}
+	if _, err := zpoline.Attach(k, task, interpose.Dummy{}, zpoline.Options{}); err != nil {
+		return r, err
+	}
+	if err := k.Run(-1); err != nil {
+		return r, err
+	}
+	r.FastPathNoSUD = float64(task.CPU.Cycles) / float64(iters)
+
+	r.RewritingOver = r.ZpolineCycles - r.BaselineCycles
+	r.EnablingSUDOver = r.NoXStateCycles - r.ZpolineCycles
+	r.XStateOver = r.FullCycles - r.NoXStateCycles
+	return r, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/webbench"
+)
+
+// Figure5Mechanisms is the macrobenchmark's mechanism set, in plot order.
+var Figure5Mechanisms = []string{
+	MechBaseline, MechZpoline, MechLazypolineNX, MechLazypoline, MechSUD,
+}
+
+// Figure5Point is one bar of Figure 5: a (server, workers, file size,
+// mechanism) cell.
+type Figure5Point struct {
+	Server    string
+	Workers   int
+	FileSize  int
+	Mechanism string
+	// Throughput is requests/second (possibly client-capped).
+	Throughput float64
+	// Relative is throughput normalised to the same-configuration
+	// baseline, the paper's y-axis.
+	Relative float64
+	// ClientCapped reports whether the client capacity limit bound this
+	// point (multi-worker configurations).
+	ClientCapped bool
+}
+
+// Figure5Config parameterises the sweep.
+type Figure5Config struct {
+	// FileSizes to sweep (the paper uses 64 B – 256 KB).
+	FileSizes []int
+	// Workers configurations (the paper uses 1 and 12).
+	Workers []int
+	// Servers to run (nginx and lighttpd).
+	Servers []guest.ServerStyle
+	// Mechanisms to compare; nil means Figure5Mechanisms.
+	Mechanisms []string
+	// Requests per run.
+	Requests int
+	// Connections (wrk threads).
+	Connections int
+	// ClientCapFactor bounds multi-worker throughput at
+	// factor × single-worker baseline, modelling the finite capacity of
+	// the 36-core client: with 12 parallel workers the fast mechanisms
+	// all push the client towards saturation, which is why the paper's
+	// 12-worker plots show compressed differences. Zero disables the cap.
+	ClientCapFactor float64
+}
+
+// DefaultFigure5Config mirrors the paper's sweep at simulation-friendly
+// request counts.
+func DefaultFigure5Config() Figure5Config {
+	return Figure5Config{
+		FileSizes:       []int{64, 1024, 16 * 1024, 64 * 1024, 256 * 1024},
+		Workers:         []int{1, 12},
+		Servers:         []guest.ServerStyle{guest.StyleNginx, guest.StyleLighttpd},
+		Requests:        240,
+		Connections:     36,
+		ClientCapFactor: 10,
+	}
+}
+
+// Figure5 runs the macrobenchmark sweep.
+func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
+	if len(cfg.Mechanisms) == 0 {
+		cfg.Mechanisms = Figure5Mechanisms
+	}
+	var out []Figure5Point
+	for _, server := range cfg.Servers {
+		for _, fileSize := range cfg.FileSizes {
+			// The single-worker baseline anchors the client capacity cap.
+			var singleWorkerBaseline float64
+			for _, workers := range cfg.Workers {
+				var baseline float64
+				for _, mech := range cfg.Mechanisms {
+					res, err := webbench.Run(webbench.Config{
+						Style:       server,
+						Workers:     workers,
+						FileSize:    fileSize,
+						Connections: cfg.Connections,
+						Requests:    cfg.Requests,
+						Attach:      attachFunc(mech),
+					})
+					if err != nil {
+						return nil, fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",
+							server, workers, fileSize, mech, err)
+					}
+					tput := res.Throughput
+					capped := false
+					if cfg.ClientCapFactor > 0 && workers > 1 && singleWorkerBaseline > 0 {
+						limit := cfg.ClientCapFactor * singleWorkerBaseline
+						if tput > limit {
+							tput = limit
+							capped = true
+						}
+					}
+					if mech == MechBaseline {
+						baseline = tput
+						if workers == 1 {
+							singleWorkerBaseline = tput
+						}
+					}
+					p := Figure5Point{
+						Server:       server.String(),
+						Workers:      workers,
+						FileSize:     fileSize,
+						Mechanism:    mech,
+						Throughput:   tput,
+						ClientCapped: capped,
+					}
+					if baseline > 0 {
+						p.Relative = tput / baseline
+					}
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// attachFunc adapts the mechanism registry to webbench.
+func attachFunc(mech string) webbench.AttachFunc {
+	if mech == MechBaseline {
+		return nil
+	}
+	return func(k *kernel.Kernel, t *kernel.Task) error {
+		return attach(mech, k, t, false)
+	}
+}

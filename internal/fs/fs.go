@@ -1,0 +1,543 @@
+// Package fs implements the in-memory filesystem the simulated kernel
+// serves syscalls from: a POSIX-flavoured inode tree with directories,
+// regular files, permissions, timestamps and the operations the guest
+// corpus needs (open/creat/trunc/append, unlink, mkdir, rename, chmod,
+// stat, utimens, getdents).
+//
+// Times are expressed in simulation cycles, not wall-clock time: the
+// machine's cycle counter is the only clock in the system.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mode bits (a small subset of POSIX).
+type Mode uint32
+
+// Mode flags.
+const (
+	ModeDir Mode = 1 << 14
+	// ModePermMask covers the permission bits.
+	ModePermMask Mode = 0o777
+)
+
+// Errors mirror the errno values the kernel converts them to.
+var (
+	ErrNotExist    = errors.New("fs: no such file or directory") // ENOENT
+	ErrExist       = errors.New("fs: file exists")               // EEXIST
+	ErrNotDir      = errors.New("fs: not a directory")           // ENOTDIR
+	ErrIsDir       = errors.New("fs: is a directory")            // EISDIR
+	ErrNotEmpty    = errors.New("fs: directory not empty")       // ENOTEMPTY
+	ErrBadPath     = errors.New("fs: invalid path")              // EINVAL
+	ErrReadOnly    = errors.New("fs: bad file descriptor mode")  // EBADF
+	ErrNameTooLong = errors.New("fs: name too long")             // ENAMETOOLONG
+)
+
+// MaxNameLen bounds a single path component.
+const MaxNameLen = 255
+
+// Inode is one filesystem object.
+type Inode struct {
+	Ino      uint64
+	Mode     Mode
+	Size     uint64
+	Data     []byte            // regular files
+	Children map[string]*Inode // directories
+	// Atime/Mtime/Ctime are in cycles.
+	Atime, Mtime, Ctime uint64
+	Nlink               uint32
+}
+
+// IsDir reports whether the inode is a directory.
+func (i *Inode) IsDir() bool { return i.Mode&ModeDir != 0 }
+
+// FS is one filesystem instance. All methods are safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	root    *Inode
+	nextIno uint64
+	clock   func() uint64
+}
+
+// New returns an empty filesystem. clock supplies the current cycle count
+// for timestamps; a nil clock freezes time at zero.
+func New(clock func() uint64) *FS {
+	if clock == nil {
+		clock = func() uint64 { return 0 }
+	}
+	f := &FS{nextIno: 2, clock: clock}
+	f.root = &Inode{
+		Ino:      1,
+		Mode:     ModeDir | 0o755,
+		Children: make(map[string]*Inode),
+		Nlink:    2,
+	}
+	return f
+}
+
+// split normalises an absolute path into components.
+func split(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	var comps []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(comps) > 0 {
+				comps = comps[:len(comps)-1]
+			}
+		default:
+			if len(c) > MaxNameLen {
+				return nil, ErrNameTooLong
+			}
+			comps = append(comps, c)
+		}
+	}
+	return comps, nil
+}
+
+// walk resolves path to an inode.
+func (f *FS) walk(path string) (*Inode, error) {
+	comps, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := f.root
+	for _, c := range comps {
+		if !cur.IsDir() {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.Children[c]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotExist, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent resolves the parent directory of path and returns it with
+// the final component.
+func (f *FS) walkParent(path string) (*Inode, string, error) {
+	comps, err := split(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(comps) == 0 {
+		return nil, "", fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	cur := f.root
+	for _, c := range comps[:len(comps)-1] {
+		next, ok := cur.Children[c]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotExist, path)
+		}
+		if !next.IsDir() {
+			return nil, "", ErrNotDir
+		}
+		cur = next
+	}
+	return cur, comps[len(comps)-1], nil
+}
+
+// Stat returns a snapshot of the inode's metadata.
+func (f *FS) Stat(path string) (Stat, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, err := f.walk(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	return statOf(ino), nil
+}
+
+// Stat is the metadata snapshot (struct stat analogue).
+type Stat struct {
+	Ino   uint64
+	Mode  Mode
+	Size  uint64
+	Mtime uint64
+	Nlink uint32
+}
+
+func statOf(i *Inode) Stat {
+	return Stat{Ino: i.Ino, Mode: i.Mode, Size: i.Size, Mtime: i.Mtime, Nlink: i.Nlink}
+}
+
+// Mkdir creates a directory.
+func (f *FS) Mkdir(path string, perm Mode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(path)
+	if err != nil {
+		return err
+	}
+	if !parent.IsDir() {
+		return ErrNotDir
+	}
+	if _, ok := parent.Children[name]; ok {
+		return ErrExist
+	}
+	now := f.clock()
+	f.nextIno++
+	parent.Children[name] = &Inode{
+		Ino:      f.nextIno,
+		Mode:     ModeDir | (perm & ModePermMask),
+		Children: make(map[string]*Inode),
+		Atime:    now, Mtime: now, Ctime: now,
+		Nlink: 2,
+	}
+	parent.Mtime = now
+	return nil
+}
+
+// MkdirAll creates path and any missing parents.
+func (f *FS) MkdirAll(path string, perm Mode) error {
+	comps, err := split(path)
+	if err != nil {
+		return err
+	}
+	cur := "/"
+	for _, c := range comps {
+		cur = join(cur, c)
+		if err := f.Mkdir(cur, perm); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+func join(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// WriteFile creates (or truncates) a file with contents.
+func (f *FS) WriteFile(path string, data []byte, perm Mode) error {
+	h, err := f.Open(path, OpenWrite|OpenCreate|OpenTrunc, perm)
+	if err != nil {
+		return err
+	}
+	_, err = h.WriteAt(data, 0)
+	return err
+}
+
+// ReadFile returns a copy of a file's contents.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, err := f.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino.IsDir() {
+		return nil, ErrIsDir
+	}
+	out := make([]byte, len(ino.Data))
+	copy(out, ino.Data)
+	return out, nil
+}
+
+// Unlink removes a file (not a directory).
+func (f *FS) Unlink(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(path)
+	if err != nil {
+		return err
+	}
+	child, ok := parent.Children[name]
+	if !ok {
+		return ErrNotExist
+	}
+	if child.IsDir() {
+		return ErrIsDir
+	}
+	delete(parent.Children, name)
+	child.Nlink--
+	parent.Mtime = f.clock()
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (f *FS) Rmdir(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(path)
+	if err != nil {
+		return err
+	}
+	child, ok := parent.Children[name]
+	if !ok {
+		return ErrNotExist
+	}
+	if !child.IsDir() {
+		return ErrNotDir
+	}
+	if len(child.Children) != 0 {
+		return ErrNotEmpty
+	}
+	delete(parent.Children, name)
+	parent.Mtime = f.clock()
+	return nil
+}
+
+// Rename moves oldpath to newpath (replacing a non-directory target).
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	op, oname, err := f.walkParent(oldpath)
+	if err != nil {
+		return err
+	}
+	child, ok := op.Children[oname]
+	if !ok {
+		return ErrNotExist
+	}
+	np, nname, err := f.walkParent(newpath)
+	if err != nil {
+		return err
+	}
+	if existing, ok := np.Children[nname]; ok {
+		if existing.IsDir() {
+			return ErrIsDir
+		}
+	}
+	delete(op.Children, oname)
+	np.Children[nname] = child
+	now := f.clock()
+	op.Mtime, np.Mtime = now, now
+	return nil
+}
+
+// Chmod updates permission bits.
+func (f *FS) Chmod(path string, perm Mode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, err := f.walk(path)
+	if err != nil {
+		return err
+	}
+	ino.Mode = (ino.Mode &^ ModePermMask) | (perm & ModePermMask)
+	ino.Ctime = f.clock()
+	return nil
+}
+
+// Utimens updates the access and modification times (touch).
+func (f *FS) Utimens(path string, atime, mtime uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, err := f.walk(path)
+	if err != nil {
+		return err
+	}
+	ino.Atime, ino.Mtime = atime, mtime
+	return nil
+}
+
+// ReadDir lists a directory in name order.
+func (f *FS) ReadDir(path string) ([]DirEnt, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, err := f.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if !ino.IsDir() {
+		return nil, ErrNotDir
+	}
+	names := make([]string, 0, len(ino.Children))
+	for n := range ino.Children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]DirEnt, len(names))
+	for i, n := range names {
+		c := ino.Children[n]
+		out[i] = DirEnt{Name: n, Ino: c.Ino, IsDir: c.IsDir()}
+	}
+	return out, nil
+}
+
+// DirEnt is one directory entry.
+type DirEnt struct {
+	Name  string
+	Ino   uint64
+	IsDir bool
+}
+
+// Open flags.
+type OpenFlag uint32
+
+// Open flag values (subset of O_*).
+const (
+	OpenRead OpenFlag = 1 << iota
+	OpenWrite
+	OpenCreate
+	OpenTrunc
+	OpenAppend
+	OpenExcl
+)
+
+// File is an open file handle with an offset, the object a kernel fd
+// points at.
+type File struct {
+	fs    *FS
+	inode *Inode
+	flags OpenFlag
+
+	mu  sync.Mutex
+	off uint64
+}
+
+// Open opens path. With OpenCreate the file is created if missing.
+func (f *FS) Open(path string, flags OpenFlag, perm Mode) (*File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, err := f.walk(path)
+	if errors.Is(err, ErrNotExist) && flags&OpenCreate != 0 {
+		parent, name, perr := f.walkParent(path)
+		if perr != nil {
+			return nil, perr
+		}
+		now := f.clock()
+		f.nextIno++
+		ino = &Inode{
+			Ino:   f.nextIno,
+			Mode:  perm & ModePermMask,
+			Atime: now, Mtime: now, Ctime: now,
+			Nlink: 1,
+		}
+		parent.Children[name] = ino
+		parent.Mtime = now
+	} else if err != nil {
+		return nil, err
+	} else if flags&(OpenCreate|OpenExcl) == OpenCreate|OpenExcl {
+		return nil, ErrExist
+	}
+	if ino.IsDir() && flags&OpenWrite != 0 {
+		return nil, ErrIsDir
+	}
+	if flags&OpenTrunc != 0 && !ino.IsDir() {
+		ino.Data = nil
+		ino.Size = 0
+		ino.Mtime = f.clock()
+	}
+	return &File{fs: f, inode: ino, flags: flags}, nil
+}
+
+// Inode exposes the file's inode number.
+func (h *File) Inode() uint64 { return h.inode.Ino }
+
+// Size returns the current file size.
+func (h *File) Size() uint64 {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.inode.Size
+}
+
+// IsDir reports whether the handle refers to a directory.
+func (h *File) IsDir() bool { return h.inode.IsDir() }
+
+// Stat returns the handle's inode metadata (fstat).
+func (h *File) Stat() Stat {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return statOf(h.inode)
+}
+
+// Read reads from the current offset.
+func (h *File) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n, err := h.ReadAt(p, h.off)
+	h.off += uint64(n)
+	return n, err
+}
+
+// ReadAt reads at an absolute offset. At EOF it returns (0, nil) — the
+// kernel translates that to a zero-byte read like Linux does.
+func (h *File) ReadAt(p []byte, off uint64) (int, error) {
+	if h.flags&OpenRead == 0 {
+		return 0, ErrReadOnly
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.inode.IsDir() {
+		return 0, ErrIsDir
+	}
+	if off >= h.inode.Size {
+		return 0, nil
+	}
+	n := copy(p, h.inode.Data[off:])
+	h.inode.Atime = h.fs.clock()
+	return n, nil
+}
+
+// Write writes at the current offset (or at EOF with OpenAppend).
+func (h *File) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	off := h.off
+	if h.flags&OpenAppend != 0 {
+		off = h.Size()
+	}
+	n, err := h.WriteAt(p, off)
+	h.off = off + uint64(n)
+	return n, err
+}
+
+// WriteAt writes at an absolute offset, growing the file as needed.
+func (h *File) WriteAt(p []byte, off uint64) (int, error) {
+	if h.flags&OpenWrite == 0 {
+		return 0, ErrReadOnly
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.inode.IsDir() {
+		return 0, ErrIsDir
+	}
+	end := off + uint64(len(p))
+	if end > uint64(len(h.inode.Data)) {
+		grown := make([]byte, end)
+		copy(grown, h.inode.Data)
+		h.inode.Data = grown
+	}
+	copy(h.inode.Data[off:end], p)
+	if end > h.inode.Size {
+		h.inode.Size = end
+	}
+	h.inode.Mtime = h.fs.clock()
+	return len(p), nil
+}
+
+// Seek sets the file offset (whence: 0=set, 1=cur, 2=end) and returns it.
+func (h *File) Seek(off int64, whence int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var base uint64
+	switch whence {
+	case 0:
+	case 1:
+		base = h.off
+	case 2:
+		base = h.Size()
+	default:
+		return 0, ErrBadPath
+	}
+	n := int64(base) + off
+	if n < 0 {
+		return 0, ErrBadPath
+	}
+	h.off = uint64(n)
+	return n, nil
+}

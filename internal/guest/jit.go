@@ -1,0 +1,95 @@
+package guest
+
+// JITSourcePath is where the JIT compiler guest reads its "C source".
+const JITSourcePath = "/src/prog.c"
+
+// JITSource is the program the paper's §V-A evaluation compiles under
+// tcc -run: a C application with a singular, non-libc getpid syscall.
+const JITSource = `int main(void) {
+	long pid = syscall(39); /* getpid, invoked directly */
+	return (int)pid;
+}
+`
+
+// JIT builds the tcc-like just-in-time compilation guest. It reads
+// JITSourcePath, scans it for the token "getpid"/syscall(39), maps an
+// RWX page, EMITS machine code for the syscall from immediates (so the
+// syscall instruction's bytes never existed anywhere a load-time scanner
+// could have seen them), and calls the generated function. The process
+// exit code is the getpid() result.
+//
+// Under SUD and lazypoline the JIT-made getpid appears in the trace;
+// under zpoline it does not — the paper's exhaustiveness experiment.
+func JIT() (*Program, error) {
+	src := Header + `
+	_start:
+		; fd = open("/src/prog.c", O_RDONLY)
+		mov64 rax, SYS_open
+		lea rdi, jit_src_path
+		mov64 rsi, O_RDONLY
+		mov64 rdx, 0
+		syscall
+		cmpi rax, 0
+		jl jit_fail
+		mov r13, rax
+		; n = read(fd, DATA+0x800, 1024)
+		mov64 rax, SYS_read
+		mov rdi, r13
+		mov64 rsi, DATA+0x800
+		mov64 rdx, 1024
+		syscall
+		mov r14, rax
+		; close(fd)
+		mov64 rax, SYS_close
+		mov rdi, r13
+		syscall
+		; code = mmap(0, 4096, RWX, ANON)
+		mov64 rax, SYS_mmap
+		mov64 rdi, 0
+		mov64 rsi, 4096
+		mov64 rdx, 7
+		mov64 r10, 0x20
+		syscall
+		mov r12, rax
+
+		; scan the source for the token "39" of syscall(39)
+		mov64 rbx, DATA+0x800
+		mov rcx, r14
+	jit_scan:
+		cmpi rcx, 2
+		jl jit_fail
+		loadb rdx, [rbx]
+		cmpi rdx, 51         ; '3'
+		jnz jit_next
+		loadb rdx, [rbx+1]
+		cmpi rdx, 57         ; '9'
+		jz jit_found
+	jit_next:
+		addi rbx, 1
+		addi rcx, -1
+		jmp jit_scan
+
+	jit_found:
+		; Code generation: "mov64 rax, 39 ; syscall ; ret", emitted from
+		; immediates. The bytes 0F 05 are born here, at run time.
+		mov64 rdx, 0x270001
+		store [r12], rdx
+		mov64 rdx, 0x909090C3050F0000
+		store [r12+8], rdx
+		; run the compiled program
+		call r12
+		mov rdi, rax
+		mov64 rax, SYS_exit
+		syscall
+
+	jit_fail:
+		mov64 rdi, 255
+		mov64 rax, SYS_exit
+		syscall
+
+	jit_src_path:
+		.ascii "/src/prog.c"
+		.byte 0
+	`
+	return Build("tcc-run", src)
+}

@@ -1,0 +1,168 @@
+package guest
+
+// Libc selects one of the two C library variants the paper evaluates in
+// Table III. The variants differ in WHERE they leave a vector register
+// live across a syscall:
+//
+//   - Ubuntu 20.04 / glibc 2.31 (x86-64-v1): the pthread initialization
+//     routine (paper Listing 1) populates xmm0 with &__stack_user, makes
+//     the set_tid_address and set_robust_list syscalls, and only then
+//     uses xmm0 to initialize both list pointers with one movups. Only
+//     programs built with thread support run this routine — 40% of the
+//     evaluated coreutils.
+//
+//   - Clear Linux / glibc 2.39 (up to x86-64-v3): ptmalloc_init
+//     prepopulates an xmm register with main_arena pointers and expects
+//     an intervening getrandom syscall to preserve it. malloc is
+//     initialized by EVERY program.
+type Libc struct {
+	// Name identifies the variant in reports.
+	Name string
+	// ThreadedInit marks programs that run the pthread initialization
+	// path (Ubuntu variant only; ignored by Clear Linux).
+	ThreadedInit bool
+	// clearLinux switches to the ptmalloc_init pattern.
+	clearLinux bool
+}
+
+// LibcUbuntu2004 returns the glibc 2.31 variant; threaded controls
+// whether the program links the pthread initialization path.
+func LibcUbuntu2004(threaded bool) Libc {
+	return Libc{Name: "ubuntu20.04-glibc2.31", ThreadedInit: threaded}
+}
+
+// LibcClearLinux returns the glibc 2.39 / Clear Linux variant.
+func LibcClearLinux() Libc {
+	return Libc{Name: "clearlinux-glibc2.39", clearLinux: true}
+}
+
+// Source returns the libc assembly: the init routine plus the syscall
+// wrappers. Programs call libc_init once, then the wrappers.
+func (l Libc) Source() string {
+	init := l.initSource()
+	return init + libcWrappers
+}
+
+func (l Libc) initSource() string {
+	if l.clearLinux {
+		// ptmalloc_init: xmm1 is populated with &main_arena before the
+		// getrandom syscall (heap cookie) and consumed after it. The
+		// compiler hoisted the load because nothing in between clobbers
+		// vector state — except an interposer that doesn't preserve it.
+		return `
+	libc_init:
+		mov64 r12, DATA+0x200        ; &main_arena
+		movq2x xmm1, r12
+		punpck xmm1
+		mov64 rax, SYS_getrandom
+		mov64 rdi, DATA+0x300        ; cookie buffer
+		mov64 rsi, 16
+		mov64 rdx, 0
+		syscall
+		movups_st [r12], xmm1        ; main_arena.next = main_arena.prev = &main_arena
+		mov64 rax, SYS_set_tid_address
+		mov64 rdi, DATA+0x310
+		syscall
+		ret
+	`
+	}
+	if l.ThreadedInit {
+		// Paper Listing 1: glibc 2.31 pthread initialization. xmm0 holds
+		// &__stack_user across TWO syscalls.
+		return `
+	libc_init:
+		mov64 r12, DATA+0x100        ; &__stack_user
+		movq2x xmm0, r12             ; load into both
+		punpck xmm0                  ; halves of xmm0
+		mov64 rax, SYS_set_tid_address
+		mov64 rdi, DATA+0x110
+		syscall                      ; set_tid_address
+		mov64 rax, SYS_set_robust_list
+		mov64 rdi, DATA+0x120
+		mov64 rsi, 24
+		syscall                      ; set_robust_list
+		movups_st [r12], xmm0        ; write '&__stack_user' to 'prev' + 'next'
+		ret
+	`
+	}
+	// Non-threaded glibc 2.31 init: same syscalls, no live vector state.
+	return `
+	libc_init:
+		mov64 rax, SYS_set_tid_address
+		mov64 rdi, DATA+0x110
+		syscall
+		mov64 rax, SYS_set_robust_list
+		mov64 rdi, DATA+0x120
+		mov64 rsi, 24
+		syscall
+		ret
+	`
+}
+
+// libcWrappers are the syscall wrapper functions shared by all programs.
+// Arguments follow the syscall ABI (rdi, rsi, rdx, r10); the wrapper
+// loads the number and traps.
+const libcWrappers = `
+	libc_write:
+		mov64 rax, SYS_write
+		syscall
+		ret
+	libc_read:
+		mov64 rax, SYS_read
+		syscall
+		ret
+	libc_open:
+		mov64 rax, SYS_open
+		syscall
+		ret
+	libc_close:
+		mov64 rax, SYS_close
+		syscall
+		ret
+	libc_stat:
+		mov64 rax, SYS_stat
+		syscall
+		ret
+	libc_getcwd:
+		mov64 rax, SYS_getcwd
+		syscall
+		ret
+	libc_mkdir:
+		mov64 rax, SYS_mkdir
+		syscall
+		ret
+	libc_chmod:
+		mov64 rax, SYS_chmod
+		syscall
+		ret
+	libc_unlink:
+		mov64 rax, SYS_unlink
+		syscall
+		ret
+	libc_rename:
+		mov64 rax, SYS_rename
+		syscall
+		ret
+	libc_utimensat:
+		mov64 rax, SYS_utimensat
+		syscall
+		ret
+	libc_getdents:
+		mov64 rax, SYS_getdents64
+		syscall
+		ret
+	libc_exit:
+		mov64 rax, SYS_exit
+		syscall
+		; no return
+`
+
+// Crt0 is the program prologue: init libc, call main, exit with main's
+// return value.
+const Crt0 = `
+	_start:
+		call libc_init
+		call main
+		mov rdi, rax
+		call libc_exit
+`

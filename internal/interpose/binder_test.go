@@ -1,0 +1,176 @@
+package interpose
+
+import (
+	"testing"
+
+	"lazypoline/internal/asm"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/loader"
+	"lazypoline/internal/mem"
+)
+
+// buildHarness spawns a guest that calls the entry stub directly (as a
+// rewritten call-rax site would) and wires a Binder to it — exercising
+// the stub + binder plumbing without any mechanism on top.
+func buildHarness(t *testing.T, ip Interposer, opts StubOpts) (*kernel.Kernel, *kernel.Task) {
+	t.Helper()
+	k := kernel.New(kernel.Config{})
+	b := NewBinder(ip)
+	opts.EnterHcall = k.RegisterHcall(b.Enter)
+	opts.ExitHcall = k.RegisterHcall(b.Exit)
+
+	// Guest: getpid through the stub, exit(result) natively.
+	p, err := asm.Assemble(`
+	_start:
+		mov64 rax, 39
+		mov64 r11, 0x20000     ; stub address
+		call r11
+		mov rdi, rax
+		mov64 rax, 60
+		syscall
+	`, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.FromProgram(p, "_start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.SpawnImage(img, kernel.SpawnOpts{Name: "binder-harness"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Map the stub and a gs region.
+	var e isa.Enc
+	BuildEntryStub(&e, opts)
+	if err := task.AS.MapFixed(0x20000, mem.PageSize, mem.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.WriteAt(0x20000, e.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.Protect(0x20000, mem.PageSize, mem.ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := task.AS.MapAnon(GSSize, mem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.CPU.GSBase = gs
+	if err := InitGSRegion(task, gs); err != nil {
+		t.Fatal(err)
+	}
+	return k, task
+}
+
+func TestBinderPassThrough(t *testing.T) {
+	var seen []int64
+	ip := FuncInterposer{
+		OnEnter: func(c *Call) Action {
+			seen = append(seen, c.Nr)
+			return Continue
+		},
+	}
+	k, task := buildHarness(t, ip, StubOpts{})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != task.Tgid {
+		t.Errorf("exit = %d, want pid", task.ExitCode)
+	}
+	if len(seen) != 1 || seen[0] != kernel.SysGetpid {
+		t.Errorf("interposer saw %v", seen)
+	}
+}
+
+func TestBinderEmulateViaStub(t *testing.T) {
+	ip := FuncInterposer{
+		OnEnter: func(c *Call) Action {
+			c.Ret = 777
+			return Emulate
+		},
+	}
+	k, task := buildHarness(t, ip, StubOpts{})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != 777 {
+		t.Errorf("exit = %d, want emulated 777", task.ExitCode)
+	}
+}
+
+func TestBinderExitRewritesResult(t *testing.T) {
+	ip := FuncInterposer{
+		OnExit: func(c *Call) { c.Ret = c.Ret * 2 },
+	}
+	k, task := buildHarness(t, ip, StubOpts{})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != 2*task.Tgid {
+		t.Errorf("exit = %d, want doubled pid", task.ExitCode)
+	}
+}
+
+func TestReadWriteSavedRegsAndCall(t *testing.T) {
+	ip := FuncInterposer{
+		OnEnter: func(c *Call) Action {
+			// Swap getpid for gettid via the saved-register API.
+			if c.Nr == kernel.SysGetpid {
+				c.Nr = kernel.SysGettid
+			}
+			return Continue
+		},
+	}
+	k, task := buildHarness(t, ip, StubOpts{})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != task.ID {
+		t.Errorf("exit = %d, want tid %d (nr rewrite)", task.ExitCode, task.ID)
+	}
+}
+
+func TestCallStringHelpers(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	p, err := asm.Assemble(`
+	_start:
+		hlt
+	str:
+		.ascii "hello"
+		.byte 0
+	`, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.FromProgram(p, "_start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.SpawnImage(img, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Call{Task: task}
+	addr := asm.MustSymbol(p, "str")
+	s, ok := c.ReadString(addr)
+	if !ok || s != "hello" {
+		t.Errorf("ReadString = %q, %v", s, ok)
+	}
+	if _, ok := c.ReadString(0xdead0000); ok {
+		t.Error("ReadString from unmapped memory succeeded")
+	}
+	var buf [5]byte
+	if err := c.ReadMem(addr, buf[:]); err != nil || string(buf[:]) != "hello" {
+		t.Errorf("ReadMem = %q, %v", buf, err)
+	}
+	if err := c.WriteMem(addr, []byte("HELLO")); err != nil {
+		t.Errorf("WriteMem: %v", err)
+	}
+	s, _ = c.ReadString(addr)
+	if s != "HELLO" {
+		t.Errorf("after WriteMem: %q", s)
+	}
+}

@@ -1,0 +1,76 @@
+package interpose
+
+import "lazypoline/internal/kernel"
+
+// Chain composes interposers: Enter hooks run first-to-last and the
+// first Emulate verdict wins (later interposers still observe the call);
+// Exit hooks run last-to-first, each seeing the current return value.
+// This mirrors how real deployments stack concerns (tracing + policy +
+// rewriting) on one mechanism.
+type Chain []Interposer
+
+// Enter implements Interposer.
+func (c Chain) Enter(call *Call) Action {
+	verdict := Continue
+	for _, ip := range c {
+		if ip.Enter(call) == Emulate {
+			verdict = Emulate
+		}
+	}
+	return verdict
+}
+
+// Exit implements Interposer.
+func (c Chain) Exit(call *Call) {
+	for i := len(c) - 1; i >= 0; i-- {
+		c[i].Exit(call)
+	}
+}
+
+var _ Interposer = Chain{}
+
+// Filter is a policy interposer in the spirit of seccomp allow-lists —
+// but enforced from user space with full expressiveness, so it composes
+// with deep-inspection hooks instead of being limited to numbers.
+type Filter struct {
+	// Allowed, if non-nil, lists the permitted syscall numbers; anything
+	// else is denied.
+	Allowed map[int64]bool
+	// Denied lists explicitly denied numbers (checked first).
+	Denied map[int64]bool
+	// Errno is the error for denied calls (default EPERM).
+	Errno int64
+	// OnDeny, if set, observes denials.
+	OnDeny func(c *Call)
+
+	// DeniedCount tallies enforcement actions.
+	DeniedCount int
+}
+
+// Enter implements Interposer.
+func (f *Filter) Enter(c *Call) Action {
+	deny := false
+	if f.Denied != nil && f.Denied[c.Nr] {
+		deny = true
+	} else if f.Allowed != nil && !f.Allowed[c.Nr] {
+		deny = true
+	}
+	if !deny {
+		return Continue
+	}
+	f.DeniedCount++
+	errno := f.Errno
+	if errno == 0 {
+		errno = kernel.EPERM
+	}
+	c.Ret = -errno
+	if f.OnDeny != nil {
+		f.OnDeny(c)
+	}
+	return Emulate
+}
+
+// Exit implements Interposer.
+func (f *Filter) Exit(*Call) {}
+
+var _ Interposer = (*Filter)(nil)

@@ -1,0 +1,73 @@
+package interpose
+
+import (
+	"testing"
+
+	"lazypoline/internal/kernel"
+)
+
+func TestChainOrderingAndVerdicts(t *testing.T) {
+	var order []string
+	mk := func(name string, verdict Action) Interposer {
+		return FuncInterposer{
+			OnEnter: func(*Call) Action {
+				order = append(order, "enter-"+name)
+				return verdict
+			},
+			OnExit: func(*Call) { order = append(order, "exit-"+name) },
+		}
+	}
+	ch := Chain{mk("a", Continue), mk("b", Emulate), mk("c", Continue)}
+	c := &Call{Nr: 1}
+	if got := ch.Enter(c); got != Emulate {
+		t.Errorf("chain verdict = %v, want Emulate", got)
+	}
+	ch.Exit(c)
+	want := []string{"enter-a", "enter-b", "enter-c", "exit-c", "exit-b", "exit-a"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, order[i], want[i])
+		}
+	}
+}
+
+func TestFilterAllowList(t *testing.T) {
+	f := &Filter{Allowed: map[int64]bool{kernel.SysRead: true, kernel.SysExit: true}}
+	c := &Call{Nr: kernel.SysRead}
+	if f.Enter(c) != Continue {
+		t.Error("allowed syscall denied")
+	}
+	c = &Call{Nr: kernel.SysOpen}
+	if f.Enter(c) != Emulate {
+		t.Error("disallowed syscall continued")
+	}
+	if c.Ret != -kernel.EPERM {
+		t.Errorf("ret = %d, want -EPERM", c.Ret)
+	}
+	if f.DeniedCount != 1 {
+		t.Errorf("denied count = %d", f.DeniedCount)
+	}
+}
+
+func TestFilterDenyListAndCustomErrno(t *testing.T) {
+	denials := 0
+	f := &Filter{
+		Denied: map[int64]bool{kernel.SysOpen: true},
+		Errno:  kernel.EACCES,
+		OnDeny: func(*Call) { denials++ },
+	}
+	c := &Call{Nr: kernel.SysOpen}
+	if f.Enter(c) != Emulate || c.Ret != -kernel.EACCES {
+		t.Errorf("deny list: action/ret wrong (%d)", c.Ret)
+	}
+	if denials != 1 {
+		t.Error("OnDeny not invoked")
+	}
+	c = &Call{Nr: kernel.SysRead}
+	if f.Enter(c) != Continue {
+		t.Error("non-denied syscall blocked (no allow list present)")
+	}
+}

@@ -1,0 +1,249 @@
+package isa
+
+import "encoding/binary"
+
+// Enc is a small instruction encoder used by code that emits machine code
+// directly (the assembler, the trampoline builders, the tests). Methods
+// append to Buf.
+type Enc struct {
+	Buf []byte
+}
+
+func (e *Enc) byte(b ...byte) *Enc { e.Buf = append(e.Buf, b...); return e }
+
+func (e *Enc) imm32(v int64) *Enc {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(int32(v)))
+	return e.byte(b[:]...)
+}
+
+func (e *Enc) imm64(v int64) *Enc {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return e.byte(b[:]...)
+}
+
+// Len returns the current length of the emitted code.
+func (e *Enc) Len() int { return len(e.Buf) }
+
+// Syscall emits SYSCALL (0F 05).
+func (e *Enc) Syscall() *Enc { return e.byte(Byte0F, ByteSyscall) }
+
+// Sysenter emits SYSENTER (0F 34).
+func (e *Enc) Sysenter() *Enc { return e.byte(Byte0F, ByteSysent) }
+
+// CallReg emits CALL reg (FF D0+r).
+func (e *Enc) CallReg(r Reg) *Enc { return e.byte(ByteFF, ByteCallReg+byte(r)) }
+
+// JmpReg emits JMP reg (FF E0+r).
+func (e *Enc) JmpReg(r Reg) *Enc { return e.byte(ByteFF, ByteJmpReg+byte(r)) }
+
+// Nop emits n NOP bytes.
+func (e *Enc) Nop(n int) *Enc {
+	for i := 0; i < n; i++ {
+		e.byte(byte(OpNop))
+	}
+	return e
+}
+
+// Ret emits RET.
+func (e *Enc) Ret() *Enc { return e.byte(byte(OpRet)) }
+
+// Hlt emits HLT.
+func (e *Enc) Hlt() *Enc { return e.byte(byte(OpHlt)) }
+
+// Trap emits INT3.
+func (e *Enc) Trap() *Enc { return e.byte(byte(OpTrap)) }
+
+// MovImm64 emits mov64 reg, imm64.
+func (e *Enc) MovImm64(r Reg, v int64) *Enc { return e.byte(byte(OpMovImm64), byte(r)).imm64(v) }
+
+// MovImm32 emits mov32 reg, imm32 (zero-extended).
+func (e *Enc) MovImm32(r Reg, v int64) *Enc { return e.byte(byte(OpMovImm32), byte(r)).imm32(v) }
+
+// MovReg emits mov dst, src.
+func (e *Enc) MovReg(dst, src Reg) *Enc { return e.byte(byte(OpMovReg), byte(dst)<<4|byte(src)) }
+
+// Load emits load dst, [src+disp].
+func (e *Enc) Load(dst, src Reg, disp int64) *Enc {
+	return e.byte(byte(OpLoad), byte(dst)<<4|byte(src)).imm32(disp)
+}
+
+// Store emits store [dst+disp], src.
+func (e *Enc) Store(dst Reg, disp int64, src Reg) *Enc {
+	return e.byte(byte(OpStore), byte(dst)<<4|byte(src)).imm32(disp)
+}
+
+// LoadB emits loadb dst, [src+disp].
+func (e *Enc) LoadB(dst, src Reg, disp int64) *Enc {
+	return e.byte(byte(OpLoadB), byte(dst)<<4|byte(src)).imm32(disp)
+}
+
+// StoreB emits storeb [dst+disp], src.
+func (e *Enc) StoreB(dst Reg, disp int64, src Reg) *Enc {
+	return e.byte(byte(OpStoreB), byte(dst)<<4|byte(src)).imm32(disp)
+}
+
+// Load32 emits load32 dst, [src+disp].
+func (e *Enc) Load32(dst, src Reg, disp int64) *Enc {
+	return e.byte(byte(OpLoad32), byte(dst)<<4|byte(src)).imm32(disp)
+}
+
+// Add emits add dst, src.
+func (e *Enc) Add(dst, src Reg) *Enc { return e.byte(byte(OpAdd), byte(dst)<<4|byte(src)) }
+
+// Sub emits sub dst, src.
+func (e *Enc) Sub(dst, src Reg) *Enc { return e.byte(byte(OpSub), byte(dst)<<4|byte(src)) }
+
+// Mul emits mul dst, src.
+func (e *Enc) Mul(dst, src Reg) *Enc { return e.byte(byte(OpMul), byte(dst)<<4|byte(src)) }
+
+// And emits and dst, src.
+func (e *Enc) And(dst, src Reg) *Enc { return e.byte(byte(OpAnd), byte(dst)<<4|byte(src)) }
+
+// Or emits or dst, src.
+func (e *Enc) Or(dst, src Reg) *Enc { return e.byte(byte(OpOr), byte(dst)<<4|byte(src)) }
+
+// Xor emits xor dst, src.
+func (e *Enc) Xor(dst, src Reg) *Enc { return e.byte(byte(OpXor), byte(dst)<<4|byte(src)) }
+
+// AddImm emits addi reg, imm32.
+func (e *Enc) AddImm(r Reg, v int64) *Enc { return e.byte(byte(OpAddImm), byte(r)).imm32(v) }
+
+// Cmp emits cmp a, b.
+func (e *Enc) Cmp(a, b Reg) *Enc { return e.byte(byte(OpCmp), byte(a)<<4|byte(b)) }
+
+// CmpImm emits cmpi reg, imm32.
+func (e *Enc) CmpImm(r Reg, v int64) *Enc { return e.byte(byte(OpCmpImm), byte(r)).imm32(v) }
+
+// ShlImm emits shli reg, imm8.
+func (e *Enc) ShlImm(r Reg, v int64) *Enc { return e.byte(byte(OpShlImm), byte(r), byte(v)) }
+
+// ShrImm emits shri reg, imm8.
+func (e *Enc) ShrImm(r Reg, v int64) *Enc { return e.byte(byte(OpShrImm), byte(r), byte(v)) }
+
+// Jmp emits jmp rel32 where rel is relative to the next instruction.
+func (e *Enc) Jmp(rel int64) *Enc { return e.byte(byte(OpJmp)).imm32(rel) }
+
+// Jz emits jz rel32.
+func (e *Enc) Jz(rel int64) *Enc { return e.byte(byte(OpJz)).imm32(rel) }
+
+// Jnz emits jnz rel32.
+func (e *Enc) Jnz(rel int64) *Enc { return e.byte(byte(OpJnz)).imm32(rel) }
+
+// Jl emits jl rel32 (signed less-than).
+func (e *Enc) Jl(rel int64) *Enc { return e.byte(byte(OpJl)).imm32(rel) }
+
+// Jg emits jg rel32 (signed greater-than).
+func (e *Enc) Jg(rel int64) *Enc { return e.byte(byte(OpJg)).imm32(rel) }
+
+// Jle emits jle rel32.
+func (e *Enc) Jle(rel int64) *Enc { return e.byte(byte(OpJle)).imm32(rel) }
+
+// Jge emits jge rel32.
+func (e *Enc) Jge(rel int64) *Enc { return e.byte(byte(OpJge)).imm32(rel) }
+
+// Call emits call rel32.
+func (e *Enc) Call(rel int64) *Enc { return e.byte(byte(OpCall)).imm32(rel) }
+
+// Push emits push reg.
+func (e *Enc) Push(r Reg) *Enc { return e.byte(byte(OpPush), byte(r)) }
+
+// Pop emits pop reg.
+func (e *Enc) Pop(r Reg) *Enc { return e.byte(byte(OpPop), byte(r)) }
+
+// Lea emits lea reg, [rip+disp32].
+func (e *Enc) Lea(r Reg, disp int64) *Enc { return e.byte(byte(OpLea), byte(r)).imm32(disp) }
+
+// MovQ2X emits movq2x xmm, reg.
+func (e *Enc) MovQ2X(x XReg, r Reg) *Enc { return e.byte(byte(OpMovQ2X), byte(x)<<4|byte(r)) }
+
+// MovX2Q emits movx2q reg, xmm.
+func (e *Enc) MovX2Q(r Reg, x XReg) *Enc { return e.byte(byte(OpMovX2Q), byte(r)<<4|byte(x)) }
+
+// Punpck emits punpck xmm.
+func (e *Enc) Punpck(x XReg) *Enc { return e.byte(byte(OpPunpck), byte(x)) }
+
+// MovupsStore emits movups_st [reg+disp], xmm.
+func (e *Enc) MovupsStore(r Reg, disp int64, x XReg) *Enc {
+	return e.byte(byte(OpMovupsStore), byte(x)<<4|byte(r)).imm32(disp)
+}
+
+// MovupsLoad emits movups_ld xmm, [reg+disp].
+func (e *Enc) MovupsLoad(x XReg, r Reg, disp int64) *Enc {
+	return e.byte(byte(OpMovupsLoad), byte(x)<<4|byte(r)).imm32(disp)
+}
+
+// Xorps emits xorps dst, src.
+func (e *Enc) Xorps(dst, src XReg) *Enc { return e.byte(byte(OpXorps), byte(dst)<<4|byte(src)) }
+
+// Fld emits fld reg.
+func (e *Enc) Fld(r Reg) *Enc { return e.byte(byte(OpFld), byte(r)) }
+
+// Fst emits fst reg.
+func (e *Enc) Fst(r Reg) *Enc { return e.byte(byte(OpFst), byte(r)) }
+
+// RdCycle emits rdcycle reg.
+func (e *Enc) RdCycle(r Reg) *Enc { return e.byte(byte(OpRdCycle), byte(r)) }
+
+// GsLoad emits gsload reg, [gs:disp].
+func (e *Enc) GsLoad(r Reg, disp int64) *Enc { return e.byte(byte(OpGsLoad), byte(r)).imm32(disp) }
+
+// GsStore emits gsstore [gs:disp], reg.
+func (e *Enc) GsStore(disp int64, r Reg) *Enc { return e.byte(byte(OpGsStore), byte(r)).imm32(disp) }
+
+// GsLoadB emits gsloadb reg, [gs:disp].
+func (e *Enc) GsLoadB(r Reg, disp int64) *Enc { return e.byte(byte(OpGsLoadB), byte(r)).imm32(disp) }
+
+// GsStoreB emits gsstoreb [gs:disp], reg.
+func (e *Enc) GsStoreB(disp int64, r Reg) *Enc {
+	return e.byte(byte(OpGsStoreB), byte(r)).imm32(disp)
+}
+
+// GsStoreBI emits gsstorebi [gs:disp], imm8.
+func (e *Enc) GsStoreBI(disp int64, v byte) *Enc {
+	return e.byte(byte(OpGsStoreBI), v).imm32(disp)
+}
+
+// GsPush emits gspush [gs:disp].
+func (e *Enc) GsPush(disp int64) *Enc { return e.byte(byte(OpGsPush)).imm32(disp) }
+
+// GsAddI emits gsaddi [gs:disp], imm32.
+func (e *Enc) GsAddI(disp, v int64) *Enc { return e.byte(byte(OpGsAddI)).imm32(disp).imm32(v) }
+
+// GsMovB emits gsmovb [gs:dst], [gs:src].
+func (e *Enc) GsMovB(dst, src int64) *Enc { return e.byte(byte(OpGsMovB)).imm32(dst).imm32(src) }
+
+// GsMov emits gsmov [gs:dst], [gs:src].
+func (e *Enc) GsMov(dst, src int64) *Enc { return e.byte(byte(OpGsMov)).imm32(dst).imm32(src) }
+
+// GsLoadIdxB emits gsloadidxb dst, [gs:idxreg].
+func (e *Enc) GsLoadIdxB(dst, idx Reg) *Enc {
+	return e.byte(byte(OpGsLoadIdxB), byte(dst)<<4|byte(idx))
+}
+
+// GsLoadIdx emits gsloadidx dst, [gs:idxreg+disp]. It does not set flags.
+func (e *Enc) GsLoadIdx(dst, idx Reg, disp int64) *Enc {
+	return e.byte(byte(OpGsLoadIdx), byte(dst)<<4|byte(idx)).imm32(disp)
+}
+
+// Xchg emits xchg [mem], val.
+func (e *Enc) Xchg(mem, val Reg) *Enc { return e.byte(byte(OpXchg), byte(mem)<<4|byte(val)) }
+
+// Pause emits pause.
+func (e *Enc) Pause() *Enc { return e.byte(byte(OpPause)) }
+
+// Xsave emits xsave [reg] — save extended state to the address in reg.
+func (e *Enc) Xsave(r Reg) *Enc { return e.byte(byte(OpXsave), byte(r)) }
+
+// Xrstor emits xrstor [reg] — restore extended state from the address in reg.
+func (e *Enc) Xrstor(r Reg) *Enc { return e.byte(byte(OpXrstor), byte(r)) }
+
+// Wrpkru emits wrpkru reg.
+func (e *Enc) Wrpkru(r Reg) *Enc { return e.byte(byte(OpWrpkru), byte(r)) }
+
+// Rdpkru emits rdpkru reg.
+func (e *Enc) Rdpkru(r Reg) *Enc { return e.byte(byte(OpRdpkru), byte(r)) }
+
+// Hcall emits hcall id.
+func (e *Enc) Hcall(id int64) *Enc { return e.byte(byte(OpHcall)).imm32(id) }

@@ -1,0 +1,301 @@
+// Package kernel implements the simulated operating system kernel: tasks
+// and scheduling, the syscall table, the syscall entry path with its
+// interception hooks (ptrace, seccomp, Syscall User Dispatch), POSIX
+// signal delivery and sigreturn, and the cycle cost model that every
+// interposition mechanism in this repository is measured against.
+package kernel
+
+// Syscall numbers follow the Linux x86-64 ABI so that guest programs and
+// traces read like the real thing.
+const (
+	SysRead          = 0
+	SysWrite         = 1
+	SysOpen          = 2
+	SysClose         = 3
+	SysStat          = 4
+	SysFstat         = 5
+	SysLseek         = 8
+	SysMmap          = 9
+	SysMprotect      = 10
+	SysMunmap        = 11
+	SysBrk           = 12
+	SysRtSigaction   = 13
+	SysRtSigprocmask = 14
+	SysRtSigreturn   = 15
+	SysIoctl         = 16
+	SysAccess        = 21
+	SysSchedYield    = 24
+	SysDup           = 32
+	SysDup2          = 33
+	SysNanosleep     = 35
+	SysGetpid        = 39
+	SysSendfile      = 40
+	SysSocket        = 41
+	SysAccept        = 43
+	SysSendto        = 44
+	SysRecvfrom      = 45
+	SysShutdown      = 48
+	SysBind          = 49
+	SysListen        = 50
+	SysClone         = 56
+	SysFork          = 57
+	SysVfork         = 58
+	SysExecve        = 59
+	SysExit          = 60
+	SysWait4         = 61
+	SysKill          = 62
+	SysGetcwd        = 79
+	SysRename        = 82
+	SysMkdir         = 83
+	SysRmdir         = 84
+	SysUnlink        = 87
+	SysChmod         = 90
+	SysPtrace        = 101
+	SysPrctl         = 157
+	SysArchPrctl     = 158
+	SysGettid        = 186
+	SysFutex         = 202
+	SysGetdents64    = 217
+	SysSetTidAddress = 218
+	SysEpollWait     = 232
+	SysEpollCtl      = 233
+	SysTgkill        = 234
+	SysOpenat        = 257
+	SysSetRobustList = 273
+	SysUtimensat     = 280
+	SysAccept4       = 288
+	SysEpollCreate1  = 291
+	SysPipe2         = 293
+	SysSeccomp       = 317
+	SysGetrandom     = 318
+
+	// MaxSyscallNr bounds the dispatch table; the zpoline nop sled covers
+	// [0, MaxSyscallNr]. The microbenchmark uses NonexistentSyscall, which
+	// lies inside the sled but outside the implemented table, exactly like
+	// syscall 500 in the paper.
+	MaxSyscallNr = 511
+	// NonexistentSyscall is the paper's "syscall number 500".
+	NonexistentSyscall = 500
+)
+
+// SyscallName returns a human-readable name for tracing.
+func SyscallName(nr int64) string {
+	if n, ok := sysNames[nr]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+var sysNames = map[int64]string{
+	SysRead: "read", SysWrite: "write", SysOpen: "open", SysClose: "close",
+	SysStat: "stat", SysFstat: "fstat", SysLseek: "lseek", SysMmap: "mmap",
+	SysMprotect: "mprotect", SysMunmap: "munmap", SysBrk: "brk",
+	SysRtSigaction: "rt_sigaction", SysRtSigprocmask: "rt_sigprocmask",
+	SysRtSigreturn: "rt_sigreturn", SysIoctl: "ioctl", SysAccess: "access",
+	SysSchedYield: "sched_yield", SysDup: "dup", SysDup2: "dup2", SysNanosleep: "nanosleep",
+	SysGetpid: "getpid", SysSendfile: "sendfile", SysSocket: "socket", SysAccept: "accept",
+	SysSendto: "sendto", SysRecvfrom: "recvfrom", SysShutdown: "shutdown",
+	SysBind: "bind", SysListen: "listen", SysClone: "clone", SysFork: "fork",
+	SysVfork: "vfork", SysExecve: "execve", SysExit: "exit", SysWait4: "wait4",
+	SysKill: "kill", SysGetcwd: "getcwd", SysRename: "rename", SysMkdir: "mkdir",
+	SysRmdir: "rmdir", SysUnlink: "unlink", SysChmod: "chmod", SysPtrace: "ptrace",
+	SysPrctl: "prctl", SysArchPrctl: "arch_prctl", SysGettid: "gettid",
+	SysFutex: "futex", SysGetdents64: "getdents64", SysSetTidAddress: "set_tid_address",
+	SysEpollWait: "epoll_wait", SysEpollCtl: "epoll_ctl", SysTgkill: "tgkill",
+	SysOpenat: "openat", SysSetRobustList: "set_robust_list",
+	SysUtimensat: "utimensat", SysAccept4: "accept4", SysEpollCreate1: "epoll_create1",
+	SysPipe2:   "pipe2",
+	SysSeccomp: "seccomp", SysGetrandom: "getrandom", SysExitGroup: "exit_group",
+}
+
+// SysExitGroup is exit_group.
+const SysExitGroup = 231
+
+// Errno values (returned as -errno in RAX, Linux style).
+const (
+	EPERM        = 1
+	ENOENT       = 2
+	ESRCH        = 3
+	EINTR        = 4
+	EBADF        = 9
+	ECHILD       = 10
+	EAGAIN       = 11
+	ENOMEM       = 12
+	EACCES       = 13
+	EFAULT       = 14
+	EBUSY        = 16
+	EEXIST       = 17
+	ENOTDIR      = 20
+	EISDIR       = 21
+	EINVAL       = 22
+	EMFILE       = 24
+	ENOSYS       = 38
+	ENAMETOOLONG = 36
+	ENOTEMPTY    = 39
+	EPIPE        = 32
+	EADDRINUSE   = 98
+	ECONNREFUSED = 111
+)
+
+// Signals (subset).
+const (
+	SIGHUP  = 1
+	SIGINT  = 2
+	SIGQUIT = 3
+	SIGILL  = 4
+	SIGTRAP = 5
+	SIGABRT = 6
+	SIGKILL = 9
+	SIGUSR1 = 10
+	SIGSEGV = 11
+	SIGUSR2 = 12
+	SIGPIPE = 13
+	SIGALRM = 14
+	SIGTERM = 15
+	SIGCHLD = 17
+	SIGSYS  = 31
+
+	// NumSignals bounds the handler tables.
+	NumSignals = 32
+)
+
+// SignalName names a signal for traces.
+func SignalName(sig int) string {
+	names := map[int]string{
+		SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGQUIT: "SIGQUIT", SIGILL: "SIGILL",
+		SIGTRAP: "SIGTRAP", SIGABRT: "SIGABRT", SIGKILL: "SIGKILL",
+		SIGUSR1: "SIGUSR1", SIGSEGV: "SIGSEGV", SIGUSR2: "SIGUSR2",
+		SIGPIPE: "SIGPIPE", SIGALRM: "SIGALRM", SIGTERM: "SIGTERM",
+		SIGCHLD: "SIGCHLD", SIGSYS: "SIGSYS",
+	}
+	if n, ok := names[sig]; ok {
+		return n
+	}
+	return "SIG?"
+}
+
+// Signal handler dispositions.
+const (
+	// SigDfl is the default action.
+	SigDfl uint64 = 0
+	// SigIgn ignores the signal.
+	SigIgn uint64 = 1
+)
+
+// SIGSYS si_code values.
+const (
+	// SysSeccompCode is SYS_SECCOMP: raised by a seccomp RET_TRAP filter.
+	SysSeccompCode = 1
+	// SysUserDispatch is SYS_USER_DISPATCH: raised by SUD.
+	SysUserDispatch = 2
+)
+
+// prctl operations.
+const (
+	// PrSetSyscallUserDispatch configures SUD (PR_SET_SYSCALL_USER_DISPATCH).
+	PrSetSyscallUserDispatch = 59
+	// PrSysDispatchOff / PrSysDispatchOn are the prctl arg2 values.
+	PrSysDispatchOff = 0
+	PrSysDispatchOn  = 1
+)
+
+// SUD selector byte values (from the Linux uapi).
+const (
+	// SyscallDispatchFilterAllow lets syscalls through.
+	SyscallDispatchFilterAllow = 0
+	// SyscallDispatchFilterBlock raises SIGSYS.
+	SyscallDispatchFilterBlock = 1
+)
+
+// arch_prctl operations.
+const (
+	ArchSetGs = 0x1001
+	ArchSetFs = 0x1002
+	ArchGetFs = 0x1003
+	ArchGetGs = 0x1004
+)
+
+// clone flags (subset).
+const (
+	CloneVM      = 0x00000100
+	CloneFS      = 0x00000200
+	CloneFiles   = 0x00000400
+	CloneSighand = 0x00000800
+	CloneThread  = 0x00010000
+)
+
+// mmap protection and flag bits (subset of the Linux ABI).
+const (
+	ProtReadBit  = 0x1
+	ProtWriteBit = 0x2
+	ProtExecBit  = 0x4
+
+	MapFixedBit = 0x10
+	MapAnonBit  = 0x20
+)
+
+// Open flag bits (subset of the Linux ABI).
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+	// ONonblock marks a socket/file as non-blocking.
+	ONonblock = 0x800
+)
+
+// UContext layout: the register snapshot the kernel writes to the user
+// stack on signal delivery and reads back on rt_sigreturn. Interposers
+// (notably lazypoline's SIGSYS slow path) modify this in guest memory;
+// the paper calls the key field REG_RIP.
+const (
+	// UCGRegs is the offset of the 16 general purpose registers.
+	UCGRegs = 0
+	// UCRip is the offset of the saved instruction pointer (REG_RIP).
+	UCRip = 128
+	// UCEflags is the offset of the saved flags.
+	UCEflags = 136
+	// UCGsbase is the offset of the saved %gs base.
+	UCGsbase = 144
+	// UCSigmask is the offset of the saved signal mask.
+	UCSigmask = 152
+	// UCXState is the offset of the saved extended state.
+	UCXState = 160
+	// UCPkru is the offset of the saved PKRU value, stored inside the
+	// extended-state area exactly as x86 XSAVE does: a signal frame
+	// captures the protection-key rights and rt_sigreturn restores them.
+	UCPkru = UCXState + 488
+	// UContextSize is the total size (160 + 512).
+	UContextSize = 672
+)
+
+// UCReg returns the ucontext offset of general purpose register r.
+func UCReg(r int) uint64 { return UCGRegs + 8*uint64(r) }
+
+// SigInfo layout (simplified siginfo_t).
+const (
+	// SISigno is the signal number.
+	SISigno = 0
+	// SICode is the si_code (SYS_SECCOMP / SYS_USER_DISPATCH for SIGSYS).
+	SICode = 8
+	// SISyscall is the syscall number (SIGSYS only).
+	SISyscall = 16
+	// SICallAddr is the address of the faulting/trapping instruction.
+	SICallAddr = 24
+	// SigInfoSize is the total size.
+	SigInfoSize = 32
+)
+
+// VdsoBase is where the kernel maps its signal-return stub ("[vdso]").
+// The stub ends in a SYSCALL instruction, which is why a typical SUD
+// deployment must allowlist this address range — and why lazypoline's
+// selector-only design is notable for NOT needing to. It sits below 4 GiB
+// so seccomp filters can range-check it with 32-bit compares, and far
+// from guest images so it never merges with their mappings.
+const VdsoBase = 0xFF00_0000
+
+// VdsoSigreturnOffset is the offset of the sigreturn stub in the vdso.
+const VdsoSigreturnOffset = 0

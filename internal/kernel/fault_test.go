@@ -1,0 +1,92 @@
+package kernel
+
+import "testing"
+
+func TestIllegalInstructionRaisesSIGILL(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		.byte 0x7E          ; not a valid opcode
+		hlt
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGILL {
+		t.Errorf("exit = %d, want SIGILL death", task.ExitCode)
+	}
+}
+
+func TestUnmappedJumpRaisesSIGSEGV(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, 0x99990000
+		jmp rax
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGSEGV {
+		t.Errorf("exit = %d, want SIGSEGV death", task.ExitCode)
+	}
+}
+
+func TestStackOverflowRaisesSIGSEGV(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		; push until the stack mapping runs out
+	loop:
+		push rax
+		jmp loop
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGSEGV {
+		t.Errorf("exit = %d, want SIGSEGV death", task.ExitCode)
+	}
+}
+
+func TestSIGSEGVHandlerCanObserveFault(t *testing.T) {
+	// A registered SIGSEGV handler fires for a faulting store; the
+	// handler exits cleanly with a marker.
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 11            ; SIGSEGV
+		lea rsi, act
+		mov64 rdx, 0
+		syscall
+		mov64 rbx, 0x99990000
+		mov64 rcx, 1
+		store [rbx], rcx         ; fault
+		hlt                      ; not reached
+	handler:
+		mov64 rdi, 42
+		mov64 rax, SYS_exit
+		syscall
+	.align 8
+	act:
+		.quad handler, 0, 0
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42 from the SIGSEGV handler", task.ExitCode)
+	}
+}
+
+func TestCostModelHelpers(t *testing.T) {
+	c := DefaultCostModel()
+	if got := c.NoopSyscallCost(); got != c.Insn+c.SyscallEntry+c.SyscallExit {
+		t.Errorf("NoopSyscallCost = %d", got)
+	}
+	if c.CopyCost(0) != 0 || c.CopyCost(-1) != 0 {
+		t.Error("CopyCost of nothing should be free")
+	}
+	if c.CopyCost(1) != c.CopyPer64B {
+		t.Errorf("CopyCost(1) = %d, want one unit", c.CopyCost(1))
+	}
+	if c.CopyCost(64) != c.CopyPer64B || c.CopyCost(65) != 2*c.CopyPer64B {
+		t.Error("CopyCost rounding wrong")
+	}
+	if c.CopyCost(64*1024) != 1024*c.CopyPer64B {
+		t.Error("CopyCost(64K) wrong")
+	}
+}

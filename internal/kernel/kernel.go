@@ -1,0 +1,490 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/fs"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/loader"
+	"lazypoline/internal/mem"
+	"lazypoline/internal/netstack"
+)
+
+// Errors from Run and Spawn.
+var (
+	ErrDeadlock  = errors.New("kernel: all tasks blocked with no external driver")
+	ErrStepLimit = errors.New("kernel: step limit exceeded")
+)
+
+// HcallCtx is the environment an interposer's Go payload (reached via the
+// HCALL instruction in a mechanism stub) runs in. It can read and modify
+// the guest — registers, memory, syscall state — with full expressiveness,
+// which is precisely what distinguishes user-space interposers from
+// seccomp-bpf filters.
+type HcallCtx struct {
+	Task *Task
+	K    *Kernel
+}
+
+// HcallHandler is a registered host callback.
+type HcallHandler func(*HcallCtx) error
+
+// Tracer is a ptrace-style tracer attached to a task. Callbacks run at
+// syscall-enter and syscall-exit stops; every stop costs two context
+// switches, and each Regs/Mem access made through PtraceStop costs one
+// ptrace operation — the pricing that makes ptrace "Low efficiency" in
+// Table I.
+type Tracer struct {
+	OnEnter func(stop *PtraceStop)
+	OnExit  func(stop *PtraceStop)
+}
+
+// PtraceStop gives a tracer access to a stopped tracee, charging
+// ptrace-op costs to the tracee's clock (the tracer serialises with it).
+type PtraceStop struct {
+	Task *Task
+}
+
+// GetRegs snapshots the tracee registers (one PTRACE_GETREGS).
+func (s *PtraceStop) GetRegs() [isa.NumRegs]uint64 {
+	s.charge()
+	return s.Task.CPU.Regs
+}
+
+// SetRegs writes the tracee registers (one PTRACE_SETREGS).
+func (s *PtraceStop) SetRegs(r [isa.NumRegs]uint64) {
+	s.charge()
+	s.Task.CPU.Regs = r
+}
+
+// PeekData reads tracee memory (one PTRACE_PEEKDATA per call).
+func (s *PtraceStop) PeekData(addr uint64, p []byte) error {
+	s.charge()
+	return s.Task.AS.ReadForce(addr, p)
+}
+
+// PokeData writes tracee memory (one PTRACE_POKEDATA per call).
+func (s *PtraceStop) PokeData(addr uint64, p []byte) error {
+	s.charge()
+	return s.Task.AS.WriteForce(addr, p)
+}
+
+func (s *PtraceStop) charge() {
+	s.Task.CPU.Cycles += s.Task.k.Costs.PtraceOp
+}
+
+// Config configures a Kernel.
+type Config struct {
+	// Costs is the cycle cost model; zero value means DefaultCostModel.
+	Costs CostModel
+	// FS is the filesystem; nil creates an empty one.
+	FS *fs.FS
+	// Net is the network stack; nil creates an empty one.
+	Net *netstack.Stack
+	// RandSeed seeds the deterministic getrandom stream.
+	RandSeed uint64
+}
+
+// Kernel is the simulated operating system.
+type Kernel struct {
+	Costs CostModel
+	FS    *fs.FS
+	Net   *netstack.Stack
+
+	tasks   map[int]*Task
+	order   []*Task // scheduling order
+	nextTID int
+
+	hcalls     map[int64]HcallHandler
+	nextHcall  int64
+	rrOffset   int
+	images     map[string]*loader.Image
+	randState  uint64
+	maxCycles  uint64
+	extWaiters int32
+
+	// OnDispatch, if set, observes every syscall that actually reaches
+	// the dispatch table (the kernel's ground-truth trace, used by the
+	// exhaustiveness evaluation).
+	OnDispatch func(t *Task, nr int64, args [6]uint64)
+
+	// ExecveHook, if set, runs after a successful execve, before the new
+	// image executes. Interposition runtimes use it to re-inject
+	// themselves, mirroring LD_PRELOAD-style re-injection.
+	ExecveHook func(t *Task)
+
+	// CloneHook, if set, runs after a new task is created by
+	// clone/fork/vfork, before the child first runs. SUD has been cleared
+	// in the child by then (Linux semantics), so runtimes use this to
+	// re-enable interposition, as §IV-B(a) of the paper describes.
+	CloneHook func(parent, child *Task)
+}
+
+// New creates a kernel.
+func New(cfg Config) *Kernel {
+	k := &Kernel{
+		Costs:     cfg.Costs,
+		FS:        cfg.FS,
+		Net:       cfg.Net,
+		tasks:     make(map[int]*Task),
+		nextTID:   1000,
+		hcalls:    make(map[int64]HcallHandler),
+		nextHcall: 1,
+		images:    make(map[string]*loader.Image),
+		randState: cfg.RandSeed | 1,
+	}
+	if k.Costs == (CostModel{}) {
+		k.Costs = DefaultCostModel()
+	}
+	if k.FS == nil {
+		k.FS = fs.New(k.Now)
+	}
+	if k.Net == nil {
+		k.Net = netstack.NewStack()
+	}
+	return k
+}
+
+// Now returns the maximum cycle count across tasks — the kernel's clock.
+func (k *Kernel) Now() uint64 { return k.maxCycles }
+
+// RegisterHcall installs a host callback and returns its HCALL id.
+func (k *Kernel) RegisterHcall(h HcallHandler) int64 {
+	id := k.nextHcall
+	k.nextHcall++
+	k.hcalls[id] = h
+	return id
+}
+
+// RegisterImage makes an executable image available to execve under path.
+func (k *Kernel) RegisterImage(path string, img *loader.Image) {
+	k.images[path] = img
+}
+
+// AddExternalWaiter declares that an external driver (e.g. a Go-side
+// load generator running concurrently with Run) may unblock tasks, so an
+// all-blocked state is not a deadlock. Returns a release function.
+// Drivers that interleave with RunSlice (webbench) do not need it.
+func (k *Kernel) AddExternalWaiter() func() {
+	atomic.AddInt32(&k.extWaiters, 1)
+	return func() { atomic.AddInt32(&k.extWaiters, -1) }
+}
+
+// SpawnOpts configures SpawnImage.
+type SpawnOpts struct {
+	Name      string
+	StackSize uint64
+	// AS, if non-nil, reuses an existing address space (the image must
+	// already be loaded into it).
+	AS *mem.AddressSpace
+}
+
+// DefaultStackSize is the stack mapped for new tasks.
+const DefaultStackSize = 64 * mem.PageSize
+
+// stackTop is where the main stack is mapped (grows down from here).
+const stackTop = 0x7ff0_0000
+
+// SpawnImage loads img into a fresh address space and creates a runnable
+// task at its entry point.
+func (k *Kernel) SpawnImage(img *loader.Image, opts SpawnOpts) (*Task, error) {
+	as := opts.AS
+	if as == nil {
+		as = mem.NewAddressSpace()
+		if err := img.Load(as); err != nil {
+			return nil, err
+		}
+		if err := k.mapVdso(as); err != nil {
+			return nil, err
+		}
+	}
+	stackSize := opts.StackSize
+	if stackSize == 0 {
+		stackSize = DefaultStackSize
+	}
+	if err := as.MapFixed(stackTop-stackSize, stackSize, mem.ProtRW); err != nil {
+		return nil, fmt.Errorf("kernel: map stack: %w", err)
+	}
+
+	t := k.newTask(opts.Name, as)
+	t.CPU.RIP = img.Entry
+	t.CPU.Regs[isa.RSP] = stackTop - 64 // a little headroom, 16-aligned
+	return t, nil
+}
+
+func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
+	k.nextTID++
+	t := &Task{
+		ID:    k.nextTID,
+		Tgid:  k.nextTID,
+		Name:  name,
+		AS:    as,
+		Files: NewFDTable(),
+		Sig:   &SigState{},
+		state: TaskRunnable,
+		k:     k,
+	}
+	t.CPU = cpu.New(as)
+	t.CPU.Costs = cpu.Costs{Insn: k.Costs.Insn, Xsave: k.Costs.Xsave, Xrstor: k.Costs.Xrstor, NopsPerCycle: k.Costs.NopsPerCycle}
+	k.tasks[t.ID] = t
+	k.order = append(k.order, t)
+	return t
+}
+
+// mapVdso installs the kernel's signal-return stub page. The stub is
+//
+//	mov32 rax, SYS_rt_sigreturn
+//	syscall
+//
+// Note the SYSCALL instruction: with SUD enabled and the selector at
+// BLOCK, returning from a signal handler through this stub would itself
+// trigger SIGSYS. A typical SUD deployment therefore allowlists this
+// page; lazypoline instead sigreturns with the selector at ALLOW.
+func (k *Kernel) mapVdso(as *mem.AddressSpace) error {
+	var e isa.Enc
+	e.MovImm32(isa.RAX, SysRtSigreturn)
+	e.Syscall()
+	if err := as.MapFixed(VdsoBase, mem.PageSize, mem.ProtRW); err != nil {
+		return err
+	}
+	if err := as.WriteAt(VdsoBase+VdsoSigreturnOffset, e.Buf); err != nil {
+		return err
+	}
+	return as.Protect(VdsoBase, mem.PageSize, mem.ProtRX)
+}
+
+// Task returns a task by id.
+func (k *Kernel) Task(id int) (*Task, bool) {
+	t, ok := k.tasks[id]
+	return t, ok
+}
+
+// Tasks returns all live tasks in scheduling order.
+func (k *Kernel) Tasks() []*Task {
+	out := make([]*Task, 0, len(k.order))
+	for _, t := range k.order {
+		if t.Alive() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AttachTracer attaches a ptrace-style tracer to a task.
+func (k *Kernel) AttachTracer(t *Task, tr *Tracer) { t.tracer = tr }
+
+// DetachTracer removes the tracer.
+func (k *Kernel) DetachTracer(t *Task) { t.tracer = nil }
+
+// ConfigSUD configures Syscall User Dispatch on a task (the kernel-side
+// equivalent of prctl(PR_SET_SYSCALL_USER_DISPATCH)).
+func (k *Kernel) ConfigSUD(t *Task, cfg SUDConfig) error {
+	if cfg.Enabled && cfg.SelectorAddr != 0 {
+		var b [1]byte
+		if err := t.AS.ReadForce(cfg.SelectorAddr, b[:]); err != nil {
+			return fmt.Errorf("kernel: SUD selector unreadable: %w", err)
+		}
+	}
+	t.SUD = cfg
+	return nil
+}
+
+// Run executes tasks round-robin until all exit, maxSteps CPU steps have
+// been executed, or a deadlock is detected. maxSteps <= 0 means no limit.
+func (k *Kernel) Run(maxSteps int64) error {
+	var steps int64
+	for {
+		alive := false
+		progress := false
+		// Snapshot: quanta may spawn tasks (appended to k.order). The
+		// start index rotates each round so wakeups (notably accept on a
+		// shared listener) are distributed fairly across workers.
+		snapshot := k.order
+		k.rrOffset++
+		for i := range snapshot {
+			t := snapshot[(i+k.rrOffset)%len(snapshot)]
+			switch t.state {
+			case TaskZombie:
+				continue
+			case TaskBlocked:
+				alive = true
+				if t.blocked.poll != nil && t.blocked.poll() {
+					retry := t.blocked.retry
+					t.state = TaskRunnable
+					t.blocked = blockedState{}
+					if retry != nil {
+						retry()
+					}
+					progress = true
+				}
+				continue
+			case TaskRunnable:
+				alive = true
+				progress = true
+				n := k.runQuantum(t)
+				steps += n
+			}
+		}
+		if !alive {
+			return nil
+		}
+		if !progress {
+			if atomic.LoadInt32(&k.extWaiters) == 0 {
+				return ErrDeadlock
+			}
+			// An external driver (load generator) will eventually make a
+			// pollable ready; yield to it.
+			runtime.Gosched()
+		}
+		if maxSteps > 0 && steps >= maxSteps {
+			return ErrStepLimit
+		}
+	}
+}
+
+// RunSlice runs up to maxSteps CPU steps of round-robin scheduling and
+// returns. Unlike Run it never treats an all-blocked state as a
+// deadlock: it simply returns so the caller (e.g. the load generator)
+// can change external state and call it again. The return value reports
+// whether any task is still alive.
+func (k *Kernel) RunSlice(maxSteps int64) bool {
+	var steps int64
+	for {
+		alive := false
+		progress := false
+		snapshot := k.order
+		k.rrOffset++
+		for i := range snapshot {
+			t := snapshot[(i+k.rrOffset)%len(snapshot)]
+			switch t.state {
+			case TaskZombie:
+				continue
+			case TaskBlocked:
+				alive = true
+				if t.blocked.poll != nil && t.blocked.poll() {
+					retry := t.blocked.retry
+					t.state = TaskRunnable
+					t.blocked = blockedState{}
+					if retry != nil {
+						retry()
+					}
+					progress = true
+				}
+			case TaskRunnable:
+				alive = true
+				progress = true
+				steps += k.runQuantum(t)
+			}
+		}
+		if !alive {
+			return false
+		}
+		if !progress || steps >= maxSteps {
+			return true
+		}
+	}
+}
+
+// KillAll force-terminates every live task (the bench harness's way of
+// ending a run against servers that loop forever).
+func (k *Kernel) KillAll() {
+	for _, t := range k.order {
+		if t.Alive() {
+			k.exitTask(t, 128+SIGKILL)
+		}
+	}
+}
+
+// runQuantum runs one scheduling quantum of t and returns the number of
+// CPU steps executed.
+func (k *Kernel) runQuantum(t *Task) int64 {
+	var n int64
+	// Context switch: install the task's protection-key rights (PKRU is
+	// per logical CPU on hardware; here, per scheduled task).
+	t.AS.SetActivePKRU(t.CPU.PKRU)
+	k.checkSignals(t)
+	for q := uint64(0); q < k.Costs.SchedQuantum && t.state == TaskRunnable; q++ {
+		ev := t.CPU.Step()
+		n++
+		switch ev {
+		case cpu.EvNone:
+			// fall through
+		case cpu.EvSyscall, cpu.EvSysenter:
+			k.syscallEntry(t)
+			k.checkSignals(t)
+		case cpu.EvHcall:
+			k.handleHcall(t)
+		case cpu.EvHlt:
+			k.exitTask(t, 0)
+		case cpu.EvTrap:
+			k.postSignal(t, pendingSignal{sig: SIGTRAP, force: true})
+			k.checkSignals(t)
+		case cpu.EvFault:
+			// Memory faults raise SIGSEGV; undecodable instructions raise
+			// SIGILL, as on Linux.
+			sig := SIGILL
+			var mf *mem.Fault
+			if errors.As(t.CPU.FaultErr, &mf) {
+				sig = SIGSEGV
+			}
+			k.postSignal(t, pendingSignal{sig: sig, force: true, callAddr: t.CPU.RIP})
+			k.checkSignals(t)
+		}
+		if t.CPU.Cycles > k.maxCycles {
+			k.maxCycles = t.CPU.Cycles
+		}
+	}
+	return n
+}
+
+// handleHcall runs a registered host callback.
+func (k *Kernel) handleHcall(t *Task) {
+	h, ok := k.hcalls[t.CPU.HcallID]
+	if !ok {
+		k.postSignal(t, pendingSignal{sig: SIGILL, force: true})
+		k.checkSignals(t)
+		return
+	}
+	t.CPU.Cycles += k.Costs.HcallBody
+	if err := h(&HcallCtx{Task: t, K: k}); err != nil {
+		// A failing interposer payload is a guest bug: surface it like a
+		// fault rather than silently continuing.
+		k.postSignal(t, pendingSignal{sig: SIGABRT, force: true})
+		k.checkSignals(t)
+	}
+}
+
+// exitTask terminates a single task.
+func (k *Kernel) exitTask(t *Task, code int) {
+	if t.state == TaskZombie {
+		return
+	}
+	t.state = TaskZombie
+	t.ExitCode = code
+	if t.parent != nil && t.parent.Alive() {
+		k.postSignal(t.parent, pendingSignal{sig: SIGCHLD})
+	}
+}
+
+// exitGroup terminates every task in t's thread group.
+func (k *Kernel) exitGroup(t *Task, code int) {
+	for _, o := range k.order {
+		if o.Tgid == t.Tgid && o.state != TaskZombie {
+			k.exitTask(o, code)
+		}
+	}
+}
+
+// nextRand steps the deterministic getrandom stream (xorshift64).
+func (k *Kernel) nextRand() uint64 {
+	x := k.randState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	k.randState = x
+	return x
+}

@@ -1,0 +1,462 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"lazypoline/internal/asm"
+	"lazypoline/internal/loader"
+)
+
+// guestHeader defines the syscall-number constants test programs use.
+const guestHeader = `
+	.equ SYS_read 0
+	.equ SYS_write 1
+	.equ SYS_open 2
+	.equ SYS_close 3
+	.equ SYS_mmap 9
+	.equ SYS_mprotect 10
+	.equ SYS_rt_sigaction 13
+	.equ SYS_rt_sigreturn 15
+	.equ SYS_getpid 39
+	.equ SYS_fork 57
+	.equ SYS_exit 60
+	.equ SYS_wait4 61
+	.equ SYS_kill 62
+	.equ SYS_gettid 186
+	.equ SYS_getrandom 318
+`
+
+// buildTask assembles src at 0x10000 and spawns it.
+func buildTask(t *testing.T, k *Kernel, src string) *Task {
+	t.Helper()
+	p, err := asm.Assemble(guestHeader+src, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.FromProgram(p, "_start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.SpawnImage(img, SpawnOpts{Name: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func mustRun(t *testing.T, k *Kernel) {
+	t.Helper()
+	if err := k.Run(50_000_000); err != nil {
+		t.Fatalf("kernel run: %v", err)
+	}
+}
+
+func TestWriteToConsoleAndExit(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_write
+		mov64 rdi, 1
+		lea rsi, msg
+		mov64 rdx, 14
+		syscall
+		mov64 rax, SYS_exit
+		mov64 rdi, 7
+		syscall
+	msg:
+		.ascii "hello, kernel\n"
+	`)
+	mustRun(t, k)
+	if task.State() != TaskZombie || task.ExitCode != 7 {
+		t.Fatalf("state=%v exit=%d", task.State(), task.ExitCode)
+	}
+	if string(task.ConsoleOut) != "hello, kernel\n" {
+		t.Errorf("console: %q", task.ConsoleOut)
+	}
+}
+
+func TestNonexistentSyscallReturnsENOSYS(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, 500
+		syscall
+		mov rdi, rax       ; exit code = low byte of -ENOSYS won't fit; stash
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	mustRun(t, k)
+	// exit code is int(args[0]) = -38 truncated; check via console-free
+	// route: -38 as int.
+	if task.ExitCode != -ENOSYS {
+		t.Errorf("exit = %d, want %d", task.ExitCode, -ENOSYS)
+	}
+}
+
+func TestGetpidGettid(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov rbx, rax
+		mov64 rax, SYS_gettid
+		syscall
+		sub rax, rbx       ; main thread: tid == pid -> 0
+		mov rdi, rax
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Errorf("tid != pid for main thread: %d", task.ExitCode)
+	}
+}
+
+func TestMmapMprotectFromGuest(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		; mmap(0, 8192, RW, ANON) -> rax = addr
+		mov64 rax, SYS_mmap
+		mov64 rdi, 0
+		mov64 rsi, 8192
+		mov64 rdx, 3        ; PROT_READ|PROT_WRITE
+		mov64 r10, 0x20     ; MAP_ANON
+		syscall
+		mov rbx, rax        ; save addr
+		; write through it
+		mov64 rcx, 0x1234
+		store [rbx], rcx
+		; mprotect read-only
+		mov64 rax, SYS_mprotect
+		mov rdi, rbx
+		mov64 rsi, 8192
+		mov64 rdx, 1        ; PROT_READ
+		syscall
+		mov rdi, rax        ; 0 on success
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Fatalf("exit = %d", task.ExitCode)
+	}
+}
+
+func TestWriteToROPageKillsWithSIGSEGV(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		; mmap RO then write to it -> SIGSEGV default action kills
+		mov64 rax, SYS_mmap
+		mov64 rdi, 0
+		mov64 rsi, 4096
+		mov64 rdx, 1
+		mov64 r10, 0x20
+		syscall
+		mov64 rcx, 1
+		store [rax], rcx
+		hlt
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGSEGV {
+		t.Errorf("exit = %d, want SIGSEGV death", task.ExitCode)
+	}
+}
+
+func TestSignalHandlerRunsAndSigreturns(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		; sigaction(SIGUSR1, &act, 0)
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 10            ; SIGUSR1
+		lea rsi, act
+		mov64 rdx, 0
+		syscall
+		; raise(SIGUSR1) via kill(getpid(), SIGUSR1)
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, SYS_kill
+		syscall
+		; after the handler returns, its memory side effect is visible.
+		; (Register changes are wiped by sigreturn restoring the saved
+		; context — handlers communicate through memory, like real code.)
+		mov64 rbx, 0x7fef0000
+		load rdi, [rbx]
+		mov64 rax, SYS_exit
+		syscall
+	handler:
+		mov64 r14, 0x7fef0000
+		mov64 r15, 42
+		store [r14], r15
+		ret                      ; returns to the vdso sigreturn stub
+	.align 8
+	act:
+		.quad handler, 0, 0
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42 (handler side effect)", task.ExitCode)
+	}
+	if len(task.frames) != 0 {
+		t.Errorf("leftover signal frames: %d", len(task.frames))
+	}
+}
+
+func TestSignalDefaultActionKills(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 15       ; SIGTERM, no handler
+		mov64 rax, SYS_kill
+		syscall
+		hlt
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGTERM {
+		t.Errorf("exit = %d, want SIGTERM death", task.ExitCode)
+	}
+}
+
+func TestForkWait(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_fork
+		syscall
+		cmpi rax, 0
+		jz child
+		; parent: wait4(-1, &status, 0, 0); status in writable stack space
+		mov64 rdi, -1
+		mov64 rsi, 0x7fef0100
+		mov64 rdx, 0
+		mov64 r10, 0
+		mov64 rax, SYS_wait4
+		syscall
+		mov64 rsi, 0x7fef0100
+		load32 rdi, [rsi+0]   ; child's exit code
+		mov64 rax, SYS_exit
+		syscall
+	child:
+		mov64 rax, SYS_exit
+		mov64 rdi, 33
+		syscall
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 33 {
+		t.Errorf("parent exit = %d, want child's 33", task.ExitCode)
+	}
+}
+
+func TestForkCopiesAddressSpace(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rbx, 0x7fef0200
+		mov64 rcx, 1
+		store [rbx], rcx
+		mov64 rax, SYS_fork
+		syscall
+		cmpi rax, 0
+		jz child
+		; parent waits, then reads its own copy (must still be 1)
+		mov64 rdi, -1
+		mov64 rsi, 0
+		mov64 rdx, 0
+		mov64 rax, SYS_wait4
+		syscall
+		mov64 rbx, 0x7fef0200
+		load rdi, [rbx]
+		mov64 rax, SYS_exit
+		syscall
+	child:
+		mov64 rcx, 99
+		store [rbx], rcx     ; child's copy only
+		mov64 rax, SYS_exit
+		mov64 rdi, 0
+		syscall
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 1 {
+		t.Errorf("parent exit = %d, want 1 (fork must deep-copy memory)", task.ExitCode)
+	}
+}
+
+func TestGetrandomDeterministic(t *testing.T) {
+	k1 := New(Config{RandSeed: 7})
+	k2 := New(Config{RandSeed: 7})
+	src := `
+	_start:
+		mov64 rax, SYS_getrandom
+		mov64 rdi, 0x7fef0000   ; somewhere on the stack mapping
+		mov64 rsi, 8
+		syscall
+		mov64 rbx, 0x7fef0000
+		load rdi, [rbx]
+		and rdi, rcx            ; clobber-safe? rcx unknown; just exit 0
+		mov64 rdi, 0
+		mov64 rax, SYS_exit
+		syscall
+	`
+	t1 := buildTask(t, k1, src)
+	t2 := buildTask(t, k2, src)
+	mustRun(t, k1)
+	mustRun(t, k2)
+	var b1, b2 [8]byte
+	if err := t1.AS.ReadForce(0x7fef0000, b1[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.AS.ReadForce(0x7fef0000, b2[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("getrandom not deterministic across equal seeds")
+	}
+	if b1 == [8]byte{} {
+		t.Error("getrandom wrote nothing")
+	}
+}
+
+func TestFileIOFromGuest(t *testing.T) {
+	k := New(Config{})
+	if err := k.FS.WriteFile("/data", []byte("ABCDEFGH"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	task := buildTask(t, k, `
+	_start:
+		; open("/data", O_RDONLY)
+		mov64 rax, SYS_open
+		lea rdi, path
+		mov64 rsi, 0
+		mov64 rdx, 0
+		syscall
+		mov rbx, rax          ; fd
+		; read(fd, buf, 8)
+		mov64 rax, SYS_read
+		mov rdi, rbx
+		mov64 rsi, 0x7fef0000
+		mov64 rdx, 8
+		syscall
+		mov r12, rax          ; bytes read
+		; close(fd)
+		mov64 rax, SYS_close
+		mov rdi, rbx
+		syscall
+		mov rdi, r12
+		mov64 rax, SYS_exit
+		syscall
+	path:
+		.ascii "/data"
+		.byte 0
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 8 {
+		t.Fatalf("read returned %d, want 8", task.ExitCode)
+	}
+	var buf [8]byte
+	if err := task.AS.ReadForce(0x7fef0000, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:]) != "ABCDEFGH" {
+		t.Errorf("read data: %q", buf)
+	}
+}
+
+func TestDispatchGroundTruthHook(t *testing.T) {
+	k := New(Config{})
+	var seen []string
+	k.OnDispatch = func(_ *Task, nr int64, _ [6]uint64) {
+		seen = append(seen, SyscallName(nr))
+	}
+	buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		mov64 rax, SYS_gettid
+		syscall
+		mov64 rax, SYS_exit
+		mov64 rdi, 0
+		syscall
+	`)
+	mustRun(t, k)
+	joined := strings.Join(seen, ",")
+	if joined != "getpid,gettid,exit" {
+		t.Errorf("dispatch trace: %s", joined)
+	}
+}
+
+func TestSyscallClobberVisibleToGuest(t *testing.T) {
+	// The guest observes that rcx/r11 are clobbered by syscall but rbx
+	// survives — the ABI contract interposers must reproduce.
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rbx, 0x1111
+		mov64 rcx, 0x2222
+		mov64 rax, SYS_getpid
+		syscall
+		cmpi rbx, 0x1111
+		jnz bad
+		cmpi rcx, 0x2222
+		jz bad              ; rcx must have been clobbered
+		mov64 rdi, 0
+		mov64 rax, SYS_exit
+		syscall
+	bad:
+		mov64 rdi, 1
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Errorf("ABI clobber check failed (exit %d)", task.ExitCode)
+	}
+}
+
+func TestRunDeadlockDetected(t *testing.T) {
+	k := New(Config{})
+	// A task blocking forever on a read from an empty socketpair cannot
+	// exist without sockets; use wait4 with a child that never exits?
+	// Simpler: read from a listening socket never created -> EBADF, so
+	// instead block on accept with no client.
+	buildTask(t, k, `
+	_start:
+		mov64 rax, 41        ; socket
+		syscall
+		mov rbx, rax
+		; bind(fd, sa, 8)
+		mov64 rax, 49
+		mov rdi, rbx
+		lea rsi, sa
+		mov64 rdx, 8
+		syscall
+		; listen(fd, 8)
+		mov64 rax, 50
+		mov rdi, rbx
+		mov64 rsi, 8
+		syscall
+		; accept(fd, 0, 0) -- blocks forever
+		mov64 rax, 43
+		mov rdi, rbx
+		mov64 rsi, 0
+		mov64 rdx, 0
+		syscall
+		hlt
+	.align 8
+	sa:
+		.byte 2, 0, 0x1f, 0x90   ; port 8080 big-endian
+		.byte 0, 0, 0, 0
+	`)
+	err := k.Run(10_000_000)
+	if err != ErrDeadlock {
+		t.Errorf("got %v, want ErrDeadlock", err)
+	}
+}

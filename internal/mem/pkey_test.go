@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPkeyWriteDisable(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.SetPkey(0x1000, PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// PKRU open: everything works.
+	as.SetActivePKRU(0)
+	if err := as.WriteAt(0x1000, []byte{1}); err != nil {
+		t.Fatalf("write with open key: %v", err)
+	}
+
+	// Write-disable key 1: reads pass, writes fault.
+	as.SetActivePKRU(PkeyWriteDisableBit(1))
+	var b [1]byte
+	if err := as.ReadAt(0x1000, b[:]); err != nil {
+		t.Errorf("read with WD: %v", err)
+	}
+	err := as.WriteAt(0x1000, []byte{2})
+	var f *Fault
+	if !errors.As(err, &f) || !f.Pkey {
+		t.Errorf("write with WD: %v, want pkey fault", err)
+	}
+
+	// Access-disable: reads fault too.
+	as.SetActivePKRU(PkeyAccessDisableBit(1))
+	err = as.ReadAt(0x1000, b[:])
+	if !errors.As(err, &f) || !f.Pkey {
+		t.Errorf("read with AD: %v, want pkey fault", err)
+	}
+}
+
+func TestPkeyZeroNeverRestricted(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	// Even a PKRU that tries to restrict key 0 has no effect (our model
+	// treats key 0 as the always-allowed default).
+	as.SetActivePKRU(0xFFFFFFFF)
+	if err := as.WriteAt(0x1000, []byte{1}); err != nil {
+		t.Errorf("key-0 page restricted: %v", err)
+	}
+}
+
+func TestPkeyForceBypasses(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.SetPkey(0x1000, PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	as.SetActivePKRU(PkeyAccessDisableBit(2))
+	// Kernel-privileged accesses ignore protection keys.
+	if err := as.WriteForce(0x1000, []byte{7}); err != nil {
+		t.Errorf("WriteForce: %v", err)
+	}
+	var b [1]byte
+	if err := as.ReadForce(0x1000, b[:]); err != nil || b[0] != 7 {
+		t.Errorf("ReadForce: %v %v", b, err)
+	}
+}
+
+func TestPkeyExecNotBlocked(t *testing.T) {
+	// MPK never blocks instruction fetch, exactly as on x86.
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.SetPkey(0x1000, PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	as.SetActivePKRU(PkeyAccessDisableBit(1))
+	var b [1]byte
+	if err := as.Fetch(0x1000, b[:]); err != nil {
+		t.Errorf("fetch must bypass pkeys: %v", err)
+	}
+}
+
+func TestSetPkeyValidation(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.SetPkey(0x1000, PageSize, 1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("unmapped: %v", err)
+	}
+	if err := as.MapFixed(0x1000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.SetPkey(0x1001, PageSize, 1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("unaligned: %v", err)
+	}
+	if err := as.SetPkey(0x1000, PageSize, NumPkeys); err == nil {
+		t.Error("key out of range accepted")
+	}
+	if err := as.SetPkey(0x1000, PageSize, 3); err != nil {
+		t.Fatal(err)
+	}
+	if key, ok := as.PkeyAt(0x1800); !ok || key != 3 {
+		t.Errorf("PkeyAt = %d,%v", key, ok)
+	}
+}
+
+func TestPkeySurvivesClone(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.SetPkey(0x1000, PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	as.SetActivePKRU(PkeyWriteDisableBit(1))
+	child := as.Clone()
+	if key, ok := child.PkeyAt(0x1000); !ok || key != 1 {
+		t.Errorf("child pkey = %d,%v", key, ok)
+	}
+	if err := child.WriteAt(0x1000, []byte{1}); err == nil {
+		t.Error("child write should fault (PKRU copied)")
+	}
+}

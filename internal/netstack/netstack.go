@@ -1,0 +1,397 @@
+// Package netstack implements the loopback-only network substrate the
+// simulated web servers are benchmarked against: stream sockets with
+// listen/accept/connect, bounded receive buffers, peer shutdown
+// semantics, and edge-notified readiness that the kernel's epoll and
+// blocking-syscall machinery subscribe to.
+//
+// The wrk-like load generator (package webbench) drives the client side
+// of these sockets directly from Go, which mirrors the paper's setup: the
+// client runs on separate cores (taskset) and is never part of the
+// measured system.
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Readiness is a poll-style event mask.
+type Readiness uint8
+
+// Readiness bits.
+const (
+	ReadyIn  Readiness = 1 << iota // data (or a pending connection) to read
+	ReadyOut                       // writable
+	ReadyHup                       // peer closed
+)
+
+// Errors.
+var (
+	ErrAddrInUse   = errors.New("netstack: address already in use") // EADDRINUSE
+	ErrConnRefused = errors.New("netstack: connection refused")     // ECONNREFUSED
+	ErrWouldBlock  = errors.New("netstack: operation would block")  // EAGAIN
+	ErrClosed      = errors.New("netstack: endpoint closed")        // EBADF
+	ErrPipe        = errors.New("netstack: broken pipe")            // EPIPE
+	ErrBacklogFull = errors.New("netstack: accept backlog full")    // (dropped SYN)
+)
+
+// RecvBufSize is the per-endpoint receive buffer capacity. Writers block
+// (EAGAIN) when the peer's buffer is full, which gives the web server
+// benchmark realistic backpressure.
+const RecvBufSize = 256 * 1024
+
+// Pollable is anything epoll or a blocking syscall can wait on.
+type Pollable interface {
+	// Ready returns the current readiness mask.
+	Ready() Readiness
+	// Subscribe registers fn to be called (with no locks held) whenever
+	// readiness may have changed. The returned cancel removes it.
+	Subscribe(fn func()) (cancel func())
+}
+
+// notifier implements Subscribe/wakeup bookkeeping.
+type notifier struct {
+	mu   sync.Mutex
+	subs map[int]func()
+	next int
+}
+
+func (n *notifier) Subscribe(fn func()) func() {
+	n.mu.Lock()
+	if n.subs == nil {
+		n.subs = make(map[int]func())
+	}
+	id := n.next
+	n.next++
+	n.subs[id] = fn
+	n.mu.Unlock()
+	return func() {
+		n.mu.Lock()
+		delete(n.subs, id)
+		n.mu.Unlock()
+	}
+}
+
+func (n *notifier) wake() {
+	n.mu.Lock()
+	fns := make([]func(), 0, len(n.subs))
+	for _, fn := range n.subs {
+		fns = append(fns, fn)
+	}
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Stack is one loopback network namespace.
+type Stack struct {
+	mu        sync.Mutex
+	listeners map[uint16]*Listener
+}
+
+// NewStack returns an empty stack.
+func NewStack() *Stack {
+	return &Stack{listeners: make(map[uint16]*Listener)}
+}
+
+// Listen binds a listener to port.
+func (s *Stack) Listen(port uint16, backlog int) (*Listener, error) {
+	if backlog <= 0 {
+		backlog = 128
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: port %d", ErrAddrInUse, port)
+	}
+	l := &Listener{stack: s, port: port, backlog: backlog, refs: 1}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Connect opens a client connection to port, returning the client-side
+// endpoint. The server side lands in the listener's accept queue.
+func (s *Stack) Connect(port uint16) (*Endpoint, error) {
+	s.mu.Lock()
+	l, ok := s.listeners[port]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: port %d", ErrConnRefused, port)
+	}
+	client, server := newPair()
+	if err := l.enqueue(server); err != nil {
+		return nil, err
+	}
+	return client, nil
+}
+
+// Listener is a bound, listening socket.
+type Listener struct {
+	notif   notifier
+	stack   *Stack
+	port    uint16
+	backlog int
+
+	mu     sync.Mutex
+	queue  []*Endpoint
+	closed bool
+	refs   int
+}
+
+func (l *Listener) enqueue(e *Endpoint) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrConnRefused
+	}
+	if len(l.queue) >= l.backlog {
+		l.mu.Unlock()
+		return ErrBacklogFull
+	}
+	l.queue = append(l.queue, e)
+	l.mu.Unlock()
+	l.notif.wake()
+	return nil
+}
+
+// Accept dequeues a pending connection, or ErrWouldBlock.
+func (l *Listener) Accept() (*Endpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if len(l.queue) == 0 {
+		return nil, ErrWouldBlock
+	}
+	e := l.queue[0]
+	l.queue = l.queue[1:]
+	return e, nil
+}
+
+// AddRef registers another descriptor referencing this listener.
+func (l *Listener) AddRef() {
+	l.mu.Lock()
+	l.refs++
+	l.mu.Unlock()
+}
+
+// Close drops one reference; the listener unbinds and refuses pending
+// connections when the last reference is gone.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if l.refs > 1 {
+		l.refs--
+		l.mu.Unlock()
+		return
+	}
+	l.refs = 0
+	l.closed = true
+	pending := l.queue
+	l.queue = nil
+	l.mu.Unlock()
+
+	l.stack.mu.Lock()
+	delete(l.stack.listeners, l.port)
+	l.stack.mu.Unlock()
+	for _, e := range pending {
+		e.Close()
+	}
+	l.notif.wake()
+}
+
+// Ready reports ReadyIn when a connection is waiting.
+func (l *Listener) Ready() Readiness {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var r Readiness
+	if len(l.queue) > 0 {
+		r |= ReadyIn
+	}
+	if l.closed {
+		r |= ReadyHup
+	}
+	return r
+}
+
+// Subscribe implements Pollable.
+func (l *Listener) Subscribe(fn func()) func() { return l.notif.Subscribe(fn) }
+
+// Port returns the bound port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Endpoint is one side of an established stream connection. Endpoints
+// are reference counted: fork and dup duplicate descriptors that share
+// one endpoint, and the connection only really closes when the last
+// reference drops (Linux file-description semantics).
+type Endpoint struct {
+	notif notifier
+
+	mu     sync.Mutex
+	buf    []byte // receive buffer
+	peer   *Endpoint
+	closed bool
+	refs   int
+}
+
+func newPair() (a, b *Endpoint) {
+	a, b = &Endpoint{refs: 1}, &Endpoint{refs: 1}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// AddRef registers another descriptor referencing this endpoint.
+func (e *Endpoint) AddRef() {
+	e.mu.Lock()
+	e.refs++
+	e.mu.Unlock()
+}
+
+// NewPipe returns a connected endpoint pair used as a unidirectional
+// pipe: read from the first, write to the second. (Both directions work
+// — it is a socketpair — but the kernel labels the ends.)
+func NewPipe() (readEnd, writeEnd *Endpoint) {
+	return newPair()
+}
+
+// Read drains up to len(p) bytes from the receive buffer. It returns
+// (0, nil) for EOF (peer closed, buffer drained) and ErrWouldBlock when
+// no data is available yet.
+func (e *Endpoint) Read(p []byte) (int, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if len(e.buf) == 0 {
+		peer := e.peer
+		e.mu.Unlock()
+		// Peer state is checked with our own lock released so that two
+		// sides reading concurrently cannot deadlock on each other.
+		if peer == nil || peer.isClosed() {
+			return 0, nil // EOF
+		}
+		return 0, ErrWouldBlock
+	}
+	n := copy(p, e.buf)
+	e.buf = e.buf[n:]
+	peer := e.peer
+	e.mu.Unlock()
+	if peer != nil {
+		// Our buffer drained: the peer may be writable again.
+		peer.notif.wake()
+	}
+	return n, nil
+}
+
+// Write appends to the peer's receive buffer. It returns ErrPipe if the
+// peer is gone and ErrWouldBlock when the peer's buffer is full.
+func (e *Endpoint) Write(p []byte) (int, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	peer := e.peer
+	e.mu.Unlock()
+	if peer == nil || peer.isClosed() {
+		return 0, ErrPipe
+	}
+	peer.mu.Lock()
+	space := RecvBufSize - len(peer.buf)
+	if space <= 0 {
+		peer.mu.Unlock()
+		return 0, ErrWouldBlock
+	}
+	n := len(p)
+	if n > space {
+		n = space
+	}
+	peer.buf = append(peer.buf, p[:n]...)
+	peer.mu.Unlock()
+	peer.notif.wake()
+	return n, nil
+}
+
+// Close drops one reference; the endpoint shuts down (waking both
+// sides) when the last reference is gone.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if e.refs > 1 {
+		e.refs--
+		e.mu.Unlock()
+		return
+	}
+	e.refs = 0
+	e.closed = true
+	peer := e.peer
+	e.mu.Unlock()
+	e.notif.wake()
+	if peer != nil {
+		peer.notif.wake()
+	}
+}
+
+func (e *Endpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Buffered returns the number of bytes waiting to be read.
+func (e *Endpoint) Buffered() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.buf)
+}
+
+// Ready implements Pollable. It never holds its own lock while taking the
+// peer's, so concurrent Ready calls from both sides cannot deadlock.
+func (e *Endpoint) Ready() Readiness {
+	e.mu.Lock()
+	bufLen := len(e.buf)
+	closed := e.closed
+	peer := e.peer
+	e.mu.Unlock()
+
+	var r Readiness
+	if bufLen > 0 {
+		r |= ReadyIn
+	}
+	if closed {
+		return r | ReadyHup
+	}
+	if peer == nil {
+		return r | ReadyHup
+	}
+	if peer.isClosed() {
+		r |= ReadyIn | ReadyHup // EOF is readable
+	} else if peer.space() > 0 {
+		r |= ReadyOut
+	}
+	return r
+}
+
+func (e *Endpoint) space() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return RecvBufSize - len(e.buf)
+}
+
+// Subscribe implements Pollable.
+func (e *Endpoint) Subscribe(fn func()) func() { return e.notif.Subscribe(fn) }
+
+var (
+	_ Pollable = (*Endpoint)(nil)
+	_ Pollable = (*Listener)(nil)
+)

@@ -1,0 +1,173 @@
+// Package pin implements the paper's Intel-Pin-style dynamic analysis
+// tool (§IV-B(b)): it tracks, at run time, whether a syscall executes
+// between a write to and the next read from the same extended-state
+// register. Such a pattern means the application expects the kernel to
+// preserve that register across the syscall — an expectation an
+// interposer that clobbers vector state silently violates (the Listing 1
+// pthread bug and the Clear Linux ptmalloc bug).
+//
+// Like Pin, this is a dynamic analysis: it observes the executed path
+// only, and therefore UNDERestimates the true frequency of such
+// patterns, as the paper notes.
+package pin
+
+import (
+	"fmt"
+	"sort"
+
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/kernel"
+)
+
+// Violation records one preserved-across-syscall expectation.
+type Violation struct {
+	// Reg names the register ("xmm0", "x87").
+	Reg string
+	// WritePC and ReadPC locate the defining write and the dependent
+	// read.
+	WritePC, ReadPC uint64
+	// Syscalls lists the syscall numbers executed between them.
+	Syscalls []int64
+}
+
+// String renders like the paper's discussion: "xmm0 live across
+// set_tid_address, set_robust_list".
+func (v Violation) String() string {
+	names := make([]string, len(v.Syscalls))
+	for i, nr := range v.Syscalls {
+		names[i] = kernel.SyscallName(nr)
+	}
+	return fmt.Sprintf("%s written at %#x, read at %#x across %v", v.Reg, v.WritePC, v.ReadPC, names)
+}
+
+// Report is the per-program analysis result.
+type Report struct {
+	// Program names the analysed binary.
+	Program string
+	// TotalSyscalls counts executed syscalls.
+	TotalSyscalls int
+	// Violations are the detected expectations, deduplicated by
+	// (register, write site, read site).
+	Violations []Violation
+}
+
+// Affected reports whether the program expects any extended state to be
+// preserved across at least one syscall (a ✓ in Table III).
+func (r Report) Affected() bool { return len(r.Violations) > 0 }
+
+// liveWrite tracks a register value that has not been overwritten yet.
+type liveWrite struct {
+	pc       uint64
+	syscalls []int64 // syscalls executed since the write
+}
+
+// Analysis instruments one task.
+type Analysis struct {
+	program string
+	cpu     *cpu.CPU
+	xmm     [isa.NumXRegs]*liveWrite
+	x87     *liveWrite
+	seen    map[string]bool
+	report  Report
+}
+
+// Attach hooks the analysis onto a task's CPU. Call before running; the
+// task must execute natively (no interposer), as the paper's Pin runs
+// do.
+func Attach(t *kernel.Task) *Analysis {
+	a := &Analysis{program: t.Name, cpu: t.CPU, seen: make(map[string]bool)}
+	a.report.Program = t.Name
+	t.CPU.Hook = a.hook
+	return a
+}
+
+// Report returns the accumulated findings.
+func (a *Analysis) Report() Report {
+	sort.Slice(a.report.Violations, func(i, j int) bool {
+		vi, vj := a.report.Violations[i], a.report.Violations[j]
+		if vi.Reg != vj.Reg {
+			return vi.Reg < vj.Reg
+		}
+		return vi.WritePC < vj.WritePC
+	})
+	return a.report
+}
+
+// hook classifies each retired instruction's extended-state accesses.
+func (a *Analysis) hook(pc uint64, in isa.Inst) {
+	switch in.Mnem {
+	case isa.MSyscall, isa.MSysenter:
+		a.report.TotalSyscalls++
+		// The hook fires before execution, so RAX still holds the number.
+		nr := int64(a.cpu.Regs[isa.RAX])
+		for _, lw := range a.xmm {
+			if lw != nil {
+				lw.syscalls = append(lw.syscalls, nr)
+			}
+		}
+		if a.x87 != nil {
+			a.x87.syscalls = append(a.x87.syscalls, nr)
+		}
+		return
+	case isa.MOp:
+	default:
+		return
+	}
+
+	switch in.Op {
+	case isa.OpMovQ2X, isa.OpMovupsLoad:
+		a.writeXmm(isa.XReg(in.A), pc)
+	case isa.OpMovX2Q:
+		a.readXmm(isa.XReg(in.B), pc)
+	case isa.OpPunpck:
+		a.readXmm(isa.XReg(in.A), pc)
+		a.writeXmm(isa.XReg(in.A), pc)
+	case isa.OpMovupsStore:
+		a.readXmm(isa.XReg(in.A), pc)
+	case isa.OpXorps:
+		if in.A == in.B {
+			// xorps x, x is the zeroing idiom: a pure write.
+			a.writeXmm(isa.XReg(in.A), pc)
+			return
+		}
+		a.readXmm(isa.XReg(in.A), pc)
+		a.readXmm(isa.XReg(in.B), pc)
+		a.writeXmm(isa.XReg(in.A), pc)
+	case isa.OpFld:
+		a.x87 = &liveWrite{pc: pc}
+	case isa.OpFst:
+		if a.x87 != nil && len(a.x87.syscalls) > 0 {
+			a.record("x87", a.x87, pc)
+		}
+		a.x87 = nil
+	}
+}
+
+func (a *Analysis) writeXmm(x isa.XReg, pc uint64) {
+	a.xmm[x] = &liveWrite{pc: pc}
+}
+
+func (a *Analysis) readXmm(x isa.XReg, pc uint64) {
+	lw := a.xmm[x]
+	if lw == nil || len(lw.syscalls) == 0 {
+		return
+	}
+	a.record(x.String(), lw, pc)
+}
+
+func (a *Analysis) record(reg string, lw *liveWrite, readPC uint64) {
+	key := fmt.Sprintf("%s/%x/%x", reg, lw.pc, readPC)
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	syscalls := make([]int64, len(lw.syscalls))
+	copy(syscalls, lw.syscalls)
+	a.report.Violations = append(a.report.Violations, Violation{
+		Reg:      reg,
+		WritePC:  lw.pc,
+		ReadPC:   readPC,
+		Syscalls: syscalls,
+	})
+}

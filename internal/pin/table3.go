@@ -1,0 +1,76 @@
+package pin
+
+import (
+	"fmt"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+)
+
+// Table3Row is one (coreutil, distribution) cell of the paper's Table III.
+type Table3Row struct {
+	Util string
+	// UbuntuAffected / ClearAffected report whether the utility expects
+	// extended state preserved across at least one syscall on each
+	// distribution (✓ in the paper's table).
+	UbuntuAffected bool
+	ClearAffected  bool
+	// UbuntuReport / ClearReport carry the detailed findings.
+	UbuntuReport Report
+	ClearReport  Report
+}
+
+// Table3 runs the Pin-like analysis over the ten coreutils on both libc
+// variants and returns the rows in the paper's order.
+func Table3() ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, len(guest.CoreutilNames))
+	for _, name := range guest.CoreutilNames {
+		ubuntu, err := analyzeUtil(name, guest.LibcUbuntu2004(false))
+		if err != nil {
+			return nil, fmt.Errorf("pin: %s on ubuntu: %w", name, err)
+		}
+		clear, err := analyzeUtil(name, guest.LibcClearLinux())
+		if err != nil {
+			return nil, fmt.Errorf("pin: %s on clearlinux: %w", name, err)
+		}
+		rows = append(rows, Table3Row{
+			Util:           name,
+			UbuntuAffected: ubuntu.Affected(),
+			ClearAffected:  clear.Affected(),
+			UbuntuReport:   ubuntu,
+			ClearReport:    clear,
+		})
+	}
+	return rows, nil
+}
+
+// analyzeUtil runs one utility natively under the analysis.
+func analyzeUtil(name string, libc guest.Libc) (Report, error) {
+	k := kernel.New(kernel.Config{})
+	for _, dir := range []string{"/tmp", "/etc", "/var/log"} {
+		if err := k.FS.MkdirAll(dir, 0o755); err != nil {
+			return Report{}, err
+		}
+	}
+	for path, contents := range guest.CoreutilFSFiles {
+		if err := k.FS.WriteFile(path, []byte(contents), 0o644); err != nil {
+			return Report{}, err
+		}
+	}
+	prog, err := guest.Coreutil(name, libc)
+	if err != nil {
+		return Report{}, err
+	}
+	task, err := prog.Spawn(k)
+	if err != nil {
+		return Report{}, err
+	}
+	a := Attach(task)
+	if err := k.Run(50_000_000); err != nil {
+		return Report{}, err
+	}
+	if task.ExitCode != 0 {
+		return Report{}, fmt.Errorf("%s exited %d", prog.Name, task.ExitCode)
+	}
+	return a.Report(), nil
+}

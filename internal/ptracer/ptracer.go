@@ -1,0 +1,115 @@
+// Package ptracer implements the ptrace-based interposition baseline
+// (§II-A): a tracer attached to the tracee receives synchronous syscall-
+// enter and syscall-exit stops, at the price of two context switches per
+// stop plus one ptrace operation per register/memory access — the "Low
+// efficiency" row of Table I. Like SUD it is fully exhaustive (the kernel
+// stops every syscall, wherever its instruction came from) and fully
+// expressive (the tracer reads and writes arbitrary tracee state).
+package ptracer
+
+import (
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/kernel"
+)
+
+// Mechanism is an attached ptrace interposer.
+type Mechanism struct {
+	// Stops counts syscall-enter stops.
+	Stops int
+
+	ip      interpose.Interposer
+	k       *kernel.Kernel
+	pending map[int][]*interpose.Call
+}
+
+// Attach attaches a tracer to the task.
+func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer) *Mechanism {
+	m := &Mechanism{ip: ip, k: k, pending: make(map[int][]*interpose.Call)}
+	k.AttachTracer(t, &kernel.Tracer{
+		OnEnter: m.onEnter,
+		OnExit:  m.onExit,
+	})
+	return m
+}
+
+// onEnter handles a syscall-enter stop: PTRACE_GETREGS, run the
+// interposer, PTRACE_SETREGS if anything changed.
+func (m *Mechanism) onEnter(stop *kernel.PtraceStop) {
+	m.Stops++
+	t := stop.Task
+	regs := stop.GetRegs()
+	c := &interpose.Call{
+		Task: t,
+		Nr:   int64(regs[isa.RAX]),
+		Args: [6]uint64{
+			regs[isa.RDI], regs[isa.RSI], regs[isa.RDX],
+			regs[isa.R10], regs[isa.R8], regs[isa.R9],
+		},
+	}
+	action := m.ip.Enter(c)
+	if action == interpose.Emulate {
+		// ptrace emulation idiom: rewrite the syscall number to an
+		// invalid one so the kernel fails it, then patch the return value
+		// at the exit stop.
+		regs[isa.RAX] = uint64(int64(kernel.NonexistentSyscall))
+		stop.SetRegs(regs)
+		c.Task = t
+		m.pending[t.ID] = append(m.pending[t.ID], markEmulated(c))
+		return
+	}
+	regs[isa.RAX] = uint64(c.Nr)
+	regs[isa.RDI], regs[isa.RSI], regs[isa.RDX] = c.Args[0], c.Args[1], c.Args[2]
+	regs[isa.R10], regs[isa.R8], regs[isa.R9] = c.Args[3], c.Args[4], c.Args[5]
+	stop.SetRegs(regs)
+	m.pending[t.ID] = append(m.pending[t.ID], c)
+}
+
+// emulatedCall wraps a Call that must have its return value forced at
+// the exit stop.
+type emulatedCall struct{ c *interpose.Call }
+
+func markEmulated(c *interpose.Call) *interpose.Call {
+	// Track emulation via a sentinel in the pending stack: stash the
+	// desired return value in Ret and flag through the Nr sign trick is
+	// fragile, so use a parallel registry instead.
+	emulated[c] = true
+	return c
+}
+
+// emulated marks in-flight emulated calls. ptrace stops are synchronous
+// per task, so a plain map with no lock suffices under the simulator's
+// single-threaded scheduling.
+var emulated = map[*interpose.Call]bool{}
+
+// onExit handles a syscall-exit stop.
+func (m *Mechanism) onExit(stop *kernel.PtraceStop) {
+	t := stop.Task
+	stack := m.pending[t.ID]
+	var c *interpose.Call
+	if n := len(stack); n > 0 {
+		c = stack[n-1]
+		m.pending[t.ID] = stack[:n-1]
+	} else {
+		c = &interpose.Call{Task: t, Nr: -1}
+	}
+	regs := stop.GetRegs()
+	if emulated[c] {
+		delete(emulated, c)
+		// Force the interposer-chosen result over the kernel's -ENOSYS.
+		regs[isa.RAX] = uint64(c.Ret)
+		stop.SetRegs(regs)
+		m.ip.Exit(c)
+		return
+	}
+	c.Ret = int64(regs[isa.RAX])
+	before := c.Ret
+	m.ip.Exit(c)
+	if c.Ret != before {
+		regs[isa.RAX] = uint64(c.Ret)
+		stop.SetRegs(regs)
+	}
+}
+
+// Detach removes the tracer.
+func (m *Mechanism) Detach(t *kernel.Task) { m.k.DetachTracer(t) }

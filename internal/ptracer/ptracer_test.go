@@ -1,0 +1,137 @@
+package ptracer
+
+import (
+	"testing"
+
+	"lazypoline/internal/asm"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/loader"
+	"lazypoline/internal/trace"
+)
+
+func spawn(t *testing.T, k *kernel.Kernel, src string) *kernel.Task {
+	t.Helper()
+	p, err := asm.Assemble(src, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.FromProgram(p, "_start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.SpawnImage(img, kernel.SpawnOpts{Name: "tracee"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+const guest = `
+_start:
+	mov64 rax, 39
+	syscall
+	mov rdi, rax
+	mov64 rax, 60
+	syscall
+`
+
+func TestTraceAndModify(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, guest)
+	rec := &trace.Recorder{}
+	m := Attach(k, task, rec)
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stops != 2 {
+		t.Errorf("enter stops = %d, want 2", m.Stops)
+	}
+	want := []int64{kernel.SysGetpid, kernel.SysExit}
+	if d := trace.DiffNrs(rec.Nrs(), want); d != "" {
+		t.Errorf("trace: %s (%v)", d, rec.Nrs())
+	}
+	if task.ExitCode != task.Tgid {
+		t.Errorf("exit = %d", task.ExitCode)
+	}
+}
+
+func TestEmulation(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, guest)
+	gt := &trace.GroundTruth{}
+	k.OnDispatch = gt.Hook()
+	ip := interpose.FuncInterposer{
+		OnEnter: func(c *interpose.Call) interpose.Action {
+			if c.Nr == kernel.SysGetpid {
+				c.Ret = 555
+				return interpose.Emulate
+			}
+			return interpose.Continue
+		},
+	}
+	Attach(k, task, ip)
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != 555 {
+		t.Errorf("exit = %d, want 555", task.ExitCode)
+	}
+	for _, nr := range gt.Nrs() {
+		if nr == kernel.SysGetpid {
+			t.Error("emulated getpid dispatched")
+		}
+	}
+}
+
+func TestReturnValueRewriting(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	task := spawn(t, k, guest)
+	ip := interpose.FuncInterposer{
+		OnExit: func(c *interpose.Call) {
+			if c.Nr == kernel.SysGetpid {
+				c.Ret = 9876
+			}
+		},
+	}
+	Attach(k, task, ip)
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != 9876 {
+		t.Errorf("exit = %d, want rewritten 9876", task.ExitCode)
+	}
+}
+
+func TestPtraceSlowestMechanism(t *testing.T) {
+	// ptrace should be far slower than even SUD per syscall (Table I
+	// "Low").
+	cycles := func(attach bool) uint64 {
+		k := kernel.New(kernel.Config{})
+		task := spawn(t, k, `
+		_start:
+			mov64 rcx, 20
+		loop:
+			push rcx
+			mov64 rax, 500
+			syscall
+			pop rcx
+			addi rcx, -1
+			jnz loop
+			mov64 rdi, 0
+			mov64 rax, 60
+			syscall
+		`)
+		if attach {
+			Attach(k, task, interpose.Dummy{})
+		}
+		if err := k.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return task.CPU.Cycles
+	}
+	native, traced := cycles(false), cycles(true)
+	if traced < 20*native {
+		t.Errorf("ptrace %.1fx native, expected >20x", float64(traced)/float64(native))
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+)
+
+func fakeTask(id int) *kernel.Task { return &kernel.Task{ID: id} }
+
+func TestRecorderOrdersAndFillsReturns(t *testing.T) {
+	r := &Recorder{}
+	task := fakeTask(1)
+
+	c1 := &interpose.Call{Nr: kernel.SysGetpid, Task: task}
+	r.Enter(c1)
+	c1.Ret = 42
+	r.Exit(c1)
+
+	c2 := &interpose.Call{Nr: kernel.SysExit, Args: [6]uint64{7}, Task: task}
+	r.Enter(c2) // exit never returns: no Exit call
+
+	entries := r.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Nr != kernel.SysGetpid || entries[0].Ret != 42 {
+		t.Errorf("entry 0: %+v", entries[0])
+	}
+	if entries[1].Nr != kernel.SysExit || entries[1].Args[0] != 7 {
+		t.Errorf("entry 1: %+v", entries[1])
+	}
+	if !r.Contains(kernel.SysExit) || r.Contains(kernel.SysRead) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestRecorderNestedCalls(t *testing.T) {
+	// A signal during an interposed syscall produces nested Enter/Exit
+	// pairs for the same task; returns must match LIFO.
+	r := &Recorder{}
+	task := fakeTask(1)
+
+	outer := &interpose.Call{Nr: kernel.SysRead, Task: task}
+	r.Enter(outer)
+	inner := &interpose.Call{Nr: kernel.SysGetpid, Task: task}
+	r.Enter(inner)
+	inner.Ret = 99
+	r.Exit(inner)
+	outer.Ret = 512
+	r.Exit(outer)
+
+	entries := r.Entries()
+	if entries[0].Nr != kernel.SysRead || entries[0].Ret != 512 {
+		t.Errorf("outer: %+v", entries[0])
+	}
+	if entries[1].Nr != kernel.SysGetpid || entries[1].Ret != 99 {
+		t.Errorf("inner: %+v", entries[1])
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{Nr: kernel.SysWrite, Args: [6]uint64{1, 0x30000, 25}, Ret: 25}
+	s := e.String()
+	if !strings.HasPrefix(s, "write(") || !strings.HasSuffix(s, "= 25") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDiffNrs(t *testing.T) {
+	if d := DiffNrs([]int64{1, 2, 3}, []int64{1, 2, 3}); d != "" {
+		t.Errorf("equal traces: %q", d)
+	}
+	if d := DiffNrs([]int64{1, 2}, []int64{1, 3}); !strings.Contains(d, "position 1") {
+		t.Errorf("diff = %q", d)
+	}
+	if d := DiffNrs([]int64{1}, []int64{1, 2}); !strings.Contains(d, "length") {
+		t.Errorf("length diff = %q", d)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	want := []int64{0, 1, 39, 1, 60}
+	got := []int64{0, 1, 1, 60}
+	m := Missing(want, got)
+	if len(m) != 1 || m[0] != 39 {
+		t.Errorf("missing = %v, want [39]", m)
+	}
+	if m := Missing(want, want); m != nil {
+		t.Errorf("identical multisets: %v", m)
+	}
+	// got may contain extras without affecting the result.
+	if m := Missing([]int64{1}, []int64{1, 2, 3}); m != nil {
+		t.Errorf("extras reported as missing: %v", m)
+	}
+}
+
+func TestGroundTruthHook(t *testing.T) {
+	g := &GroundTruth{}
+	hook := g.Hook()
+	hook(nil, kernel.SysGetpid, [6]uint64{})
+	hook(nil, kernel.SysExit, [6]uint64{})
+	nrs := g.Nrs()
+	if len(nrs) != 2 || nrs[0] != kernel.SysGetpid || nrs[1] != kernel.SysExit {
+		t.Errorf("ground truth: %v", nrs)
+	}
+}

@@ -1,0 +1,39 @@
+package webbench
+
+import (
+	"testing"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+)
+
+// TestBenchmarkDeterminism: the whole macrobenchmark pipeline — client
+// pacing, scheduler rotation, lazy rewriting — is deterministic, so a
+// configuration measures the same cycle count every time. This is the
+// property EXPERIMENTS.md's "zero standard deviation" claim rests on.
+func TestBenchmarkDeterminism(t *testing.T) {
+	cfg := Config{
+		Style:       guest.StyleNginx,
+		Workers:     2,
+		FileSize:    2048,
+		Connections: 6,
+		Requests:    60,
+		Attach: func(k *kernel.Kernel, tk *kernel.Task) error {
+			_, err := core.Attach(k, tk, interpose.Dummy{}, core.Options{})
+			return err
+		},
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ServerCycles != r2.ServerCycles || r1.Requests != r2.Requests {
+		t.Errorf("nondeterministic benchmark: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,262 @@
+// Package webbench is the wrk-like load generator and throughput harness
+// for the Figure 5 macrobenchmark: closed-loop keep-alive clients that
+// continuously request the same static resource, driving the simulated
+// web servers while each interposition mechanism is attached.
+//
+// The client runs host-side against the netstack directly, mirroring the
+// paper's setup where wrk is pinned to separate physical cores and is
+// never part of the measured system.
+package webbench
+
+import (
+	"errors"
+	"fmt"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/netstack"
+)
+
+// Client is a set of closed-loop keep-alive connections (wrk threads).
+type Client struct {
+	stack    *netstack.Stack
+	port     uint16
+	respSize int
+	target   int
+
+	conns     []*clientConn
+	completed int
+	sent      int
+}
+
+type clientConn struct {
+	ep       *netstack.Endpoint
+	awaiting int // bytes of the current response still expected; 0 = idle
+	buf      []byte
+}
+
+// NewClient prepares nconns connections that will collectively issue
+// `target` requests, each expecting a response of respSize bytes.
+func NewClient(stack *netstack.Stack, port uint16, nconns, respSize, target int) *Client {
+	c := &Client{stack: stack, port: port, respSize: respSize, target: target}
+	for i := 0; i < nconns; i++ {
+		c.conns = append(c.conns, &clientConn{buf: make([]byte, 64*1024)})
+	}
+	return c
+}
+
+// Connect establishes all connections; the server must be listening.
+// With a kernel supplied, connections are paced — the simulation runs
+// between connects so the workers' accept loops spread the connections
+// across the pool, as a ramped wrk run does.
+func (c *Client) Connect(k *kernel.Kernel) error {
+	for _, cc := range c.conns {
+		ep, err := c.stack.Connect(c.port)
+		if err != nil {
+			return fmt.Errorf("webbench: %w", err)
+		}
+		cc.ep = ep
+		if k != nil {
+			k.RunSlice(100_000)
+		}
+	}
+	return nil
+}
+
+// request is the fixed 16-byte request message.
+var request = []byte("GET /static   \r\n")
+
+// Step advances every connection's state machine without blocking:
+// drain available response bytes, and issue the next request on idle
+// connections while the target has not been reached.
+func (c *Client) Step() {
+	for _, cc := range c.conns {
+		if cc.ep == nil {
+			continue
+		}
+		if cc.awaiting == 0 && c.sent < c.target {
+			if _, err := cc.ep.Write(request); err == nil {
+				c.sent++
+				cc.awaiting = c.respSize
+			}
+			// EAGAIN/EPIPE: retry on a later step.
+		}
+		for cc.awaiting > 0 {
+			n, err := cc.ep.Read(cc.buf)
+			if errors.Is(err, netstack.ErrWouldBlock) || (n == 0 && err == nil) {
+				break
+			}
+			if err != nil {
+				cc.awaiting = 0
+				break
+			}
+			cc.awaiting -= n
+			if cc.awaiting <= 0 {
+				cc.awaiting = 0
+				c.completed++
+			}
+		}
+	}
+}
+
+// Done reports whether all requested responses have been received.
+func (c *Client) Done() bool { return c.completed >= c.target }
+
+// Completed returns the number of completed requests.
+func (c *Client) Completed() int { return c.completed }
+
+// Close closes every connection.
+func (c *Client) Close() {
+	for _, cc := range c.conns {
+		if cc.ep != nil {
+			cc.ep.Close()
+		}
+	}
+}
+
+// AttachFunc installs an interposition mechanism on the server's initial
+// task before it runs; nil benchmarks native execution.
+type AttachFunc func(*kernel.Kernel, *kernel.Task) error
+
+// Config parameterises one benchmark run.
+type Config struct {
+	Style guest.ServerStyle
+	// Workers is the pre-forked worker count (1 or 12 in the paper).
+	Workers int
+	// FileSize is the static file size in bytes.
+	FileSize int
+	// Connections is the number of concurrent keep-alive connections
+	// (the paper's wrk uses 36 threads).
+	Connections int
+	// Requests is the total request count to issue.
+	Requests int
+	// Attach installs the mechanism under test (nil = baseline).
+	Attach AttachFunc
+	// Costs overrides the cost model (zero value = default).
+	Costs kernel.CostModel
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Requests completed.
+	Requests int
+	// ServerCycles is the total service time: the sum of cycles consumed
+	// by all workers. With W workers on W cores, wall time is
+	// ServerCycles/W under balanced load; using the aggregate keeps the
+	// metric stable under the connection-to-worker imbalance keep-alive
+	// pinning creates.
+	ServerCycles uint64
+	// CyclesPerRequest is ServerCycles / Requests.
+	CyclesPerRequest float64
+	// Throughput is requests/second at the modelled 2.1 GHz clock,
+	// assuming the workers' cores run in parallel.
+	Throughput float64
+}
+
+// ClockHz is the modelled CPU frequency (the paper's Xeon Gold 5318S).
+const ClockHz = 2.1e9
+
+const port = 8080
+
+// Run executes one benchmark configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 36
+	}
+	k := kernel.New(kernel.Config{Costs: cfg.Costs})
+
+	// Static content.
+	content := make([]byte, cfg.FileSize)
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+	if err := k.FS.MkdirAll("/www", 0o755); err != nil {
+		return Result{}, err
+	}
+	if err := k.FS.WriteFile("/www/static", content, 0o644); err != nil {
+		return Result{}, err
+	}
+
+	prog, err := guest.WebServer(guest.WebServerConfig{
+		Style:   cfg.Style,
+		Port:    port,
+		Path:    "/www/static",
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	master, err := prog.Spawn(k)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Attach != nil {
+		if err := cfg.Attach(k, master); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Boot: run until the listener is up and the workers are parked.
+	client := NewClient(k.Net, port, cfg.Connections, guest.ResponseHeaderSize+cfg.FileSize, cfg.Requests)
+	booted := false
+	for i := 0; i < 1000; i++ {
+		k.RunSlice(200_000)
+		if err := client.Connect(k); err == nil {
+			booted = true
+			break
+		}
+	}
+	if !booted {
+		return Result{}, errors.New("webbench: server did not start listening")
+	}
+
+	// Snapshot worker cycles after boot so startup (fork, lazy-rewrite
+	// warmup of the event loop) is excluded from the steady-state
+	// measurement, like the paper's 30-second steady runs.
+	warm := func() map[int]uint64 {
+		out := make(map[int]uint64)
+		for _, t := range k.Tasks() {
+			if t != master {
+				out[t.ID] = t.CPU.Cycles
+			}
+		}
+		return out
+	}
+	start := warm()
+
+	// Serve until the client saw every response.
+	for i := 0; ; i++ {
+		client.Step()
+		if client.Done() {
+			break
+		}
+		if !k.RunSlice(500_000) {
+			return Result{}, errors.New("webbench: all server tasks exited")
+		}
+		if i > 2_000_000 {
+			return Result{}, fmt.Errorf("webbench: stalled at %d/%d requests", client.Completed(), cfg.Requests)
+		}
+	}
+	end := warm()
+	client.Close()
+	k.KillAll()
+	k.RunSlice(1_000_000) // let the kill settle
+
+	var sumDelta uint64
+	for id, e := range end {
+		sumDelta += e - start[id]
+	}
+	if sumDelta == 0 {
+		return Result{}, errors.New("webbench: no worker consumed cycles")
+	}
+	res := Result{
+		Requests:     client.Completed(),
+		ServerCycles: sumDelta,
+	}
+	res.CyclesPerRequest = float64(sumDelta) / float64(res.Requests)
+	res.Throughput = float64(res.Requests) * ClockHz * float64(cfg.Workers) / float64(sumDelta)
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package webbench
+
+import (
+	"testing"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/sud"
+	"lazypoline/internal/zpoline"
+)
+
+func runCfg(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("webbench: %v", err)
+	}
+	if res.Requests != cfg.Requests {
+		t.Fatalf("completed %d/%d requests", res.Requests, cfg.Requests)
+	}
+	return res
+}
+
+func TestNginxSingleWorkerServes(t *testing.T) {
+	res := runCfg(t, Config{
+		Style:       guest.StyleNginx,
+		Workers:     1,
+		FileSize:    1024,
+		Connections: 4,
+		Requests:    40,
+	})
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+	if res.ServerCycles == 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+func TestLighttpdServes(t *testing.T) {
+	res := runCfg(t, Config{
+		Style:       guest.StyleLighttpd,
+		Workers:     1,
+		FileSize:    4096,
+		Connections: 4,
+		Requests:    20,
+	})
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestMultiWorkerScales(t *testing.T) {
+	single := runCfg(t, Config{
+		Style: guest.StyleNginx, Workers: 1, FileSize: 1024,
+		Connections: 12, Requests: 120,
+	})
+	multi := runCfg(t, Config{
+		Style: guest.StyleNginx, Workers: 4, FileSize: 1024,
+		Connections: 12, Requests: 120,
+	})
+	// Four cores give ~4x the aggregate capacity; allow generous slack
+	// for per-worker accept/epoll overhead.
+	if multi.Throughput < 2.5*single.Throughput {
+		t.Errorf("4 workers: %.0f req/s vs 1 worker %.0f — no parallel speedup",
+			multi.Throughput, single.Throughput)
+	}
+}
+
+func TestLargerFilesCostMoreCycles(t *testing.T) {
+	small := runCfg(t, Config{
+		Style: guest.StyleNginx, Workers: 1, FileSize: 1024,
+		Connections: 4, Requests: 30,
+	})
+	big := runCfg(t, Config{
+		Style: guest.StyleNginx, Workers: 1, FileSize: 256 * 1024,
+		Connections: 4, Requests: 30,
+	})
+	if big.CyclesPerRequest < 2*small.CyclesPerRequest {
+		t.Errorf("256KB request (%f cyc) should dwarf 1KB (%f cyc)",
+			big.CyclesPerRequest, small.CyclesPerRequest)
+	}
+}
+
+func TestInterposedServersStillCorrect(t *testing.T) {
+	attachers := map[string]AttachFunc{
+		"lazypoline": func(k *kernel.Kernel, t *kernel.Task) error {
+			_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{})
+			return err
+		},
+		"lazypoline-noxstate": func(k *kernel.Kernel, t *kernel.Task) error {
+			_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{NoXStateDefault: true})
+			return err
+		},
+		"zpoline": func(k *kernel.Kernel, t *kernel.Task) error {
+			_, err := zpoline.Attach(k, t, interpose.Dummy{}, zpoline.Options{})
+			return err
+		},
+		"sud": func(k *kernel.Kernel, t *kernel.Task) error {
+			_, err := sud.Attach(k, t, interpose.Dummy{})
+			return err
+		},
+	}
+	for name, attach := range attachers {
+		t.Run(name, func(t *testing.T) {
+			res := runCfg(t, Config{
+				Style: guest.StyleNginx, Workers: 1, FileSize: 1024,
+				Connections: 4, Requests: 24, Attach: attach,
+			})
+			if res.Throughput <= 0 {
+				t.Error("no throughput")
+			}
+		})
+	}
+}
+
+func TestMechanismOrderingMatchesFigure5(t *testing.T) {
+	// Single worker, small file (syscall-intensive): baseline > zpoline >
+	// lazypoline-noxstate > lazypoline > SUD.
+	run := func(attach AttachFunc) float64 {
+		return runCfg(t, Config{
+			Style: guest.StyleNginx, Workers: 1, FileSize: 1024,
+			Connections: 8, Requests: 160, Attach: attach,
+		}).Throughput
+	}
+	baseline := run(nil)
+	zp := run(func(k *kernel.Kernel, t *kernel.Task) error {
+		_, err := zpoline.Attach(k, t, interpose.Dummy{}, zpoline.Options{})
+		return err
+	})
+	lpNoX := run(func(k *kernel.Kernel, t *kernel.Task) error {
+		_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{NoXStateDefault: true})
+		return err
+	})
+	lp := run(func(k *kernel.Kernel, t *kernel.Task) error {
+		_, err := core.Attach(k, t, interpose.Dummy{}, core.Options{})
+		return err
+	})
+	sudT := run(func(k *kernel.Kernel, t *kernel.Task) error {
+		_, err := sud.Attach(k, t, interpose.Dummy{})
+		return err
+	})
+
+	t.Logf("throughput: baseline=%.0f zpoline=%.0f lp-nox=%.0f lp=%.0f sud=%.0f",
+		baseline, zp, lpNoX, lp, sudT)
+	if !(baseline > zp && zp > lpNoX && lpNoX > lp && lp > sudT) {
+		t.Errorf("ordering violated: baseline=%.0f zpoline=%.0f lp-nox=%.0f lp=%.0f sud=%.0f",
+			baseline, zp, lpNoX, lp, sudT)
+	}
+	// The paper's headline: lazypoline-noxstate keeps >90% of baseline
+	// while SUD loses roughly half.
+	if lpNoX/baseline < 0.85 {
+		t.Errorf("lazypoline-noxstate retains %.1f%% of baseline, want >85%%", 100*lpNoX/baseline)
+	}
+	if sudT/baseline > 0.8 {
+		t.Errorf("SUD retains %.1f%% of baseline, expected a much larger hit", 100*sudT/baseline)
+	}
+}
