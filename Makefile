@@ -1,0 +1,21 @@
+# Development entry points. `make ci` is the gate every change must pass:
+# vet + build + the full test suite under the race detector (the parallel
+# experiment harness is exercised by tests, so -race guards the per-cell
+# isolation contract).
+
+.PHONY: ci test bench snapshots
+
+ci:
+	./scripts/ci.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1x ./...
+
+# Regenerate the machine-readable benchmark snapshots (BENCH_*.json).
+snapshots:
+	go run ./cmd/macrobench -out BENCH_figure5.json > figure5_output.txt
+	go run ./cmd/microbench -out BENCH_table2.json
+	go run ./cmd/exhaustive -out BENCH_exhaustive.json

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	exhaustive [-matrix]
+//	exhaustive [-matrix] [-j N] [-out BENCH_exhaustive.json]
+//
+// The per-mechanism traced runs (and, with -matrix, the Table I rows)
+// execute on a bounded worker pool (-j, default all CPUs); each run owns
+// an isolated simulated machine, so the output is identical at any
+// parallelism.
 package main
 
 import (
@@ -14,28 +19,34 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"lazypoline/internal/benchfmt"
 	"lazypoline/internal/experiments"
 	"lazypoline/internal/kernel"
 )
 
 func main() {
 	matrix := flag.Bool("matrix", false, "also print the Table I characteristics matrix")
+	parallel := flag.Int("j", experiments.DefaultParallelism(), "traced runs executed concurrently")
+	out := flag.String("out", "BENCH_exhaustive.json", "machine-readable result file (empty disables)")
 	flag.Parse()
 
-	if err := run(*matrix); err != nil {
+	if err := run(*matrix, *parallel, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "exhaustive:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrix bool) error {
+func run(matrix bool, parallel int, out string) error {
 	fmt.Println("§V-A exhaustiveness — JIT (tcc -run analogue) traced under each mechanism")
 	fmt.Println()
-	results, err := experiments.Exhaustiveness()
+	begin := time.Now()
+	results, err := experiments.ExhaustivenessParallel(parallel)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(begin)
 	for _, r := range results {
 		names := make([]string, len(r.Trace))
 		for i, nr := range r.Trace {
@@ -52,11 +63,24 @@ func run(matrix bool) error {
 	fmt.Println("Expected: SUD and lazypoline print the exact same syscalls (incl. getpid);")
 	fmt.Println("zpoline's trace does not include it — the instruction did not exist at scan time.")
 
+	if out != "" {
+		if err := benchfmt.Write(out, benchfmt.File{
+			Name:        "exhaustive",
+			Parallelism: parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      struct{}{},
+			Results:     results,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+
 	if !matrix {
 		return nil
 	}
 	fmt.Println("\nTable I — characteristics (measured)")
-	rows, err := experiments.Table1(10_000)
+	rows, err := experiments.Table1Parallel(10_000, parallel)
 	if err != nil {
 		return err
 	}

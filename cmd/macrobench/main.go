@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	macrobench [-requests N] [-conns N] [-sizes 64,1024,...] [-workers 1,12] [-servers nginx,lighttpd]
+//	macrobench [-requests N] [-conns N] [-sizes 64,1024,...] [-workers 1,12] [-servers nginx,lighttpd] [-j N] [-out BENCH_figure5.json]
+//
+// Cells run on a bounded worker pool (-j, default all CPUs); each cell
+// owns an isolated simulated machine, and results are assembled in plot
+// order, so parallel output is byte-identical to a serial run.
 package main
 
 import (
@@ -14,7 +18,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"lazypoline/internal/benchfmt"
 	"lazypoline/internal/experiments"
 	"lazypoline/internal/guest"
 )
@@ -26,12 +32,16 @@ func main() {
 	workers := flag.String("workers", "1,12", "worker process counts")
 	servers := flag.String("servers", "nginx,lighttpd", "server styles")
 	capFactor := flag.Float64("clientcap", 10, "client capacity as a multiple of the 1-worker baseline (0 disables)")
+	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
+	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
 	flag.Parse()
 
 	cfg := experiments.Figure5Config{
 		Requests:        *requests,
 		Connections:     *conns,
 		ClientCapFactor: *capFactor,
+		Parallelism:     *parallel,
+		Mechanisms:      experiments.Figure5Mechanisms,
 	}
 	var err error
 	if cfg.FileSizes, err = parseInts(*sizes); err != nil {
@@ -55,10 +65,12 @@ func main() {
 	fmt.Printf("(%d requests, %d keep-alive connections per run; relative = vs same-config baseline)\n",
 		cfg.Requests, cfg.Connections)
 
+	begin := time.Now()
 	points, err := experiments.Figure5(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(begin)
 	lastKey := ""
 	for _, p := range points {
 		key := fmt.Sprintf("%s, %d worker(s), %s files", p.Server, p.Workers, size(p.FileSize))
@@ -71,6 +83,21 @@ func main() {
 			capped = " (client-limited)"
 		}
 		fmt.Printf("  %-22s %12.0f req/s   %6.1f%%%s\n", p.Mechanism, p.Throughput, 100*p.Relative, capped)
+	}
+	fmt.Printf("\n%d cells in %.1fs (-j %d)\n", len(points), wall.Seconds(), *parallel)
+
+	if *out != "" {
+		err := benchfmt.Write(*out, benchfmt.File{
+			Name:        "figure5",
+			Parallelism: *parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results:     points,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 }
 

@@ -5,35 +5,45 @@
 //
 // Usage:
 //
-//	microbench [-iters N] [-breakdown]
+//	microbench [-iters N] [-breakdown] [-j N] [-out BENCH_table2.json]
+//
+// The Table II rows run on a bounded worker pool (-j, default all CPUs);
+// each row owns an isolated simulated machine, so the output is
+// identical at any parallelism.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"lazypoline/internal/benchfmt"
 	"lazypoline/internal/experiments"
 )
 
 func main() {
 	iters := flag.Int64("iters", 100_000, "microbenchmark iterations (the paper uses 100M on hardware)")
 	breakdown := flag.Bool("breakdown", false, "also print the Figure 4 overhead breakdown")
+	parallel := flag.Int("j", experiments.DefaultParallelism(), "rows measured concurrently")
+	out := flag.String("out", "BENCH_table2.json", "machine-readable result file (empty disables)")
 	flag.Parse()
 
-	if err := run(*iters, *breakdown); err != nil {
+	if err := run(*iters, *breakdown, *parallel, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "microbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(iters int64, breakdown bool) error {
+func run(iters int64, breakdown bool, parallel int, out string) error {
 	fmt.Printf("Table II — microbenchmark: syscall %s x%d (paper: Xeon Gold 5318S @ 2.10 GHz)\n\n",
 		"500 (non-existent)", iters)
-	rows, err := experiments.Table2(iters)
+	begin := time.Now()
+	rows, err := experiments.Table2Parallel(iters, parallel)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(begin)
 	paper := map[string]string{
 		experiments.MechZpoline:      "(n/a)",
 		experiments.MechLazypolineNX: "1.66x",
@@ -45,6 +55,24 @@ func run(iters int64, breakdown bool) error {
 	fmt.Printf("  %-24s %12s %10s %10s\n", "configuration", "cycles/call", "measured", "paper")
 	for _, r := range rows {
 		fmt.Printf("  %-24s %12.1f %9.2fx %10s\n", r.Mechanism, r.CyclesPerCall, r.Overhead, paper[r.Mechanism])
+	}
+
+	if out != "" {
+		type config struct {
+			Iters      int64    `json:"iters"`
+			Mechanisms []string `json:"mechanisms"`
+		}
+		err := benchfmt.Write(out, benchfmt.File{
+			Name:        "table2",
+			Parallelism: parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      config{Iters: iters, Mechanisms: experiments.Table2Mechanisms},
+			Results:     rows,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", out)
 	}
 
 	if !breakdown {

@@ -1,0 +1,51 @@
+// Package benchfmt writes the machine-readable benchmark result files
+// (BENCH_*.json) emitted by the cmd/ binaries, so the evaluation's
+// numbers can be tracked as a perf trajectory across commits instead of
+// living only in terminal scrollback.
+//
+// A file is a single JSON object: a small fixed header (benchmark name,
+// schema version, worker-pool width, wall-clock seconds) plus the
+// benchmark's own config and result payloads, marshalled with stable
+// field order so diffs between snapshots stay readable.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Version is the BENCH_*.json schema version.
+const Version = 1
+
+// File is one benchmark snapshot.
+type File struct {
+	// Name identifies the benchmark ("figure5", "table2", ...).
+	Name string `json:"name"`
+	// Version is the schema version (Version).
+	Version int `json:"version"`
+	// Parallelism is the sweep worker-pool width the run used.
+	Parallelism int `json:"parallelism"`
+	// WallSeconds is the measured wall-clock duration of the sweep. It is
+	// the one field expected to vary between byte-identical result sets.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Config echoes the sweep configuration that produced Results.
+	Config any `json:"config"`
+	// Results is the benchmark's result payload, in plot order.
+	Results any `json:"results"`
+}
+
+// Write marshals f (indented, trailing newline) to path.
+func Write(path string, f File) error {
+	if f.Version == 0 {
+		f.Version = Version
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: marshal %s: %w", f.Name, err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	return nil
+}

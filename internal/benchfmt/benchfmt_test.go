@@ -1,0 +1,59 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	type row struct {
+		Mechanism string  `json:"mechanism"`
+		Value     float64 `json:"value"`
+	}
+	err := Write(path, File{
+		Name:        "test",
+		Parallelism: 4,
+		WallSeconds: 1.5,
+		Config:      map[string]int{"iters": 100},
+		Results:     []row{{"baseline", 1}, {"lazypoline", 2.38}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Error("snapshot should end in a newline")
+	}
+	var got File
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if got.Name != "test" || got.Version != Version || got.Parallelism != 4 {
+		t.Errorf("header round-trip mismatch: %+v", got)
+	}
+	// Two identical payloads marshal to identical bytes — snapshots are
+	// diffable across runs (only wall_seconds is expected to vary).
+	path2 := filepath.Join(t.TempDir(), "BENCH_test2.json")
+	if err := Write(path2, File{
+		Name:        "test",
+		Parallelism: 4,
+		WallSeconds: 1.5,
+		Config:      map[string]int{"iters": 100},
+		Results:     []row{{"baseline", 1}, {"lazypoline", 2.38}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("identical payloads produced different snapshot bytes")
+	}
+}

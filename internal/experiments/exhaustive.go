@@ -62,14 +62,26 @@ type ExhaustivenessResult struct {
 // interposer. SUD and lazypoline must produce the exact same (complete)
 // trace; zpoline misses the JIT syscall.
 func Exhaustiveness() ([]ExhaustivenessResult, error) {
+	return ExhaustivenessParallel(0)
+}
+
+// ExhaustivenessParallel is Exhaustiveness with an explicit worker-pool
+// width (<=0 selects DefaultParallelism). Each mechanism traces the JIT
+// workload in its own kernel, so the runs proceed concurrently with
+// identical output at any parallelism.
+func ExhaustivenessParallel(parallelism int) ([]ExhaustivenessResult, error) {
 	mechs := []string{MechSUD, MechZpoline, MechLazypoline}
-	out := make([]ExhaustivenessResult, 0, len(mechs))
-	for _, mech := range mechs {
-		res, err := exhaustivenessRun(mech)
+	out := make([]ExhaustivenessResult, len(mechs))
+	err := runSweep(len(mechs), parallelism, func(i int) error {
+		res, err := exhaustivenessRun(mechs[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: exhaustiveness %s: %w", mech, err)
+			return fmt.Errorf("experiments: exhaustiveness %s: %w", mechs[i], err)
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -104,7 +104,14 @@ var Table2Mechanisms = []string{
 // For the lazypoline rows the sites are rewritten up front, exactly as
 // in the paper, so the numbers are pure steady state.
 func Table2(iters int64) ([]MicroResult, error) {
-	return microbench(Table2Mechanisms, iters)
+	return Table2Parallel(iters, 0)
+}
+
+// Table2Parallel is Table2 with an explicit worker-pool width (<=0
+// selects DefaultParallelism). Each row owns its own kernel, so the rows
+// run concurrently and the output is identical at any parallelism.
+func Table2Parallel(iters int64, parallelism int) ([]MicroResult, error) {
+	return microbench(Table2Mechanisms, iters, parallelism)
 }
 
 // Table2Single measures one mechanism's cycles/call (for benchmarks that
@@ -117,23 +124,45 @@ func Table2Single(mech string, iters int64) (float64, error) {
 	return float64(cycles) / float64(iters), nil
 }
 
-func microbench(mechs []string, iters int64) ([]MicroResult, error) {
-	var out []MicroResult
-	var baseline float64
-	for _, mech := range mechs {
-		cycles, err := microCycles(mech, iters)
+func microbench(mechs []string, iters int64, parallelism int) ([]MicroResult, error) {
+	// The baseline row anchors every Overhead; measure it explicitly so
+	// the result does not depend on where (or whether) MechBaseline
+	// appears in the row order.
+	perCall := make([]float64, len(mechs))
+	err := runSweep(len(mechs), parallelism, func(i int) error {
+		cycles, err := microCycles(mechs[i], iters)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", mech, err)
+			return fmt.Errorf("experiments: %s: %w", mechs[i], err)
 		}
-		per := float64(cycles) / float64(iters)
+		perCall[i] = float64(cycles) / float64(iters)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseline float64
+	for i, mech := range mechs {
 		if mech == MechBaseline {
-			baseline = per
+			baseline = perCall[i]
 		}
-		r := MicroResult{Mechanism: mech, CyclesPerCall: per}
-		if baseline > 0 {
-			r.Overhead = per / baseline
+	}
+	if baseline == 0 {
+		cycles, err := microCycles(MechBaseline, iters)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", MechBaseline, err)
 		}
-		out = append(out, r)
+		baseline = float64(cycles) / float64(iters)
+	}
+	if baseline <= 0 {
+		return nil, fmt.Errorf("experiments: baseline measured no cycles; cannot normalise overheads")
+	}
+	out := make([]MicroResult, 0, len(mechs))
+	for i, mech := range mechs {
+		out = append(out, MicroResult{
+			Mechanism:     mech,
+			CyclesPerCall: perCall[i],
+			Overhead:      perCall[i] / baseline,
+		})
 	}
 	return out, nil
 }
@@ -180,7 +209,7 @@ type Figure4Result struct {
 // Figure4 runs the breakdown microbenchmarks.
 func Figure4(iters int64) (Figure4Result, error) {
 	var r Figure4Result
-	rows, err := microbench([]string{MechBaseline, MechZpoline, MechLazypolineNX, MechLazypoline}, iters)
+	rows, err := microbench([]string{MechBaseline, MechZpoline, MechLazypolineNX, MechLazypoline}, iters, 0)
 	if err != nil {
 		return r, err
 	}

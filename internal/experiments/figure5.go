@@ -38,7 +38,8 @@ type Figure5Config struct {
 	Workers []int
 	// Servers to run (nginx and lighttpd).
 	Servers []guest.ServerStyle
-	// Mechanisms to compare; nil means Figure5Mechanisms.
+	// Mechanisms to compare; nil means Figure5Mechanisms. The list must
+	// contain MechBaseline (in any position) — it anchors Relative.
 	Mechanisms []string
 	// Requests per run.
 	Requests int
@@ -50,6 +51,15 @@ type Figure5Config struct {
 	// all push the client towards saturation, which is why the paper's
 	// 12-worker plots show compressed differences. Zero disables the cap.
 	ClientCapFactor float64
+	// Parallelism is the number of cells measured concurrently; <=0
+	// selects DefaultParallelism. Each cell owns a private kernel, guest
+	// image and CostModel copy, and results are assembled in plot order,
+	// so any parallelism yields byte-identical points.
+	Parallelism int
+	// Costs overrides the cost model for every cell (zero value =
+	// default). CostModel is a value type: each cell's kernel receives
+	// its own copy.
+	Costs kernel.CostModel
 }
 
 // DefaultFigure5Config mirrors the paper's sweep at simulation-friendly
@@ -65,63 +75,139 @@ func DefaultFigure5Config() Figure5Config {
 	}
 }
 
-// Figure5 runs the macrobenchmark sweep.
+// figure5Cell identifies one sweep cell.
+type figure5Cell struct {
+	server   guest.ServerStyle
+	workers  int
+	fileSize int
+	mech     string
+}
+
+// Figure5 runs the macrobenchmark sweep: all cells are enumerated up
+// front, measured on a bounded worker pool, and assembled in plot order.
+// Baselines are looked up explicitly per configuration, so the output is
+// independent of both execution interleaving and the order of the
+// Workers/Mechanisms slices.
 func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
 	if len(cfg.Mechanisms) == 0 {
 		cfg.Mechanisms = Figure5Mechanisms
 	}
-	var out []Figure5Point
+	if !containsStr(cfg.Mechanisms, MechBaseline) {
+		return nil, fmt.Errorf("experiments: figure5: mechanism list %v lacks %q — every point's Relative is normalised to the same-configuration baseline cell",
+			cfg.Mechanisms, MechBaseline)
+	}
+	if cfg.ClientCapFactor > 0 && containsGreater(cfg.Workers, 1) && !containsInt(cfg.Workers, 1) {
+		return nil, fmt.Errorf("experiments: figure5: ClientCapFactor=%g needs a workers==1 configuration to anchor the client capacity cap (got workers %v)",
+			cfg.ClientCapFactor, cfg.Workers)
+	}
+
+	// Enumerate every cell in plot order.
+	var cells []figure5Cell
 	for _, server := range cfg.Servers {
 		for _, fileSize := range cfg.FileSizes {
-			// The single-worker baseline anchors the client capacity cap.
-			var singleWorkerBaseline float64
 			for _, workers := range cfg.Workers {
-				var baseline float64
 				for _, mech := range cfg.Mechanisms {
-					res, err := webbench.Run(webbench.Config{
-						Style:       server,
-						Workers:     workers,
-						FileSize:    fileSize,
-						Connections: cfg.Connections,
-						Requests:    cfg.Requests,
-						Attach:      attachFunc(mech),
-					})
-					if err != nil {
-						return nil, fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",
-							server, workers, fileSize, mech, err)
-					}
-					tput := res.Throughput
-					capped := false
-					if cfg.ClientCapFactor > 0 && workers > 1 && singleWorkerBaseline > 0 {
-						limit := cfg.ClientCapFactor * singleWorkerBaseline
-						if tput > limit {
-							tput = limit
-							capped = true
-						}
-					}
-					if mech == MechBaseline {
-						baseline = tput
-						if workers == 1 {
-							singleWorkerBaseline = tput
-						}
-					}
-					p := Figure5Point{
+					cells = append(cells, figure5Cell{server, workers, fileSize, mech})
+				}
+			}
+		}
+	}
+
+	// Measure. Each cell builds its own kernel, guest image and cost
+	// model; the raw (uncapped) throughputs land at disjoint indices.
+	raw := make([]float64, len(cells))
+	err := runSweep(len(cells), cfg.Parallelism, func(i int) error {
+		c := cells[i]
+		res, err := webbench.Run(webbench.Config{
+			Style:       c.server,
+			Workers:     c.workers,
+			FileSize:    c.fileSize,
+			Connections: cfg.Connections,
+			Requests:    cfg.Requests,
+			Attach:      attachFunc(c.mech),
+			Costs:       cfg.Costs,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",
+				c.server, c.workers, c.fileSize, c.mech, err)
+		}
+		raw[i] = res.Throughput
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tput := make(map[figure5Cell]float64, len(cells))
+	for i, c := range cells {
+		tput[c] = raw[i]
+	}
+
+	// Assemble in plot order, with both baselines fetched explicitly:
+	// the workers==1 baseline anchors the client capacity cap, and the
+	// same-configuration baseline (capped like any other cell) anchors
+	// Relative.
+	applyCap := func(c figure5Cell, single float64) (float64, bool) {
+		t := tput[c]
+		if cfg.ClientCapFactor > 0 && c.workers > 1 && single > 0 {
+			if limit := cfg.ClientCapFactor * single; t > limit {
+				return limit, true
+			}
+		}
+		return t, false
+	}
+	out := make([]Figure5Point, 0, len(cells))
+	for _, server := range cfg.Servers {
+		for _, fileSize := range cfg.FileSizes {
+			single := tput[figure5Cell{server, 1, fileSize, MechBaseline}]
+			for _, workers := range cfg.Workers {
+				baseline, _ := applyCap(figure5Cell{server, workers, fileSize, MechBaseline}, single)
+				if baseline <= 0 {
+					return nil, fmt.Errorf("experiments: figure5 %s/%dw/%dB: baseline cell produced no throughput; cannot normalise",
+						server, workers, fileSize)
+				}
+				for _, mech := range cfg.Mechanisms {
+					t, capped := applyCap(figure5Cell{server, workers, fileSize, mech}, single)
+					out = append(out, Figure5Point{
 						Server:       server.String(),
 						Workers:      workers,
 						FileSize:     fileSize,
 						Mechanism:    mech,
-						Throughput:   tput,
+						Throughput:   t,
+						Relative:     t / baseline,
 						ClientCapped: capped,
-					}
-					if baseline > 0 {
-						p.Relative = tput / baseline
-					}
-					out = append(out, p)
+					})
 				}
 			}
 		}
 	}
 	return out, nil
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, want int) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func containsGreater(xs []int, floor int) bool {
+	for _, x := range xs {
+		if x > floor {
+			return true
+		}
+	}
+	return false
 }
 
 // attachFunc adapts the mechanism registry to webbench.

@@ -34,8 +34,24 @@ var Table1Mechanisms = []string{
 // via a deep-argument-inspection probe, exhaustiveness via the JIT
 // workload, efficiency via the microbenchmark.
 func Table1(iters int64) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(Table1Mechanisms))
-	for _, mech := range Table1Mechanisms {
+	return Table1Parallel(iters, 0)
+}
+
+// Table1Parallel is Table1 with an explicit worker-pool width (<=0
+// selects DefaultParallelism). The shared baseline is measured once up
+// front; each mechanism's probes then run in an isolated kernel, so the
+// rows are computed concurrently with identical output at any
+// parallelism.
+func Table1Parallel(iters int64, parallelism int) ([]Table1Row, error) {
+	// Every row normalises against the same baseline; measure it once
+	// instead of once per row.
+	base, err := microCycles(MechBaseline, iters)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1 baseline: %w", err)
+	}
+	rows := make([]Table1Row, len(Table1Mechanisms))
+	err = runSweep(len(Table1Mechanisms), parallelism, func(i int) error {
+		mech := Table1Mechanisms[i]
 		row := Table1Row{Mechanism: mech}
 
 		// Expressiveness: seccomp-bpf is structurally unable to run user
@@ -51,7 +67,7 @@ func Table1(iters int64) ([]Table1Row, error) {
 		} else {
 			seen, err := jitGetpidSeen(mech)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: table1 %s: %w", mech, err)
+				return fmt.Errorf("experiments: table1 %s: %w", mech, err)
 			}
 			row.Exhaustive = seen
 		}
@@ -59,19 +75,15 @@ func Table1(iters int64) ([]Table1Row, error) {
 		// Efficiency via the microbenchmark.
 		switch mech {
 		case "seccomp-bpf":
-			over, err := seccompBPFOverhead(iters)
+			over, err := seccompBPFOverhead(iters, base)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Overhead = over
 		default:
-			base, err := microCycles(MechBaseline, iters)
-			if err != nil {
-				return nil, err
-			}
 			cyc, err := microCycles(mech, iters)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Overhead = float64(cyc) / float64(base)
 		}
@@ -83,7 +95,11 @@ func Table1(iters int64) ([]Table1Row, error) {
 		default:
 			row.Efficiency = "Low"
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -121,12 +137,9 @@ func jitGetpidSeen(mech string) (bool, error) {
 }
 
 // seccompBPFOverhead measures the microbenchmark with an allow-all
-// filter installed.
-func seccompBPFOverhead(iters int64) (float64, error) {
-	base, err := microCycles(MechBaseline, iters)
-	if err != nil {
-		return 0, err
-	}
+// filter installed, normalised against the caller-supplied baseline
+// cycle count.
+func seccompBPFOverhead(iters int64, base uint64) (float64, error) {
 	k := kernel.New(kernel.Config{})
 	prog, err := guest.Microbench(kernel.NonexistentSyscall, iters)
 	if err != nil {

@@ -1,0 +1,87 @@
+package guest
+
+import (
+	"sync"
+	"testing"
+
+	"lazypoline/internal/kernel"
+)
+
+const cacheTestSrc = Header + `
+	_start:
+		mov64 rdi, 7
+		mov64 rax, SYS_exit
+		syscall
+	`
+
+// TestBuildCachedMemoizes: the same (name, src) pair assembles once and
+// every caller shares the one Program, including under concurrency.
+func TestBuildCachedMemoizes(t *testing.T) {
+	first, err := BuildCached("cache-test", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*Program, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := BuildCached("cache-test", cacheTestSrc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range got {
+		if p != first {
+			t.Errorf("call %d returned a distinct Program; cache missed", i)
+		}
+	}
+	// Build (uncached) still returns a private copy.
+	fresh, err := Build("cache-test", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == first {
+		t.Error("Build returned the cached Program; it must stay private")
+	}
+}
+
+// TestCachedProgramSpawnsAreIsolated: tasks spawned from one cached image
+// get private copies of every segment — writes in one machine never leak
+// into another, the immutability contract the parallel harness rests on.
+func TestCachedProgramSpawnsAreIsolated(t *testing.T) {
+	p, err := BuildCached("cache-isolation", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := kernel.New(kernel.Config{}), kernel.New(kernel.Config{})
+	t1, err := p.Spawn(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.Spawn(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.AS.WriteForce(DataBase, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	var b [2]byte
+	if err := t2.AS.ReadAt(DataBase, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b != [2]byte{0, 0} {
+		t.Errorf("task 2 sees task 1's write (%x); cached segments are aliased", b)
+	}
+	// The shared image itself must still hold the pristine bytes.
+	for _, seg := range p.Image.Segments {
+		if seg.Addr == DataBase && (seg.Data[0] != 0 || seg.Data[1] != 0) {
+			t.Error("cached image data segment was mutated by a task write")
+		}
+	}
+}

@@ -27,7 +27,7 @@ func Coreutil(name string, libc Libc) (*Program, error) {
 		libc.ThreadedInit = threadedUtils[name]
 	}
 	src := Header + Crt0 + libc.Source() + body
-	return Build(name+"-"+libc.Name, src)
+	return BuildCached(name+"-"+libc.Name, src)
 }
 
 // SetupCoreutilFS populates the filesystem the utilities operate on.

@@ -91,5 +91,5 @@ func JIT() (*Program, error) {
 		.ascii "/src/prog.c"
 		.byte 0
 	`
-	return Build("tcc-run", src)
+	return BuildCached("tcc-run", src)
 }

@@ -23,7 +23,7 @@ func Microbench(nr int64, iters int64) (*Program, error) {
 		mov64 rax, SYS_exit
 		syscall
 	`, iters, nr)
-	return Build(fmt.Sprintf("microbench-%d-x%d", nr, iters), src)
+	return BuildCached(fmt.Sprintf("microbench-%d-x%d", nr, iters), src)
 }
 
 // MicrobenchBaselineLoop builds the same loop without any syscall, used
@@ -41,5 +41,5 @@ func MicrobenchBaselineLoop(iters int64) (*Program, error) {
 		mov64 rax, SYS_exit
 		syscall
 	`, iters)
-	return Build(fmt.Sprintf("microbench-loop-x%d", iters), src)
+	return BuildCached(fmt.Sprintf("microbench-loop-x%d", iters), src)
 }

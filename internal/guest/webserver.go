@@ -22,6 +22,14 @@ func (s ServerStyle) String() string {
 	return "nginx"
 }
 
+// MarshalText makes a []ServerStyle encode as a JSON array of style names
+// rather than base64 (ServerStyle's kind is uint8, so encoding/json would
+// otherwise treat the slice as bytes). Benchmark snapshots embed the sweep
+// config and should stay human-readable.
+func (s ServerStyle) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
 // WebServerConfig parameterises a server build.
 type WebServerConfig struct {
 	Style ServerStyle
@@ -304,5 +312,5 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		.byte 0
 	`, cfg.Port>>8, cfg.Port&0xff, cfg.Workers, chunk, cfg.AppWorkIters, acceptNr, statSeq, bodyLoop, cfg.Path)
 
-	return Build(fmt.Sprintf("%s-%dw", cfg.Style, cfg.Workers), src)
+	return BuildCached(fmt.Sprintf("%s-%dw", cfg.Style, cfg.Workers), src)
 }

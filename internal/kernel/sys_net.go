@@ -3,6 +3,7 @@ package kernel
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 
 	"lazypoline/internal/netstack"
 )
@@ -135,10 +136,21 @@ type epollEvent struct {
 	events uint32
 }
 
-// epollReady polls the watch set against current readiness.
+// epollReady polls the watch set against current readiness. The watch
+// set is scanned in ascending fd order: iterating the map directly would
+// return ready events — and hence the guest's connection-handling
+// order — in randomized map order, breaking the simulation's
+// run-to-run determinism on loaded multi-connection cells.
 func (k *Kernel) epollReady(t *Task, ep *Epoll, max int) []epollEvent {
 	var out []epollEvent
-	for fd, want := range ep.Snapshot() {
+	snap := ep.Snapshot()
+	fds := make([]int, 0, len(snap))
+	for fd := range snap {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	for _, fd := range fds {
+		want := snap[fd]
 		f, ok := t.Files.Get(fd)
 		if !ok {
 			continue

@@ -13,6 +13,7 @@ package netstack
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -74,10 +75,20 @@ func (n *notifier) Subscribe(fn func()) func() {
 }
 
 func (n *notifier) wake() {
+	// Fire in subscription order, not map order: with several epoll
+	// instances subscribed to one object (pre-forked workers sharing a
+	// listener), randomized map iteration would make wake order — and
+	// therefore measured cycle counts on heavily loaded cells —
+	// nondeterministic across runs.
 	n.mu.Lock()
-	fns := make([]func(), 0, len(n.subs))
-	for _, fn := range n.subs {
-		fns = append(fns, fn)
+	ids := make([]int, 0, len(n.subs))
+	for id := range n.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]func(), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, n.subs[id])
 	}
 	n.mu.Unlock()
 	for _, fn := range fns {

@@ -18,14 +18,19 @@ type Mechanism struct {
 	// Stops counts syscall-enter stops.
 	Stops int
 
-	ip      interpose.Interposer
-	k       *kernel.Kernel
-	pending map[int][]*interpose.Call
+	ip       interpose.Interposer
+	k        *kernel.Kernel
+	pending  map[int][]*interpose.Call
+	emulated map[*interpose.Call]bool
 }
 
 // Attach attaches a tracer to the task.
 func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer) *Mechanism {
-	m := &Mechanism{ip: ip, k: k, pending: make(map[int][]*interpose.Call)}
+	m := &Mechanism{
+		ip: ip, k: k,
+		pending:  make(map[int][]*interpose.Call),
+		emulated: make(map[*interpose.Call]bool),
+	}
 	k.AttachTracer(t, &kernel.Tracer{
 		OnEnter: m.onEnter,
 		OnExit:  m.onExit,
@@ -55,7 +60,8 @@ func (m *Mechanism) onEnter(stop *kernel.PtraceStop) {
 		regs[isa.RAX] = uint64(int64(kernel.NonexistentSyscall))
 		stop.SetRegs(regs)
 		c.Task = t
-		m.pending[t.ID] = append(m.pending[t.ID], markEmulated(c))
+		m.emulated[c] = true
+		m.pending[t.ID] = append(m.pending[t.ID], c)
 		return
 	}
 	regs[isa.RAX] = uint64(c.Nr)
@@ -65,24 +71,12 @@ func (m *Mechanism) onEnter(stop *kernel.PtraceStop) {
 	m.pending[t.ID] = append(m.pending[t.ID], c)
 }
 
-// emulatedCall wraps a Call that must have its return value forced at
-// the exit stop.
-type emulatedCall struct{ c *interpose.Call }
-
-func markEmulated(c *interpose.Call) *interpose.Call {
-	// Track emulation via a sentinel in the pending stack: stash the
-	// desired return value in Ret and flag through the Nr sign trick is
-	// fragile, so use a parallel registry instead.
-	emulated[c] = true
-	return c
-}
-
-// emulated marks in-flight emulated calls. ptrace stops are synchronous
-// per task, so a plain map with no lock suffices under the simulator's
-// single-threaded scheduling.
-var emulated = map[*interpose.Call]bool{}
-
-// onExit handles a syscall-exit stop.
+// onExit handles a syscall-exit stop. In-flight emulated calls are
+// tracked in the per-mechanism `emulated` registry: ptrace stops are
+// synchronous per task, so no lock is needed within one machine, and
+// keeping the registry on the Mechanism (not package-level) keeps
+// concurrently running machines — the parallel experiment harness runs
+// one per sweep cell — fully isolated.
 func (m *Mechanism) onExit(stop *kernel.PtraceStop) {
 	t := stop.Task
 	stack := m.pending[t.ID]
@@ -94,8 +88,8 @@ func (m *Mechanism) onExit(stop *kernel.PtraceStop) {
 		c = &interpose.Call{Task: t, Nr: -1}
 	}
 	regs := stop.GetRegs()
-	if emulated[c] {
-		delete(emulated, c)
+	if m.emulated[c] {
+		delete(m.emulated, c)
 		// Force the interposer-chosen result over the kernel's -ENOSYS.
 		regs[isa.RAX] = uint64(c.Ret)
 		stop.SetRegs(regs)

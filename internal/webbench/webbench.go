@@ -33,6 +33,7 @@ type clientConn struct {
 	ep       *netstack.Endpoint
 	awaiting int // bytes of the current response still expected; 0 = idle
 	buf      []byte
+	request  []byte
 }
 
 // NewClient prepares nconns connections that will collectively issue
@@ -40,7 +41,10 @@ type clientConn struct {
 func NewClient(stack *netstack.Stack, port uint16, nconns, respSize, target int) *Client {
 	c := &Client{stack: stack, port: port, respSize: respSize, target: target}
 	for i := 0; i < nconns; i++ {
-		c.conns = append(c.conns, &clientConn{buf: make([]byte, 64*1024)})
+		c.conns = append(c.conns, &clientConn{
+			buf:     make([]byte, 64*1024),
+			request: []byte(requestLine),
+		})
 	}
 	return c
 }
@@ -63,8 +67,11 @@ func (c *Client) Connect(k *kernel.Kernel) error {
 	return nil
 }
 
-// request is the fixed 16-byte request message.
-var request = []byte("GET /static   \r\n")
+// requestLine is the fixed 16-byte request message. It is a constant —
+// not a package-level slice — and every connection writes from its own
+// private copy, so concurrent benchmark cells can never alias a mutable
+// request buffer.
+const requestLine = "GET /static   \r\n"
 
 // Step advances every connection's state machine without blocking:
 // drain available response bytes, and issue the next request on idle
@@ -75,7 +82,7 @@ func (c *Client) Step() {
 			continue
 		}
 		if cc.awaiting == 0 && c.sent < c.target {
-			if _, err := cc.ep.Write(request); err == nil {
+			if _, err := cc.ep.Write(cc.request); err == nil {
 				c.sent++
 				cc.awaiting = c.respSize
 			}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: vet, build, then the full test suite under the race detector.
+# The -race run is what keeps the parallel experiment harness honest —
+# every sweep cell must stay isolated in its own simulated machine.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
