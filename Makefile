@@ -19,3 +19,4 @@ snapshots:
 	go run ./cmd/macrobench -out BENCH_figure5.json > figure5_output.txt
 	go run ./cmd/microbench -out BENCH_table2.json
 	go run ./cmd/exhaustive -out BENCH_exhaustive.json
+	go run ./cmd/cpubench -out BENCH_cpu.json

@@ -1,0 +1,256 @@
+// Command cpubench measures interpreter throughput — host nanoseconds per
+// simulated instruction and simulated MIPS — with the decoded-instruction
+// cache enabled and disabled, on two workloads:
+//
+//   - a raw register loop stepped directly on a CPU (the decode cache's
+//     best case, mirroring BenchmarkCPUStep), and
+//   - the paper's microbenchmark guest running under the full simulated
+//     kernel with syscall dispatch in the loop.
+//
+// The run fails if the microbenchmark guest's wall-clock speedup from the
+// cache falls below -minspeedup, and writes BENCH_cpu.json so the
+// interpreter's performance is tracked across commits. The simulation is
+// deterministic, so both modes retire the same instructions and cycles;
+// cpubench verifies that as a side effect.
+//
+// Usage:
+//
+//	cpubench [-steps N] [-iters N] [-repeat N] [-minspeedup X] [-out BENCH_cpu.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lazypoline/internal/benchfmt"
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/isa"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/mem"
+)
+
+// ModeResult is one (workload, cache mode) measurement.
+type ModeResult struct {
+	// WallSeconds is the best-of-repeat wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// NsPerInstruction is host nanoseconds per simulated instruction.
+	NsPerInstruction float64 `json:"ns_per_instruction"`
+	// SimulatedMIPS is millions of simulated instructions per host second.
+	SimulatedMIPS float64 `json:"simulated_mips"`
+}
+
+// WorkloadResult compares the two cache modes on one workload.
+type WorkloadResult struct {
+	// Instructions retired per run (identical in both modes).
+	Instructions uint64 `json:"instructions"`
+	// Cycles consumed per run (identical in both modes; 0 for the raw
+	// loop, which is not cycle-checked).
+	Cycles   uint64     `json:"cycles,omitempty"`
+	CacheOn  ModeResult `json:"cache_on"`
+	CacheOff ModeResult `json:"cache_off"`
+	// Speedup is CacheOff.WallSeconds / CacheOn.WallSeconds.
+	Speedup float64 `json:"speedup"`
+	// DecodeCache reports the cache-on run's hit/miss/build counters.
+	DecodeCache cpu.DecodeCacheStats `json:"decode_cache"`
+}
+
+type config struct {
+	Steps      int64   `json:"raw_loop_steps"`
+	Iters      int64   `json:"microbench_iters"`
+	Repeat     int     `json:"repeat"`
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+func main() {
+	steps := flag.Int64("steps", 5_000_000, "instructions to step in the raw register loop")
+	iters := flag.Int64("iters", 100_000, "microbenchmark guest loop iterations")
+	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is kept)")
+	minSpeedup := flag.Float64("minspeedup", 1.5, "fail if the microbenchmark cache speedup is below this (0 disables)")
+	out := flag.String("out", "BENCH_cpu.json", "machine-readable result file (empty disables)")
+	flag.Parse()
+
+	cfg := config{Steps: *steps, Iters: *iters, Repeat: *repeat, MinSpeedup: *minSpeedup}
+
+	begin := time.Now()
+	rawLoop, err := measureRawLoop(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	micro, err := measureMicrobench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(begin)
+
+	fmt.Printf("CPU interpreter throughput (best of %d)\n\n", cfg.Repeat)
+	report("raw register loop", rawLoop)
+	report("microbench guest (full kernel)", micro)
+
+	if *out != "" {
+		err := benchfmt.Write(*out, benchfmt.File{
+			Name:        "cpu",
+			Parallelism: 1,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results: map[string]WorkloadResult{
+				"raw_loop":   rawLoop,
+				"microbench": micro,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if cfg.MinSpeedup > 0 && micro.Speedup < cfg.MinSpeedup {
+		fatal(fmt.Errorf("microbench cache speedup %.2fx is below the %.2fx floor",
+			micro.Speedup, cfg.MinSpeedup))
+	}
+}
+
+func report(name string, w WorkloadResult) {
+	fmt.Printf("%s — %d instructions\n", name, w.Instructions)
+	fmt.Printf("  cache on   %8.2f ns/insn  %8.1f simulated MIPS\n",
+		w.CacheOn.NsPerInstruction, w.CacheOn.SimulatedMIPS)
+	fmt.Printf("  cache off  %8.2f ns/insn  %8.1f simulated MIPS\n",
+		w.CacheOff.NsPerInstruction, w.CacheOff.SimulatedMIPS)
+	fmt.Printf("  speedup    %8.2fx   (cache: %d hits, %d misses, %d builds)\n\n",
+		w.Speedup, w.DecodeCache.Hits, w.DecodeCache.Misses, w.DecodeCache.Builds)
+}
+
+// measureRawLoop steps the BenchmarkCPUStep register loop directly.
+func measureRawLoop(cfg config) (WorkloadResult, error) {
+	run := func(useCache bool) (float64, cpu.DecodeCacheStats, error) {
+		best := 0.0
+		var stats cpu.DecodeCacheStats
+		for r := 0; r < cfg.Repeat; r++ {
+			var e isa.Enc
+			e.MovImm64(isa.RCX, 1<<60)
+			loop := e.Len()
+			e.AddImm(isa.RCX, -1)
+			e.Jnz(int64(loop) - int64(e.Len()) - 5)
+			as := mem.NewAddressSpace()
+			if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRWX); err != nil {
+				return 0, stats, err
+			}
+			if err := as.WriteAt(0x1000, e.Buf); err != nil {
+				return 0, stats, err
+			}
+			c := cpu.New(as)
+			c.SetDecodeCache(useCache)
+			c.RIP = 0x1000
+			start := time.Now()
+			for i := int64(0); i < cfg.Steps; i++ {
+				if ev := c.Step(); ev != cpu.EvNone {
+					return 0, stats, fmt.Errorf("raw loop stopped with event %v", ev)
+				}
+			}
+			wall := time.Since(start).Seconds()
+			if best == 0 || wall < best {
+				best = wall
+			}
+			stats = c.DecodeCacheStats()
+		}
+		return best, stats, nil
+	}
+	on, stats, err := run(true)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	off, _, err := run(false)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	return assemble(uint64(cfg.Steps), 0, on, off, stats), nil
+}
+
+// measureMicrobench runs the paper's microbenchmark guest under the full
+// kernel. The instruction count is taken from an untimed instrumented
+// run; the simulation is deterministic, so every run retires the same
+// stream.
+func measureMicrobench(cfg config) (WorkloadResult, error) {
+	run := func(useCache, instrument bool) (insns, cycles uint64, wall float64, stats cpu.DecodeCacheStats, err error) {
+		k := kernel.New(kernel.Config{DisableDecodeCache: !useCache})
+		prog, err := guest.Microbench(kernel.NonexistentSyscall, cfg.Iters)
+		if err != nil {
+			return 0, 0, 0, stats, err
+		}
+		task, err := prog.Spawn(k)
+		if err != nil {
+			return 0, 0, 0, stats, err
+		}
+		if instrument {
+			task.CPU.Hook = func(uint64, isa.Inst) { insns++ }
+		}
+		start := time.Now()
+		if err := k.Run(-1); err != nil {
+			return 0, 0, 0, stats, err
+		}
+		wall = time.Since(start).Seconds()
+		if task.ExitCode != 0 {
+			return 0, 0, 0, stats, fmt.Errorf("microbench guest exited %d", task.ExitCode)
+		}
+		return insns, task.CPU.Cycles, wall, task.CPU.DecodeCacheStats(), nil
+	}
+
+	insns, cyclesOn, _, _, err := run(true, true)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	best := func(useCache bool) (uint64, float64, cpu.DecodeCacheStats, error) {
+		bestWall := 0.0
+		var cycles uint64
+		var stats cpu.DecodeCacheStats
+		for r := 0; r < cfg.Repeat; r++ {
+			_, c, wall, s, err := run(useCache, false)
+			if err != nil {
+				return 0, 0, stats, err
+			}
+			if bestWall == 0 || wall < bestWall {
+				bestWall = wall
+			}
+			cycles, stats = c, s
+		}
+		return cycles, bestWall, stats, nil
+	}
+	cyclesOn2, on, stats, err := best(true)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	cyclesOff, off, _, err := best(false)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	if cyclesOn != cyclesOn2 || cyclesOn != cyclesOff {
+		return WorkloadResult{}, fmt.Errorf("cycle counts diverged: instrumented=%d cache-on=%d cache-off=%d (the cache must be semantically invisible)",
+			cyclesOn, cyclesOn2, cyclesOff)
+	}
+	return assemble(insns, cyclesOn, on, off, stats), nil
+}
+
+func assemble(insns, cycles uint64, on, off float64, stats cpu.DecodeCacheStats) WorkloadResult {
+	mode := func(wall float64) ModeResult {
+		return ModeResult{
+			WallSeconds:      wall,
+			NsPerInstruction: wall * 1e9 / float64(insns),
+			SimulatedMIPS:    float64(insns) / wall / 1e6,
+		}
+	}
+	return WorkloadResult{
+		Instructions: insns,
+		Cycles:       cycles,
+		CacheOn:      mode(on),
+		CacheOff:     mode(off),
+		Speedup:      off / on,
+		DecodeCache:  stats,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpubench:", err)
+	os.Exit(1)
+}

@@ -33,15 +33,17 @@ func main() {
 	servers := flag.String("servers", "nginx,lighttpd", "server styles")
 	capFactor := flag.Float64("clientcap", 10, "client capacity as a multiple of the 1-worker baseline (0 disables)")
 	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
+	decodeCache := flag.Bool("decodecache", true, "run the simulated CPUs with the decoded-instruction cache (results are identical either way; false re-measures without it)")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
 	flag.Parse()
 
 	cfg := experiments.Figure5Config{
-		Requests:        *requests,
-		Connections:     *conns,
-		ClientCapFactor: *capFactor,
-		Parallelism:     *parallel,
-		Mechanisms:      experiments.Figure5Mechanisms,
+		Requests:           *requests,
+		Connections:        *conns,
+		ClientCapFactor:    *capFactor,
+		Parallelism:        *parallel,
+		Mechanisms:         experiments.Figure5Mechanisms,
+		DisableDecodeCache: !*decodeCache,
 	}
 	var err error
 	if cfg.FileSizes, err = parseInts(*sizes); err != nil {

@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"lazypoline/internal/isa"
@@ -168,11 +169,14 @@ type CPU struct {
 
 	nopAccum uint64
 	fetchBuf [16]byte
+	cache    *decodeCache
 }
 
-// New returns a CPU bound to an address space with default costs.
+// New returns a CPU bound to an address space with default costs. The
+// decoded-instruction cache is enabled; SetDecodeCache(false) turns it
+// off.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, Costs: DefaultCosts()}
+	return &CPU{AS: as, Costs: DefaultCosts(), cache: newDecodeCache(as)}
 }
 
 // CloneState copies the register state (not the address space binding or
@@ -240,28 +244,33 @@ func (c *CPU) pop() (uint64, error) {
 // faulting instruction.
 func (c *CPU) Step() Event {
 	pc := c.RIP
-	buf := c.fetchBuf[:]
-	// Fetch up to the maximum instruction length (10 bytes).
-	n := 10
-	if err := c.AS.Fetch(pc, buf[:n]); err != nil {
-		// The tail of the mapping may be shorter than the max insn size;
-		// try progressively shorter fetches before declaring a fault.
-		ok := false
-		for n = 9; n >= 1; n-- {
-			if err2 := c.AS.Fetch(pc, buf[:n]); err2 == nil {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			c.FaultErr = err
+	var in isa.Inst
+	if cached := c.cachedInst(pc); cached != nil {
+		in = *cached
+	} else {
+		// Uncached fetch: one locked walk computes how many executable
+		// bytes are available at pc (the tail of a mapping may hold fewer
+		// than the 10-byte maximum instruction length).
+		n, ferr := c.AS.FetchExec(pc, c.fetchBuf[:maxInsnLen])
+		if n == 0 {
+			c.FlushNopBatch()
+			c.FaultErr = ferr
 			return EvFault
 		}
-	}
-	in, err := isa.Decode(buf[:n])
-	if err != nil {
-		c.FaultErr = fmt.Errorf("cpu: at %#x: %w", pc, err)
-		return EvFault
+		var err error
+		in, err = isa.Decode(c.fetchBuf[:n])
+		if err != nil {
+			c.FlushNopBatch()
+			if errors.Is(err, isa.ErrTruncated) && ferr != nil {
+				// The instruction runs off the end of executable memory:
+				// the fetch fault belongs to the first unfetchable byte
+				// (pc+n), not to pc and not to an illegal opcode.
+				c.FaultErr = ferr
+			} else {
+				c.FaultErr = fmt.Errorf("cpu: at %#x: %w", pc, err)
+			}
+			return EvFault
+		}
 	}
 	if c.Hook != nil {
 		c.Hook(pc, in)
@@ -274,6 +283,10 @@ func (c *CPU) Step() Event {
 			c.Cycles += c.Costs.Insn
 		}
 	} else {
+		// Any non-NOP ends the run: a partial batch still occupies a
+		// retirement cycle. Without this flush the residue leaked into
+		// later, unrelated NOP runs.
+		c.FlushNopBatch()
 		c.Cycles += c.Costs.Insn
 	}
 	next := pc + uint64(in.Len)
@@ -562,4 +575,16 @@ func (c *CPU) fault(pc uint64, err error) Event {
 	c.RIP = pc
 	c.FaultErr = err
 	return EvFault
+}
+
+// FlushNopBatch charges any partially accumulated NOP batch and resets
+// the accumulator. The kernel calls it when execution is interrupted
+// between instructions — quantum expiry (context switch) and signal
+// delivery — so a half-filled batch is billed to the run it belongs to
+// instead of leaking into another NOP run or another task.
+func (c *CPU) FlushNopBatch() {
+	if c.nopAccum > 0 {
+		c.nopAccum = 0
+		c.Cycles += c.Costs.Insn
+	}
 }

@@ -1,0 +1,236 @@
+package cpu
+
+import (
+	"lazypoline/internal/isa"
+	"lazypoline/internal/mem"
+)
+
+// maxInsnLen is the longest instruction encoding (KindRegImm64).
+const maxInsnLen = 10
+
+// maxCacheBlocks bounds the per-CPU block map; overflow flushes the whole
+// cache rather than evicting piecemeal, keeping the bookkeeping trivial.
+const maxCacheBlocks = 4096
+
+// cachedBlock is a predecoded straight-line run of instructions: it starts
+// at entry, never crosses into a second page except for a final straddling
+// instruction, and ends at the first control transfer, kernel-entry
+// instruction (SYSCALL/SYSENTER/HLT/HCALL/TRAP), undecodable bytes, or the
+// page boundary.
+type cachedBlock struct {
+	entry uint64
+	pcs   []uint64
+	insts []isa.Inst
+	// pages[:npages] are the generations of the page(s) the block was
+	// decoded from; the block is valid exactly while they are unchanged.
+	pages  [2]mem.PageGen
+	npages int
+	// mut is the address-space code-mutation count at the last successful
+	// validation. While CodeMutations() still returns mut, revalidation is
+	// a single lock-free load.
+	mut uint64
+}
+
+// DecodeCacheStats counts decode-cache activity, exposed for tests and the
+// cpubench tool.
+type DecodeCacheStats struct {
+	// Hits are Steps served from a cached block.
+	Hits uint64
+	// Misses are Steps that found no valid cached instruction.
+	Misses uint64
+	// Builds counts blocks predecoded.
+	Builds uint64
+	// Invalidations counts blocks dropped because a recorded page
+	// generation changed (self-modifying code, mprotect, unmap).
+	Invalidations uint64
+	// Flushes counts whole-cache resets (address-space switch, overflow).
+	Flushes uint64
+}
+
+// decodeCache is the per-CPU decoded-block cache. It is private to its
+// CPU; all sharing runs through the AddressSpace generation counters, so
+// two CPUs over one address space (CLONE_VM) each observe the other's
+// code writes.
+type decodeCache struct {
+	as       *mem.AddressSpace
+	blocks   map[uint64]*cachedBlock // keyed by block entry pc
+	cur      *cachedBlock            // block the previous Step executed from
+	curIdx   int                     // next sequential index into cur
+	stats    DecodeCacheStats
+	buildBuf [mem.PageSize + maxInsnLen]byte
+}
+
+func newDecodeCache(as *mem.AddressSpace) *decodeCache {
+	return &decodeCache{as: as, blocks: make(map[uint64]*cachedBlock)}
+}
+
+// SetDecodeCache enables or disables the decoded-instruction cache. The
+// cache is semantically invisible — events, traces, faults and cycle
+// counts are identical either way — so disabling it is only useful for
+// differential testing and for measuring the cache itself.
+func (c *CPU) SetDecodeCache(on bool) {
+	switch {
+	case on && c.cache == nil:
+		c.cache = newDecodeCache(c.AS)
+	case !on:
+		c.cache = nil
+	}
+}
+
+// DecodeCacheEnabled reports whether the decoded-instruction cache is on.
+func (c *CPU) DecodeCacheEnabled() bool { return c.cache != nil }
+
+// InvalidateDecodeCache discards every cached block. Correctness never
+// requires calling it — generation validation catches every code
+// mutation — but it is useful to re-measure cold-start behaviour.
+func (c *CPU) InvalidateDecodeCache() {
+	if c.cache != nil {
+		c.cache.reset(c.AS)
+	}
+}
+
+// DecodeCacheStats returns a snapshot of the cache counters.
+func (c *CPU) DecodeCacheStats() DecodeCacheStats {
+	if c.cache == nil {
+		return DecodeCacheStats{}
+	}
+	return c.cache.stats
+}
+
+// cachedInst returns the decoded instruction at pc if a validated cached
+// block covers it, building a new block on miss. nil means the caller
+// must use the uncached fetch+decode path (cache disabled, or the bytes
+// at pc do not decode into at least one instruction).
+func (c *CPU) cachedInst(pc uint64) *isa.Inst {
+	dc := c.cache
+	if dc == nil {
+		return nil
+	}
+	if dc.as != c.AS {
+		// The CPU was rebound to a different address space (execve); every
+		// cached block belongs to the old one.
+		dc.reset(c.AS)
+	}
+	mut := dc.as.CodeMutations()
+	// Sequential hit: the previous Step executed cur[curIdx-1] and fell
+	// through.
+	if b := dc.cur; b != nil && dc.curIdx < len(b.pcs) && b.pcs[dc.curIdx] == pc {
+		if b.mut == mut || dc.revalidate(b) {
+			dc.stats.Hits++
+			in := &b.insts[dc.curIdx]
+			dc.curIdx++
+			return in
+		}
+		dc.drop(b)
+	}
+	// Control-transfer hit: pc is the entry of a cached block.
+	if b := dc.blocks[pc]; b != nil {
+		if b.mut == mut || dc.revalidate(b) {
+			dc.stats.Hits++
+			dc.cur, dc.curIdx = b, 1
+			return &b.insts[0]
+		}
+		dc.drop(b)
+	}
+	dc.stats.Misses++
+	b := dc.build(pc)
+	if b == nil {
+		dc.cur = nil
+		return nil
+	}
+	dc.cur, dc.curIdx = b, 1
+	return &b.insts[0]
+}
+
+// revalidate re-checks a block's page generations under the address-space
+// lock. On success the block is current as of the returned mutation
+// count, so the lock-free fast path applies again until the next
+// code-affecting mutation.
+func (dc *decodeCache) revalidate(b *cachedBlock) bool {
+	mut, ok := dc.as.ValidatePages(b.pages[:b.npages])
+	if ok {
+		b.mut = mut
+	}
+	return ok
+}
+
+// drop removes an invalidated block.
+func (dc *decodeCache) drop(b *cachedBlock) {
+	delete(dc.blocks, b.entry)
+	if dc.cur == b {
+		dc.cur = nil
+	}
+	dc.stats.Invalidations++
+}
+
+// reset discards the whole cache and rebinds it to as.
+func (dc *decodeCache) reset(as *mem.AddressSpace) {
+	dc.as = as
+	dc.blocks = make(map[uint64]*cachedBlock)
+	dc.cur = nil
+	dc.stats.Flushes++
+}
+
+// build predecodes a block starting at pc. The fetch covers pc through
+// the end of its page plus maxInsnLen-1 straddle bytes, all snapshotted
+// (bytes, page generations, mutation count) under one lock acquisition,
+// so the block can never embed a torn view of a concurrent code write.
+func (dc *decodeCache) build(pc uint64) *cachedBlock {
+	limit := int(mem.PageSize - pc&(mem.PageSize-1)) // bytes from pc to its page end
+	buf := dc.buildBuf[:limit+maxInsnLen-1]
+	n, pages, npages, mut, _ := dc.as.FetchExecGen(pc, buf)
+	if n == 0 {
+		return nil
+	}
+	b := &cachedBlock{entry: pc, pages: pages, npages: npages, mut: mut}
+	off := 0
+	for off < limit && off < n {
+		in, err := isa.Decode(buf[off:n])
+		if err != nil {
+			// Undecodable or truncated bytes are never cached: the uncached
+			// path re-derives the fault with its proper address every time.
+			break
+		}
+		b.pcs = append(b.pcs, pc+uint64(off))
+		b.insts = append(b.insts, in)
+		off += in.Len
+		if blockTerminator(&in) {
+			break
+		}
+	}
+	if len(b.insts) == 0 {
+		return nil
+	}
+	if off <= limit && b.npages > 1 {
+		// No instruction straddled into the next page; do not tie the
+		// block's validity to it.
+		b.npages = 1
+	}
+	if len(dc.blocks) >= maxCacheBlocks {
+		dc.blocks = make(map[uint64]*cachedBlock)
+		dc.cur = nil
+		dc.stats.Flushes++
+	}
+	dc.blocks[pc] = b
+	dc.stats.Builds++
+	return b
+}
+
+// blockTerminator reports whether in ends a predecoded block: control
+// transfers (the successor pc is not sequential) and instructions that
+// hand control to the kernel.
+func blockTerminator(in *isa.Inst) bool {
+	switch in.Mnem {
+	case isa.MSyscall, isa.MSysenter, isa.MCallReg, isa.MJmpReg:
+		return true
+	case isa.MOp:
+	default:
+		return false
+	}
+	switch in.Op {
+	case isa.OpHlt, isa.OpTrap, isa.OpHcall, isa.OpRet, isa.OpCall,
+		isa.OpJmp, isa.OpJz, isa.OpJnz, isa.OpJl, isa.OpJg, isa.OpJle, isa.OpJge:
+		return true
+	}
+	return false
+}

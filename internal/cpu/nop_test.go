@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"lazypoline/internal/isa"
+)
+
+// TestNopBatchCycleCharges pins the cycle charge for NOP runs around the
+// batch width (NopsPerCycle = 8): a maximal run of n NOPs costs
+// ceil(n/8) cycles, because a partial trailing batch still occupies a
+// retirement cycle when the run ends.
+func TestNopBatchCycleCharges(t *testing.T) {
+	for _, tt := range []struct {
+		nops   int
+		cycles uint64 // for the NOP run alone
+	}{
+		{7, 1}, {8, 1}, {9, 2}, {16, 2}, {17, 3},
+	} {
+		t.Run(fmt.Sprintf("%d-nops", tt.nops), func(t *testing.T) {
+			var e isa.Enc
+			e.Nop(tt.nops)
+			e.Hlt()
+			c := load(t, e.Buf)
+			if ev := run(t, c, tt.nops+2); ev != EvHlt {
+				t.Fatalf("event = %v", ev)
+			}
+			if want := tt.cycles + 1; c.Cycles != want { // +1 for the hlt
+				t.Errorf("cycles = %d, want %d", c.Cycles, want)
+			}
+		})
+	}
+}
+
+// TestNopResidueDoesNotLeakAcrossRuns is the regression test for the
+// partial-batch leak: two 4-NOP runs separated by a non-NOP are two
+// interrupted batches (1 cycle each), not one batch accumulated across
+// the interruption.
+func TestNopResidueDoesNotLeakAcrossRuns(t *testing.T) {
+	var e isa.Enc
+	e.Nop(4)
+	e.MovImm64(isa.RAX, 1)
+	e.Nop(4)
+	e.Hlt()
+	c := load(t, e.Buf)
+	if ev := run(t, c, 20); ev != EvHlt {
+		t.Fatalf("event = %v", ev)
+	}
+	// 1 (first partial batch) + 1 (mov) + 1 (second partial batch) +
+	// 1 (hlt). The leaking accumulator charged 3: the two 4-NOP runs
+	// merged into a single 8-batch.
+	if c.Cycles != 4 {
+		t.Errorf("cycles = %d, want 4", c.Cycles)
+	}
+}
+
+// TestFlushNopBatch covers the kernel-visible flush hook used at quantum
+// expiry and signal delivery.
+func TestFlushNopBatch(t *testing.T) {
+	var e isa.Enc
+	e.Nop(3)
+	e.Hlt()
+	c := load(t, e.Buf)
+	for i := 0; i < 3; i++ {
+		if ev := c.Step(); ev != EvNone {
+			t.Fatalf("event = %v", ev)
+		}
+	}
+	if c.Cycles != 0 {
+		t.Fatalf("cycles = %d mid-batch, want 0", c.Cycles)
+	}
+	c.FlushNopBatch()
+	if c.Cycles != 1 {
+		t.Errorf("cycles = %d after flush, want 1", c.Cycles)
+	}
+	c.FlushNopBatch() // idempotent on an empty accumulator
+	if c.Cycles != 1 {
+		t.Errorf("cycles = %d after second flush, want 1", c.Cycles)
+	}
+}

@@ -1,0 +1,362 @@
+package experiments
+
+// The decoded-instruction cache must be semantically invisible: every
+// guest, under every interposition mechanism, must produce byte-identical
+// syscall traces, interposer observations, console output, exit codes and
+// cycle counts whether the cache is enabled or disabled. These tests run
+// the full differential matrix — the coreutils on both libc variants, the
+// JIT workload, the microbenchmark loop and both web servers — and a
+// dedicated self-modifying-code check covering lazypoline's slow-path
+// site rewriting and the JIT's direct stores to freshly minted code.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/trace"
+	"lazypoline/internal/webbench"
+)
+
+// invarianceMechs is the complete mechanism registry, including the
+// ablation variants — "every mechanism" in the acceptance criteria.
+var invarianceMechs = []string{
+	MechBaseline, MechBaselineSUD, MechZpoline, MechLazypolineNX,
+	MechLazypoline, MechLazypolineMPK, MechSUD, MechSeccompUser, MechPtrace,
+}
+
+// tracingMechs is the subset with a tracing attach; for these the
+// interposer-observed trace is part of the compared outcome.
+var tracingMechs = map[string]bool{
+	MechZpoline: true, MechLazypolineNX: true, MechLazypoline: true,
+	MechSUD: true, MechSeccompUser: true, MechPtrace: true,
+}
+
+// runOutcome is everything observable from one guest run. Two runs are
+// equivalent iff their runOutcomes are byte-identical.
+type runOutcome struct {
+	Exit    int
+	Cycles  string // per-task cycle counts, in task order
+	Console string
+	Ground  string // kernel dispatch-level trace, with arguments
+	Trace   string // interposer-observed trace ("" when not traced)
+}
+
+func (o runOutcome) String() string {
+	return fmt.Sprintf("exit=%d\ncycles=%s\nconsole=%q\nground:\n%s\ntrace:\n%s",
+		o.Exit, o.Cycles, o.Console, o.Ground, o.Trace)
+}
+
+// groundHook records the dispatch-level ground truth including task IDs
+// and full argument vectors — stricter than trace.GroundTruth, which
+// keeps only syscall numbers.
+func groundHook(sb *strings.Builder) func(*kernel.Task, int64, [6]uint64) {
+	return func(t *kernel.Task, nr int64, args [6]uint64) {
+		fmt.Fprintf(sb, "%d %s %x\n", t.ID, kernel.SyscallName(nr), args)
+	}
+}
+
+// finishOutcome assembles the outcome after k.Run completed.
+func finishOutcome(k *kernel.Kernel, main *kernel.Task, ground *strings.Builder, rec *trace.Recorder) runOutcome {
+	var cycles strings.Builder
+	for _, t := range k.Tasks() {
+		fmt.Fprintf(&cycles, "%d:%d ", t.ID, t.CPU.Cycles)
+	}
+	o := runOutcome{
+		Exit:    main.ExitCode,
+		Cycles:  cycles.String(),
+		Console: string(main.ConsoleOut),
+		Ground:  ground.String(),
+	}
+	if rec != nil {
+		var tr strings.Builder
+		for _, e := range rec.Entries() {
+			fmt.Fprintf(&tr, "%s\n", e.String())
+		}
+		o.Trace = tr.String()
+	}
+	return o
+}
+
+// runDifferential executes the run builder cache-on and cache-off and
+// fails the test unless the outcomes are byte-identical. It also checks
+// that the cache actually engaged when enabled (a vacuous pass with the
+// cache silently off would prove nothing).
+func runDifferential(t *testing.T, run func(t *testing.T, disableCache bool) (runOutcome, *kernel.Task)) {
+	t.Helper()
+	on, onTask := run(t, false)
+	off, offTask := run(t, true)
+	if on != off {
+		t.Errorf("cache-on and cache-off outcomes differ:\n--- cache on ---\n%s\n--- cache off ---\n%s\nfirst diff: %s",
+			on, off, firstDiff(on.String(), off.String()))
+	}
+	if s := onTask.CPU.DecodeCacheStats(); s.Hits == 0 {
+		t.Error("cache-on run recorded zero decode-cache hits; the differential is vacuous")
+	}
+	if s := offTask.CPU.DecodeCacheStats(); s.Hits != 0 || s.Builds != 0 {
+		t.Errorf("cache-off run used the decode cache: %+v", s)
+	}
+}
+
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("at byte %d: %q vs %q", i, a[lo:i+1], b[lo:i+1])
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d", len(a), len(b))
+}
+
+// attachForTrace installs the mechanism, with a Recorder when the
+// mechanism supports tracing and a Dummy interposer otherwise.
+func attachForTrace(mech string, k *kernel.Kernel, task *kernel.Task, preRewrite bool) (*trace.Recorder, error) {
+	if tracingMechs[mech] {
+		rec := &trace.Recorder{}
+		return rec, attachTracing(mech, k, task, rec)
+	}
+	return nil, attach(mech, k, task, preRewrite)
+}
+
+func TestCacheInvarianceMicrobench(t *testing.T) {
+	for _, mech := range invarianceMechs {
+		t.Run(mech, func(t *testing.T) {
+			runDifferential(t, func(t *testing.T, disable bool) (runOutcome, *kernel.Task) {
+				k := kernel.New(kernel.Config{DisableDecodeCache: disable})
+				var ground strings.Builder
+				k.OnDispatch = groundHook(&ground)
+				prog, err := guest.Microbench(kernel.NonexistentSyscall, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				task, err := prog.Spawn(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := attachForTrace(mech, k, task, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Run(-1); err != nil {
+					t.Fatal(err)
+				}
+				if task.ExitCode != 0 {
+					t.Fatalf("microbench exited %d", task.ExitCode)
+				}
+				return finishOutcome(k, task, &ground, rec), task
+			})
+		})
+	}
+}
+
+func TestCacheInvarianceJIT(t *testing.T) {
+	for _, mech := range invarianceMechs {
+		t.Run(mech, func(t *testing.T) {
+			runDifferential(t, func(t *testing.T, disable bool) (runOutcome, *kernel.Task) {
+				k := kernel.New(kernel.Config{DisableDecodeCache: disable})
+				if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				var ground strings.Builder
+				k.OnDispatch = groundHook(&ground)
+				prog, err := guest.JIT()
+				if err != nil {
+					t.Fatal(err)
+				}
+				task, err := prog.Spawn(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := attachForTrace(mech, k, task, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Run(50_000_000); err != nil {
+					t.Fatal(err)
+				}
+				if task.ExitCode != task.Tgid {
+					t.Fatalf("jit guest exited %d, want pid", task.ExitCode)
+				}
+				return finishOutcome(k, task, &ground, rec), task
+			})
+		})
+	}
+}
+
+// coreutilDifferential runs one (utility, libc, mechanism) cell.
+func coreutilDifferential(t *testing.T, name string, libc guest.Libc, mech string) {
+	runDifferential(t, func(t *testing.T, disable bool) (runOutcome, *kernel.Task) {
+		k := kernel.New(kernel.Config{DisableDecodeCache: disable})
+		for _, dir := range []string{"/tmp", "/etc", "/var/log"} {
+			if err := k.FS.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Create the fixture files in sorted order: the map's iteration
+		// order must not be a difference between the two compared runs.
+		paths := make([]string, 0, len(guest.CoreutilFSFiles))
+		for path := range guest.CoreutilFSFiles {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if err := k.FS.WriteFile(path, []byte(guest.CoreutilFSFiles[path]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ground strings.Builder
+		k.OnDispatch = groundHook(&ground)
+		prog, err := guest.Coreutil(name, libc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := prog.Spawn(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := attachForTrace(mech, k, task, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if task.ExitCode != 0 {
+			t.Fatalf("%s exited %d", name, task.ExitCode)
+		}
+		return finishOutcome(k, task, &ground, rec), task
+	})
+}
+
+func TestCacheInvarianceCoreutils(t *testing.T) {
+	libcs := []struct {
+		name string
+		libc guest.Libc
+	}{
+		{"ubuntu", guest.LibcUbuntu2004(false)},
+		{"clearlinux", guest.LibcClearLinux()},
+	}
+	for _, name := range guest.CoreutilNames {
+		for _, lc := range libcs {
+			for _, mech := range invarianceMechs {
+				mech := mech
+				t.Run(name+"/"+lc.name+"/"+mech, func(t *testing.T) {
+					coreutilDifferential(t, name, lc.libc, mech)
+				})
+			}
+		}
+	}
+}
+
+func TestCacheInvarianceWebServers(t *testing.T) {
+	for _, style := range []guest.ServerStyle{guest.StyleNginx, guest.StyleLighttpd} {
+		for _, mech := range invarianceMechs {
+			style, mech := style, mech
+			t.Run(style.String()+"/"+mech, func(t *testing.T) {
+				run := func(disable bool) webbench.Result {
+					res, err := webbench.Run(webbench.Config{
+						Style:              style,
+						Workers:            1,
+						FileSize:           1024,
+						Connections:        4,
+						Requests:           40,
+						Attach:             attachFunc(mech),
+						DisableDecodeCache: disable,
+					})
+					if err != nil {
+						t.Fatalf("webbench %s/%s: %v", style, mech, err)
+					}
+					return res
+				}
+				on := run(false)
+				off := run(true)
+				if on != off {
+					t.Errorf("web server results differ cache on/off:\non:  %+v\noff: %+v", on, off)
+				}
+			})
+		}
+	}
+}
+
+// TestCacheInvarianceSMC is the dedicated self-modifying-code check:
+// lazypoline's lazy slow path mprotects a syscall site writable, rewrites
+// it to a call into the stub, and flips it back executable while that very
+// page is the one being run — and the JIT guest stores freshly generated
+// instructions and immediately jumps to them. Both must be invisible to
+// the decode cache.
+func TestCacheInvarianceSMC(t *testing.T) {
+	t.Run("lazypoline-lazy-rewrite", func(t *testing.T) {
+		// PreRewrite=false forces every site through the SIGSYS slow path
+		// (Protect RW -> WriteAt -> Protect RX) during execution.
+		runDifferential(t, func(t *testing.T, disable bool) (runOutcome, *kernel.Task) {
+			k := kernel.New(kernel.Config{DisableDecodeCache: disable})
+			var ground strings.Builder
+			k.OnDispatch = groundHook(&ground)
+			prog, err := guest.Microbench(kernel.NonexistentSyscall, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, err := prog.Spawn(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &trace.Recorder{}
+			if err := attachTracing(MechLazypoline, k, task, rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(-1); err != nil {
+				t.Fatal(err)
+			}
+			if task.ExitCode != 0 {
+				t.Fatalf("microbench exited %d", task.ExitCode)
+			}
+			return finishOutcome(k, task, &ground, rec), task
+		})
+	})
+	t.Run("jit-direct-store", func(t *testing.T) {
+		// The JIT guest writes a getpid routine into RWX memory and calls
+		// it: a direct guest store to code with no mprotect in between.
+		runDifferential(t, func(t *testing.T, disable bool) (runOutcome, *kernel.Task) {
+			k := kernel.New(kernel.Config{DisableDecodeCache: disable})
+			if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var ground strings.Builder
+			k.OnDispatch = groundHook(&ground)
+			prog, err := guest.JIT()
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, err := prog.Spawn(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := attach(MechBaseline, k, task, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if task.ExitCode != task.Tgid {
+				t.Fatalf("jit guest exited %d, want pid", task.ExitCode)
+			}
+			return finishOutcome(k, task, &ground, nil), task
+		})
+	})
+}

@@ -60,6 +60,13 @@ type Figure5Config struct {
 	// default). CostModel is a value type: each cell's kernel receives
 	// its own copy.
 	Costs kernel.CostModel
+	// DisableDecodeCache turns off every cell's decoded-instruction
+	// cache. The sweep's points are byte-identical either way; the CI
+	// determinism check runs a small sweep in both modes to enforce that.
+	// It selects execution machinery rather than an experiment parameter,
+	// so it is excluded from BENCH_figure5.json — cache-on and cache-off
+	// runs must produce identical snapshots (modulo wall_seconds).
+	DisableDecodeCache bool `json:"-"`
 }
 
 // DefaultFigure5Config mirrors the paper's sweep at simulation-friendly
@@ -119,13 +126,14 @@ func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
 	err := runSweep(len(cells), cfg.Parallelism, func(i int) error {
 		c := cells[i]
 		res, err := webbench.Run(webbench.Config{
-			Style:       c.server,
-			Workers:     c.workers,
-			FileSize:    c.fileSize,
-			Connections: cfg.Connections,
-			Requests:    cfg.Requests,
-			Attach:      attachFunc(c.mech),
-			Costs:       cfg.Costs,
+			Style:              c.server,
+			Workers:            c.workers,
+			FileSize:           c.fileSize,
+			Connections:        cfg.Connections,
+			Requests:           cfg.Requests,
+			Attach:             attachFunc(c.mech),
+			Costs:              cfg.Costs,
+			DisableDecodeCache: cfg.DisableDecodeCache,
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",

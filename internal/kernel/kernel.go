@@ -87,6 +87,11 @@ type Config struct {
 	Net *netstack.Stack
 	// RandSeed seeds the deterministic getrandom stream.
 	RandSeed uint64
+	// DisableDecodeCache turns off the CPUs' decoded-instruction cache.
+	// The cache is semantically invisible, so this only trades speed for
+	// nothing — it exists for differential tests and CI determinism
+	// checks that prove exactly that.
+	DisableDecodeCache bool
 }
 
 // Kernel is the simulated operating system.
@@ -99,13 +104,14 @@ type Kernel struct {
 	order   []*Task // scheduling order
 	nextTID int
 
-	hcalls     map[int64]HcallHandler
-	nextHcall  int64
-	rrOffset   int
-	images     map[string]*loader.Image
-	randState  uint64
-	maxCycles  uint64
-	extWaiters int32
+	hcalls        map[int64]HcallHandler
+	nextHcall     int64
+	rrOffset      int
+	images        map[string]*loader.Image
+	randState     uint64
+	maxCycles     uint64
+	extWaiters    int32
+	noDecodeCache bool
 
 	// OnDispatch, if set, observes every syscall that actually reaches
 	// the dispatch table (the kernel's ground-truth trace, used by the
@@ -127,15 +133,16 @@ type Kernel struct {
 // New creates a kernel.
 func New(cfg Config) *Kernel {
 	k := &Kernel{
-		Costs:     cfg.Costs,
-		FS:        cfg.FS,
-		Net:       cfg.Net,
-		tasks:     make(map[int]*Task),
-		nextTID:   1000,
-		hcalls:    make(map[int64]HcallHandler),
-		nextHcall: 1,
-		images:    make(map[string]*loader.Image),
-		randState: cfg.RandSeed | 1,
+		Costs:         cfg.Costs,
+		FS:            cfg.FS,
+		Net:           cfg.Net,
+		tasks:         make(map[int]*Task),
+		nextTID:       1000,
+		hcalls:        make(map[int64]HcallHandler),
+		nextHcall:     1,
+		images:        make(map[string]*loader.Image),
+		randState:     cfg.RandSeed | 1,
+		noDecodeCache: cfg.DisableDecodeCache,
 	}
 	if k.Costs == (CostModel{}) {
 		k.Costs = DefaultCostModel()
@@ -230,6 +237,9 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 	}
 	t.CPU = cpu.New(as)
 	t.CPU.Costs = cpu.Costs{Insn: k.Costs.Insn, Xsave: k.Costs.Xsave, Xrstor: k.Costs.Xrstor, NopsPerCycle: k.Costs.NopsPerCycle}
+	if k.noDecodeCache {
+		t.CPU.SetDecodeCache(false)
+	}
 	k.tasks[t.ID] = t
 	k.order = append(k.order, t)
 	return t
@@ -437,6 +447,14 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 		if t.CPU.Cycles > k.maxCycles {
 			k.maxCycles = t.CPU.Cycles
 		}
+	}
+	// Quantum expiry is a context switch: the timer interrupt drains the
+	// pipeline, so a half-filled NOP batch is billed here rather than
+	// carried into this task's (or, via the old shared residue, another
+	// task's) next run.
+	t.CPU.FlushNopBatch()
+	if t.CPU.Cycles > k.maxCycles {
+		k.maxCycles = t.CPU.Cycles
 	}
 	return n
 }

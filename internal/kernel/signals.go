@@ -83,6 +83,9 @@ func defaultIgnored(sig int) bool {
 // interposers that edit the in-memory ucontext (lazypoline's slow path
 // setting REG_RIP) are honoured on return.
 func (k *Kernel) deliverSignal(t *Task, ps pendingSignal, act SigAction) {
+	// Signal delivery interrupts straight-line execution: charge any
+	// half-filled NOP batch to the interrupted run before redirecting.
+	t.CPU.FlushNopBatch()
 	t.CPU.Cycles += k.Costs.SignalDeliver
 
 	const redZone = 128

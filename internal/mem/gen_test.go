@@ -1,0 +1,190 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// snapshot predecodes a fetch at addr and returns the recorded page
+// generations plus the mutation count, failing the test on fetch errors.
+func snapshot(t *testing.T, as *AddressSpace, addr uint64, n int) ([]PageGen, uint64) {
+	t.Helper()
+	buf := make([]byte, n)
+	got, pages, npages, mut, err := as.FetchExecGen(addr, buf)
+	if err != nil || got != n {
+		t.Fatalf("FetchExecGen(%#x, %d) = %d, %v", addr, n, got, err)
+	}
+	return pages[:npages], mut
+}
+
+func TestWriteInvalidatesPageGen(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRWX); err != nil {
+		t.Fatal(err)
+	}
+	pages, mut := snapshot(t, as, 0x1000, 16)
+	if len(pages) != 1 {
+		t.Fatalf("npages = %d, want 1", len(pages))
+	}
+	if m, ok := as.ValidatePages(pages); !ok || m != mut {
+		t.Fatalf("fresh snapshot invalid (ok=%v mut=%d want %d)", ok, m, mut)
+	}
+	if err := as.WriteAt(0x1800, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.ValidatePages(pages); ok {
+		t.Error("snapshot still valid after a write to the page")
+	}
+	if as.CodeMutations() == mut {
+		t.Error("CodeMutations unchanged by a write to an executable page")
+	}
+}
+
+func TestDataWritesDoNotCountAsCodeMutations(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapFixed(0x2000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	mut := as.CodeMutations()
+	// Writes to a non-executable page (stacks, heaps, signal frames) must
+	// not disturb the lock-free fast path...
+	if err := as.WriteAt(0x2000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteForce(0x2100, []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.CodeMutations(); got != mut {
+		t.Errorf("CodeMutations = %d after data writes, want %d", got, mut)
+	}
+	// ...while a privileged write to code (ptrace POKEDATA, the kernel
+	// patching a page) must.
+	if err := as.WriteForce(0x1000, []byte{0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if as.CodeMutations() == mut {
+		t.Error("CodeMutations unchanged by WriteForce to an executable page")
+	}
+}
+
+func TestProtectInvalidatesPageGen(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	pages, _ := snapshot(t, as, 0x1000, 16)
+	mut := as.CodeMutations()
+	if err := as.Protect(0x1000, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.ValidatePages(pages); ok {
+		t.Error("snapshot still valid after mprotect")
+	}
+	if as.CodeMutations() == mut {
+		t.Error("CodeMutations unchanged by Protect")
+	}
+}
+
+func TestUnmapRemapNeverRevalidates(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteForce(0x1000, []byte{0x90, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	pages, _ := snapshot(t, as, 0x1000, 2)
+	if err := as.Unmap(0x1000, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.ValidatePages(pages); ok {
+		t.Error("snapshot valid after unmap")
+	}
+	// Remapping the same address with the same bytes must issue a fresh
+	// generation: generations are never reused, so a stale decode can
+	// never come back to life.
+	if err := as.MapFixed(0x1000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteForce(0x1000, []byte{0x90, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.ValidatePages(pages); ok {
+		t.Error("stale snapshot revalidated after unmap+remap at the same address")
+	}
+}
+
+func TestCloneGenerationIndependence(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRWX); err != nil {
+		t.Fatal(err)
+	}
+	pages, _ := snapshot(t, as, 0x1000, 8)
+
+	child := as.Clone()
+	// Fork copies the pages with their generations, so a snapshot taken in
+	// the parent validates against the child's identical copy...
+	if _, ok := child.ValidatePages(pages); !ok {
+		t.Error("parent snapshot invalid against freshly cloned child")
+	}
+	// ...until the child diverges; and the parent never notices.
+	parentMut := as.CodeMutations()
+	if err := child.WriteAt(0x1000, []byte{0xC3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := child.ValidatePages(pages); ok {
+		t.Error("snapshot still valid in child after child write")
+	}
+	if _, ok := as.ValidatePages(pages); !ok {
+		t.Error("child write invalidated the parent's pages")
+	}
+	if as.CodeMutations() != parentMut {
+		t.Error("child write advanced the parent's mutation counter")
+	}
+	// The clone inherits the generation sequence, so post-fork generations
+	// in the child are fresh values, not reuses of parent history.
+	childPages, _ := snapshot(t, child, 0x1000, 8)
+	if childPages[0].Gen == pages[0].Gen {
+		t.Error("child reissued a generation the parent already used")
+	}
+}
+
+func TestFetchExecTailReturnsAvailAndTrueFaultAddr(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	// 4 bytes before the end of the last executable page.
+	buf := make([]byte, 10)
+	n, err := as.FetchExec(0x1FFC, buf)
+	if n != 4 {
+		t.Errorf("n = %d, want 4", n)
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Addr != 0x2000 || f.Kind != AccessExec {
+		t.Errorf("err = %v, want exec fault at 0x2000", err)
+	}
+	// Nothing fetchable at all: the fault is at the requested address.
+	n, err = as.FetchExec(0x3000, buf)
+	if n != 0 {
+		t.Errorf("n = %d, want 0", n)
+	}
+	if !errors.As(err, &f) || f.Addr != 0x3000 {
+		t.Errorf("err = %v, want exec fault at 0x3000", err)
+	}
+	// A straddling fetch into a second executable page records both
+	// generations.
+	if err := as.MapFixed(0x2000, PageSize, ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	got, pages, npages, _, err := as.FetchExecGen(0x1FFC, buf)
+	if got != 10 || err != nil {
+		t.Fatalf("straddling FetchExecGen = %d, %v", got, err)
+	}
+	if npages != 2 || pages[0].PN != 0x1 || pages[1].PN != 0x2 {
+		t.Errorf("pages = %v (n=%d), want page numbers 1 and 2", pages, npages)
+	}
+}

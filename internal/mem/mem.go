@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of one page in bytes.
@@ -110,6 +111,14 @@ type page struct {
 	data [PageSize]byte
 	prot Prot
 	pkey uint8
+	// gen is the page's generation: a value unique within the address
+	// space's lifetime, replaced on every write to the page and on every
+	// protection change. Decoded-code caches record the generations of the
+	// pages they predecoded and revalidate against them, which is how
+	// run-time code rewriting (lazypoline's SIGSYS-time patch, the JIT's
+	// code emission, zpoline's scans) invalidates stale decodes — the
+	// simulator's analogue of x86 icache coherence on self-modifying code.
+	gen uint64
 }
 
 // AddressSpace is a guest virtual address space. It is safe for concurrent
@@ -122,6 +131,16 @@ type AddressSpace struct {
 	pages      map[uint64]*page // keyed by page number (addr >> PageShift)
 	brk        uint64           // next unreserved address for anonymous mmap
 	activePKRU uint32           // PKRU of the currently scheduled task
+
+	// genSeq issues page generations (under mu). Generations are never
+	// reused, so a page unmapped and remapped at the same address can
+	// never revalidate a stale cached decode.
+	genSeq uint64
+	// codeMut counts code-affecting mutations: writes that touch an
+	// executable page, and every Protect/Unmap/MapFixed/MapAnon. It is
+	// read lock-free by the CPU's decode-cache fast path; while it is
+	// unchanged, every previously validated block is still valid.
+	codeMut atomic.Uint64
 }
 
 // NewAddressSpace returns an empty address space. Anonymous (non-fixed)
@@ -141,12 +160,20 @@ func (as *AddressSpace) Clone() *AddressSpace {
 		pages:      make(map[uint64]*page, len(as.pages)),
 		brk:        as.brk,
 		activePKRU: as.activePKRU,
+		genSeq:     as.genSeq,
 	}
+	c.codeMut.Store(as.codeMut.Load())
 	for pn, pg := range as.pages {
 		cp := *pg
 		c.pages[pn] = &cp
 	}
 	return c
+}
+
+// nextGen issues a fresh, never-reused page generation. Caller holds mu.
+func (as *AddressSpace) nextGen() uint64 {
+	as.genSeq++
+	return as.genSeq
 }
 
 // MapFixed maps [addr, addr+length) with the given protection. addr and
@@ -165,8 +192,9 @@ func (as *AddressSpace) MapFixed(addr, length uint64, prot Prot) error {
 		}
 	}
 	for i := uint64(0); i < n; i++ {
-		as.pages[first+i] = &page{prot: prot}
+		as.pages[first+i] = &page{prot: prot, gen: as.nextGen()}
 	}
+	as.codeMut.Add(1)
 	return nil
 }
 
@@ -193,9 +221,10 @@ func (as *AddressSpace) MapAnon(length uint64, prot Prot) (uint64, error) {
 		}
 		if free {
 			for i := uint64(0); i < n; i++ {
-				as.pages[first+i] = &page{prot: prot}
+				as.pages[first+i] = &page{prot: prot, gen: as.nextGen()}
 			}
 			as.brk = addr + length
+			as.codeMut.Add(1)
 			return addr, nil
 		}
 	}
@@ -216,8 +245,11 @@ func (as *AddressSpace) Protect(addr, length uint64, prot Prot) error {
 		}
 	}
 	for i := uint64(0); i < n; i++ {
-		as.pages[first+i].prot = prot
+		pg := as.pages[first+i]
+		pg.prot = prot
+		pg.gen = as.nextGen()
 	}
+	as.codeMut.Add(1)
 	return nil
 }
 
@@ -233,6 +265,7 @@ func (as *AddressSpace) Unmap(addr, length uint64) error {
 	for i := uint64(0); i < n; i++ {
 		delete(as.pages, first+i)
 	}
+	as.codeMut.Add(1)
 	return nil
 }
 
@@ -258,6 +291,7 @@ func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind Acc
 	// protection keys, like ring-0 accesses with SMAP/PKS aside.
 	privileged := need == ProtRWX
 	off := 0
+	execTouched := false
 	for off < n {
 		a := addr + uint64(off)
 		pg, ok := as.pages[a>>PageShift]
@@ -276,8 +310,15 @@ func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind Acc
 			copy(dst[off:off+chunk], pg.data[po:po+chunk])
 		} else {
 			copy(pg.data[po:po+chunk], src[off:off+chunk])
+			pg.gen = as.nextGen()
+			if pg.prot&ProtExec != 0 {
+				execTouched = true
+			}
 		}
 		off += chunk
+	}
+	if execTouched {
+		as.codeMut.Add(1)
 	}
 	return nil
 }
@@ -296,6 +337,89 @@ func (as *AddressSpace) WriteAt(addr uint64, p []byte) error {
 // execute permission.
 func (as *AddressSpace) Fetch(addr uint64, p []byte) error {
 	return as.access(addr, p, nil, ProtExec, AccessExec)
+}
+
+// PageGen records the generation of one page (by page number) observed at
+// decode time. A decoded-code cache revalidates its blocks by comparing
+// recorded PageGens against the live pages (ValidatePages).
+type PageGen struct {
+	PN  uint64
+	Gen uint64
+}
+
+// CodeMutations returns the code-mutation counter: it advances on every
+// write that touches an executable page and on every
+// MapFixed/MapAnon/Protect/Unmap. It is safe to read lock-free; a decoded
+// block validated at mutation count m stays valid while the counter
+// still reads m.
+func (as *AddressSpace) CodeMutations() uint64 {
+	return as.codeMut.Load()
+}
+
+// FetchExec reads up to len(p) executable bytes starting at addr in a
+// single page-table walk. It returns the number of bytes fetched; when
+// that is less than len(p), err is the exec Fault at the first
+// unfetchable byte (addr+n), so callers that needed fewer than len(p)
+// bytes can ignore it and callers that needed more can report the fault
+// at its true address. n == 0 means not even addr itself was fetchable.
+func (as *AddressSpace) FetchExec(addr uint64, p []byte) (int, error) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	n, _, _, _, err := as.fetchExecLocked(addr, p, false)
+	return n, err
+}
+
+// FetchExecGen is FetchExec plus, under the same lock, a snapshot of the
+// generations of the touched pages and the current code-mutation count.
+// A decoded block built from the returned bytes is valid exactly as long
+// as ValidatePages(pages[:npages]) still succeeds, and trivially valid
+// while CodeMutations() still returns mut.
+func (as *AddressSpace) FetchExecGen(addr uint64, p []byte) (n int, pages [2]PageGen, npages int, mut uint64, err error) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	n, pages, npages, mut, err = as.fetchExecLocked(addr, p, true)
+	return
+}
+
+func (as *AddressSpace) fetchExecLocked(addr uint64, p []byte, wantGens bool) (n int, pages [2]PageGen, npages int, mut uint64, err error) {
+	total := len(p)
+	off := 0
+	for off < total {
+		a := addr + uint64(off)
+		pn := a >> PageShift
+		pg, ok := as.pages[pn]
+		if !ok || pg.prot&ProtExec == 0 {
+			return off, pages, npages, as.codeMut.Load(), &Fault{Addr: a, Kind: AccessExec}
+		}
+		if wantGens && npages < len(pages) {
+			pages[npages] = PageGen{PN: pn, Gen: pg.gen}
+			npages++
+		}
+		po := int(a & (PageSize - 1))
+		chunk := PageSize - po
+		if rem := total - off; chunk > rem {
+			chunk = rem
+		}
+		copy(p[off:off+chunk], pg.data[po:po+chunk])
+		off += chunk
+	}
+	return total, pages, npages, as.codeMut.Load(), nil
+}
+
+// ValidatePages reports whether every recorded page still exists with an
+// unchanged generation. On success it also returns the code-mutation
+// count observed under the same lock: the caller's decode is current as
+// of mut, so it may skip revalidation while CodeMutations() == mut.
+func (as *AddressSpace) ValidatePages(pages []PageGen) (mut uint64, ok bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	for _, want := range pages {
+		pg, exists := as.pages[want.PN]
+		if !exists || pg.gen != want.Gen {
+			return 0, false
+		}
+	}
+	return as.codeMut.Load(), true
 }
 
 // WriteForce writes p at addr ignoring page protections (kernel-privileged

@@ -141,6 +141,10 @@ type Config struct {
 	Attach AttachFunc
 	// Costs overrides the cost model (zero value = default).
 	Costs kernel.CostModel
+	// DisableDecodeCache runs the simulated CPUs without the decoded-
+	// instruction cache. Results are identical either way (the cache is
+	// semantically invisible); CI uses this to prove it.
+	DisableDecodeCache bool
 }
 
 // Result is one run's outcome.
@@ -173,7 +177,7 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Connections <= 0 {
 		cfg.Connections = 36
 	}
-	k := kernel.New(kernel.Config{Costs: cfg.Costs})
+	k := kernel.New(kernel.Config{Costs: cfg.Costs, DisableDecodeCache: cfg.DisableDecodeCache})
 
 	// Static content.
 	content := make([]byte, cfg.FileSize)

@@ -9,3 +9,20 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Benchmark smoke run: the interpreter benchmarks must still execute, and
+# cpubench must still clear its cache-speedup floor (written to a scratch
+# file; the checked-in BENCH_cpu.json snapshot is refreshed manually).
+go test ./internal/cpu/ -run '^$' -bench 'BenchmarkCPUStep|BenchmarkDecodeCache' -benchtime 100ms
+go run ./cmd/cpubench -steps 1000000 -iters 20000 -repeat 2 -out /tmp/ci_BENCH_cpu.json
+
+# Decode-cache determinism: a small Figure 5 sweep must produce
+# byte-identical snapshots with the cache enabled and disabled —
+# wall_seconds is the one field allowed to differ.
+smoke="-requests 60 -conns 8 -sizes 1024,65536 -workers 1 -servers nginx,lighttpd"
+go run ./cmd/macrobench $smoke -decodecache=true -out /tmp/ci_fig5_cache_on.json
+go run ./cmd/macrobench $smoke -decodecache=false -out /tmp/ci_fig5_cache_off.json
+strip_wall() { grep -v '"wall_seconds"' "$1"; }
+strip_wall /tmp/ci_fig5_cache_on.json > /tmp/ci_fig5_cache_on.stripped
+strip_wall /tmp/ci_fig5_cache_off.json > /tmp/ci_fig5_cache_off.stripped
+diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_cache_off.stripped
