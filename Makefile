@@ -3,13 +3,23 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots
+.PHONY: ci test bench snapshots chaos-smoke fuzz
 
 ci:
 	./scripts/ci.sh
 
 test:
 	go test ./...
+
+# Fast chaos-determinism check: the invariance suite plus the kernel's
+# injection-semantics tests (scripts/ci.sh runs the cross-binary diffs).
+chaos-smoke:
+	go test ./internal/experiments -run 'TestChaosInvariance' -count 1
+	go test ./internal/kernel -run 'TestChaos|TestBlockingRead|TestSigactionReportsFlags' -count 1
+
+# Longer fuzz of the instruction decoder (CI runs a few seconds of it).
+fuzz:
+	go test ./internal/isa/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
 
 bench:
 	go test -bench . -benchtime 1x ./...

@@ -34,6 +34,8 @@ func main() {
 	capFactor := flag.Float64("clientcap", 10, "client capacity as a multiple of the 1-worker baseline (0 disables)")
 	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
 	decodeCache := flag.Bool("decodecache", true, "run the simulated CPUs with the decoded-instruction cache (results are identical either way; false re-measures without it)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
+	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
 	flag.Parse()
 
@@ -44,6 +46,8 @@ func main() {
 		Parallelism:        *parallel,
 		Mechanisms:         experiments.Figure5Mechanisms,
 		DisableDecodeCache: !*decodeCache,
+		ChaosSeed:          *chaosSeed,
+		ChaosRate:          *chaosRate,
 	}
 	var err error
 	if cfg.FileSizes, err = parseInts(*sizes); err != nil {

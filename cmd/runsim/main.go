@@ -35,16 +35,18 @@ func main() {
 	doTrace := flag.Bool("trace", true, "print an strace-style syscall log")
 	builtin := flag.String("builtin", "", "run a built-in demo guest: jit, microbench, cat")
 	stats := flag.Bool("stats", true, "print cycle and mechanism statistics")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
+	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	flag.Parse()
 
-	if err := run(*mech, *doTrace, *builtin, *stats, flag.Args()); err != nil {
+	if err := run(*mech, *doTrace, *builtin, *stats, *chaosSeed, *chaosRate, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "runsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mech string, doTrace bool, builtin string, stats bool, args []string) error {
-	k := kernel.New(kernel.Config{})
+func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64, chaosRate float64, args []string) error {
+	k := kernel.New(kernel.Config{ChaosSeed: chaosSeed, ChaosRate: chaosRate})
 	prog, err := loadProgram(k, builtin, args)
 	if err != nil {
 		return err

@@ -1,0 +1,85 @@
+package chaos
+
+import "testing"
+
+// Two engines built from the same (seed, rate) must produce identical
+// decision sequences on identical query sequences — the reproducibility
+// contract EXPERIMENTS.md documents.
+func TestDeterministicFromSeedAndRate(t *testing.T) {
+	a := New(42, 0.1)
+	b := New(42, 0.1)
+	for i := 0; i < 10000; i++ {
+		site := Site(1 + i%9)
+		id := uint64(1000 + i%7)
+		if af, bf := a.Fire(site, id), b.Fire(site, id); af != bf {
+			t.Fatalf("draw %d: engines diverged (%v vs %v)", i, af, bf)
+		}
+		if ap, bp := a.Pick(site, id, 100), b.Pick(site, id, 100); ap != bp {
+			t.Fatalf("draw %d: picks diverged (%d vs %d)", i, ap, bp)
+		}
+	}
+}
+
+// Streams are independent: draws on one (site, id) stream must not
+// perturb another stream's sequence. This is what lets mechanism-local
+// sites (scheduler jitter, signal delay) fire at different times under
+// different interposers without desynchronising the shared app-level
+// sites.
+func TestStreamIndependence(t *testing.T) {
+	a := New(7, 0.5)
+	b := New(7, 0.5)
+	var seqA, seqB []bool
+	for i := 0; i < 1000; i++ {
+		// Engine a interleaves heavy traffic on an unrelated stream.
+		a.Fire(SiteSchedJitter, 1)
+		a.Fire(SiteSchedJitter, 2)
+		seqA = append(seqA, a.Fire(SiteSyscallErrno, 1001))
+		seqB = append(seqB, b.Fire(SiteSyscallErrno, 1001))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("draw %d: interleaved stream perturbed target stream", i)
+		}
+	}
+}
+
+// A nil engine is the canonical disabled state: it never fires and
+// every method is safe to call.
+func TestNilEngineNeverFires(t *testing.T) {
+	var e *Engine
+	if e.Fire(SiteSyscallErrno, 1) {
+		t.Fatal("nil engine fired")
+	}
+	if e.Pick(SiteShortRead, 1, 10) != 0 {
+		t.Fatal("nil engine picked nonzero")
+	}
+	if New(123, 0) != nil {
+		t.Fatal("rate 0 must construct the nil engine")
+	}
+	if New(123, -1) != nil {
+		t.Fatal("negative rate must construct the nil engine")
+	}
+}
+
+// Rates actually bite: a rate-1 engine always fires, and a moderate
+// rate fires roughly in proportion over a long stream.
+func TestRateProportion(t *testing.T) {
+	always := New(9, 1.0)
+	for i := 0; i < 100; i++ {
+		if !always.Fire(SiteSyscallErrno, 1) {
+			t.Fatal("rate-1 engine failed to fire")
+		}
+	}
+	e := New(9, 0.25)
+	fired := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if e.Fire(SiteShortWrite, 1) {
+			fired++
+		}
+	}
+	frac := float64(fired) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("rate 0.25 fired %.3f of the time", frac)
+	}
+}

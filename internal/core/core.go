@@ -143,17 +143,22 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer, opts Opti
 		}
 	}
 
-	k.CloneHook = func(parent, child *kernel.Task) {
+	// A task we cannot interpose must never run uninstrumented. The
+	// hooks report failure to the kernel, which turns it into a
+	// guest-visible fault: SIGSYS for the uninterposable task, -EAGAIN
+	// for a failed clone's parent — a guest-local problem stays guest
+	// local instead of panicking the whole simulation.
+	k.CloneHook = func(parent, child *kernel.Task) error {
 		if err := rt.onClone(parent, child); err != nil {
-			// A child we cannot interpose must never run uninstrumented;
-			// failing loudly beats a silent interposition gap.
-			panic(fmt.Sprintf("lazypoline: clone hook: %v", err))
+			return fmt.Errorf("lazypoline: clone hook: %w", err)
 		}
+		return nil
 	}
-	k.ExecveHook = func(t *kernel.Task) {
+	k.ExecveHook = func(t *kernel.Task) error {
 		if err := rt.onExecve(t); err != nil {
-			panic(fmt.Sprintf("lazypoline: execve hook: %v", err))
+			return fmt.Errorf("lazypoline: execve hook: %w", err)
 		}
+		return nil
 	}
 	return rt, nil
 }

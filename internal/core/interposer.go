@@ -131,6 +131,7 @@ func (ci *coreInterposer) enterSigaction(c *interpose.Call) interpose.Action {
 	}
 	handler := binary.LittleEndian.Uint64(act[0:8])
 	mask := binary.LittleEndian.Uint64(act[8:16])
+	flags := binary.LittleEndian.Uint64(act[16:24])
 
 	// Record the app handler.
 	if err := t.AS.WriteU64(tableSlot, handler); err != nil {
@@ -149,10 +150,13 @@ func (ci *coreInterposer) enterSigaction(c *interpose.Call) interpose.Action {
 	}
 
 	// Stage a sigaction struct pointing at the wrapper and register it.
+	// The application's mask AND flags carry over: SA_RESTART semantics
+	// for interrupted syscalls must survive the wrapping.
 	scratch := uint64(RuntimeDataBase + scratchOff)
 	var staged [kernel.SigactionSize]byte
 	binary.LittleEndian.PutUint64(staged[0:], rt.wrapperAddr)
 	binary.LittleEndian.PutUint64(staged[8:], mask)
+	binary.LittleEndian.PutUint64(staged[16:], flags)
 	if err := t.AS.WriteForce(scratch, staged[:]); err != nil {
 		c.Ret = -kernel.EFAULT
 		return interpose.Emulate

@@ -22,6 +22,17 @@ func (rt *Runtime) slowPath(hc *kernel.HcallCtx) error {
 
 	rt.Stats.SlowPathHits++
 
+	// Close the signal window before touching the selector: from the flip
+	// below until the stub's rt_sigreturn, syscalls dispatch uninterposed
+	// and the site bytes may be mid-patch. An application signal delivered
+	// inside that window would run its handler before the fast path for
+	// this site exists — and a syscall in that handler would re-enter the
+	// rewrite path on top of a half-finished rewrite. Blocking every
+	// catchable signal for the rest of the SIGSYS frame closes the window;
+	// the stub's sigreturn restores the application mask from the saved
+	// ucontext, so a pending signal delivers (interposed) right after.
+	t.SigMask = ^uint64(0)
+
 	// The selector goes to ALLOW first: everything the slow path itself
 	// does (mprotect syscalls, the final sigreturn) must dispatch.
 	if err := t.AS.WriteForce(t.CPU.GSBase+interpose.GSSelector,

@@ -67,6 +67,12 @@ type Figure5Config struct {
 	// so it is excluded from BENCH_figure5.json — cache-on and cache-off
 	// runs must produce identical snapshots (modulo wall_seconds).
 	DisableDecodeCache bool `json:"-"`
+	// ChaosSeed and ChaosRate enable deterministic fault injection in
+	// every cell (see internal/chaos). Unlike DisableDecodeCache these
+	// ARE experiment parameters — injected faults change throughput — so
+	// they stay JSON-visible and land in benchmark snapshots.
+	ChaosSeed uint64  `json:"chaos_seed,omitempty"`
+	ChaosRate float64 `json:"chaos_rate,omitempty"`
 }
 
 // DefaultFigure5Config mirrors the paper's sweep at simulation-friendly
@@ -134,6 +140,8 @@ func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
 			Attach:             attachFunc(c.mech),
 			Costs:              cfg.Costs,
 			DisableDecodeCache: cfg.DisableDecodeCache,
+			ChaosSeed:          cfg.ChaosSeed,
+			ChaosRate:          cfg.ChaosRate,
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",

@@ -102,14 +102,49 @@ func (l Libc) initSource() string {
 // libcWrappers are the syscall wrapper functions shared by all programs.
 // Arguments follow the syscall ABI (rdi, rsi, rdx, r10); the wrapper
 // loads the number and traps.
+//
+// read and write are hardened the way a real libc (or TEMP_FAILURE_RETRY
+// caller) is: -EINTR and -EAGAIN re-issue the call, and libc_write loops
+// until the full count is written, returning the total (or the partial
+// total if a later chunk fails hard). Short reads are legal returns and
+// are NOT looped here — callers that need exact counts loop themselves.
 const libcWrappers = `
 	libc_write:
-		mov64 rax, SYS_write
-		syscall
+		push rbx                     ; rbx = bytes written so far
+		mov64 rbx, 0
+	libc_write_retry:
+		call libc_write_raw
+		cmpi rax, -4                 ; EINTR
+		jz libc_write_retry
+		cmpi rax, -11                ; EAGAIN
+		jz libc_write_retry
+		cmpi rax, 0
+		jl libc_write_err
+		add rbx, rax
+		sub rdx, rax                 ; remaining count
+		cmpi rdx, 0
+		jle libc_write_done
+		add rsi, rax                 ; advance buffer
+		jmp libc_write_retry
+	libc_write_err:
+		cmpi rbx, 0                  ; nothing written: report the errno
+		jz libc_write_out
+	libc_write_done:
+		mov rax, rbx                 ; report total written
+	libc_write_out:
+		pop rbx
+		ret
+	libc_write_raw:
+		mov64 rax, SYS_write         ; canonical prologue — the symbol
+		syscall                      ; ldpreload hooks for SYS_write
 		ret
 	libc_read:
 		mov64 rax, SYS_read
 		syscall
+		cmpi rax, -4                 ; EINTR
+		jz libc_read
+		cmpi rax, -11                ; EAGAIN
+		jz libc_read
 		ret
 	libc_open:
 		mov64 rax, SYS_open

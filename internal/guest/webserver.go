@@ -92,7 +92,13 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		syscall
 		cmpi rax, 0
 		jg sendloop
-		jl conn_gone
+		jz sendfile_done
+		cmpi rax, -4             ; EINTR: retry
+		jz sendloop
+		cmpi rax, -11            ; EAGAIN: retry
+		jz sendloop
+		jmp conn_gone            ; EPIPE/ECONNRESET: client is gone
+	sendfile_done:
 	`
 	if cfg.Style == StyleLighttpd {
 		chunk = 8 * 1024
@@ -113,6 +119,13 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		syscall
 		cmpi rax, 0
 		jz served_jmp
+		jg readok
+		cmpi rax, -4             ; EINTR: retry
+		jz readloop
+		cmpi rax, -11            ; EAGAIN: retry
+		jz readloop
+		jmp conn_gone
+	readok:
 		; write the chunk fully, handling partial writes (the client may
 		; drain its receive buffer slower than we fill it)
 		mov64 r13, DATA+0x1000   ; cursor
@@ -124,7 +137,13 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		mov64 rax, SYS_write
 		syscall
 		cmpi rax, 0
-		jl conn_gone             ; EPIPE: client went away mid-response
+		jg writeok
+		cmpi rax, -4             ; EINTR: retry
+		jz writeloop
+		cmpi rax, -11            ; EAGAIN: retry
+		jz writeloop
+		jmp conn_gone            ; EPIPE/ECONNRESET: client went away
+	writeok:
 		add r13, rax
 		sub r8, rax
 		jnz writeloop
@@ -244,7 +263,11 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		syscall
 		cmpi rax, 0
 		jg serve
-		; EOF or error: deregister and close
+		cmpi rax, -4              ; EINTR: retry
+		jz handle_conn
+		cmpi rax, -11             ; EAGAIN: retry
+		jz handle_conn
+		; EOF or hard error: deregister and close
 		mov64 rax, SYS_epoll_ctl
 		mov rdi, r14
 		mov64 rsi, 2
@@ -263,12 +286,28 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 	appwork:
 		addi r8, -1
 		jnz appwork
-		; send the fixed response header
+		; send the fixed response header fully, retrying EINTR/EAGAIN and
+		; continuing partial writes (the static file is not open yet, so a
+		; dead client exits via conn_gone_nofile)
+		lea r13, resp_header
+		mov64 r8, 16
+	hdrloop:
 		mov64 rax, SYS_write
 		mov rdi, r9
-		lea rsi, resp_header
-		mov64 rdx, 16
+		mov rsi, r13
+		mov rdx, r8
 		syscall
+		cmpi rax, 0
+		jg hdrok
+		cmpi rax, -4              ; EINTR: retry
+		jz hdrloop
+		cmpi rax, -11             ; EAGAIN: retry
+		jz hdrloop
+		jmp conn_gone_nofile
+	hdrok:
+		add r13, rax
+		sub r8, rax
+		jnz hdrloop
 		; open the static file
 		mov64 rax, SYS_open
 		lea rdi, file_path
@@ -280,6 +319,10 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		%s
 		jmp served
 	conn_gone:
+		mov64 rax, SYS_close
+		mov rdi, r12
+		syscall
+	conn_gone_nofile:
 		mov64 rax, SYS_epoll_ctl
 		mov rdi, r14
 		mov64 rsi, 2
@@ -288,9 +331,6 @@ func WebServer(cfg WebServerConfig) (*Program, error) {
 		syscall
 		mov64 rax, SYS_close
 		mov rdi, r9
-		syscall
-		mov64 rax, SYS_close
-		mov rdi, r12
 		syscall
 		jmp evdone
 	served:

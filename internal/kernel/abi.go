@@ -134,8 +134,14 @@ const (
 	ENOTEMPTY    = 39
 	EPIPE        = 32
 	EADDRINUSE   = 98
+	ECONNRESET   = 104
 	ECONNREFUSED = 111
 )
+
+// SaRestart is the SA_RESTART sigaction flag: syscalls interrupted by
+// this handler are transparently restarted instead of failing with
+// -EINTR (the restart-semantics pitfall interposers must reproduce).
+const SaRestart = 0x10000000
 
 // Signals (subset).
 const (

@@ -131,6 +131,14 @@ func (k *Kernel) syscallEntry(t *Task) {
 	if k.OnDispatch != nil {
 		k.OnDispatch(t, nr, args)
 	}
+	// Chaos errno injection sits below every interception layer: the
+	// mechanisms have all observed the call, the ground-truth trace has
+	// recorded it, and only then may the "kernel" fail it with a
+	// retryable errno — the same view a real kernel would give.
+	if res, injected := k.chaosSyscall(t, nr); injected {
+		k.finishSyscall(t, nr, args, res)
+		return
+	}
 	k.finishSyscall(t, nr, args, k.dispatch(t, nr, args))
 }
 
@@ -212,6 +220,14 @@ func (k *Kernel) finishSyscall(t *Task, nr int64, args [6]uint64, res sysResult)
 // syscall cannot block (interposer payloads execute blocking syscalls
 // through real SYSCALL instructions in their stubs instead).
 func (k *Kernel) Syscall(t *Task, nr int64, args [6]uint64) int64 {
+	// Mark the call host-synthesised for the chaos engine: mechanism-
+	// internal syscalls (lazypoline's rewrite mprotects) must not
+	// advance or be hit by fault streams, or the schedules would
+	// diverge between mechanisms. Save/restore supports nesting.
+	savedHost := t.hostSyscall
+	t.hostSyscall = true
+	defer func() { t.hostSyscall = savedHost }()
+
 	saved := t.CPU.Regs
 	t.CPU.Regs[isa.RAX] = uint64(nr)
 	t.CPU.Regs[isa.RDI] = args[0]

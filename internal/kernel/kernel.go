@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"lazypoline/internal/chaos"
 	"lazypoline/internal/cpu"
 	"lazypoline/internal/fs"
 	"lazypoline/internal/isa"
@@ -92,6 +93,13 @@ type Config struct {
 	// nothing — it exists for differential tests and CI determinism
 	// checks that prove exactly that.
 	DisableDecodeCache bool
+	// ChaosSeed / ChaosRate configure the deterministic fault-injection
+	// engine (see internal/chaos). A rate of 0 constructs no engine at
+	// all, so a zero-rate run is byte-identical to a chaos-disabled run:
+	// every injection hook reduces to one nil comparison. The whole
+	// fault schedule is reproducible from (seed, rate) alone.
+	ChaosSeed uint64
+	ChaosRate float64
 }
 
 // Kernel is the simulated operating system.
@@ -113,6 +121,13 @@ type Kernel struct {
 	extWaiters    int32
 	noDecodeCache bool
 
+	// chaos is the fault-injection engine; nil means disabled. current
+	// is the task whose quantum is executing — the mem.AllocGate closures
+	// consult it to attribute allocations to the right chaos stream (the
+	// kernel serialises guest execution, so a plain field suffices).
+	chaos   *chaos.Engine
+	current *Task
+
 	// OnDispatch, if set, observes every syscall that actually reaches
 	// the dispatch table (the kernel's ground-truth trace, used by the
 	// exhaustiveness evaluation).
@@ -120,14 +135,18 @@ type Kernel struct {
 
 	// ExecveHook, if set, runs after a successful execve, before the new
 	// image executes. Interposition runtimes use it to re-inject
-	// themselves, mirroring LD_PRELOAD-style re-injection.
-	ExecveHook func(t *Task)
+	// themselves, mirroring LD_PRELOAD-style re-injection. A non-nil
+	// error is a guest-visible fault: the kernel force-delivers SIGSYS
+	// to the task (an uninterposed image must not be allowed to run).
+	ExecveHook func(t *Task) error
 
 	// CloneHook, if set, runs after a new task is created by
 	// clone/fork/vfork, before the child first runs. SUD has been cleared
 	// in the child by then (Linux semantics), so runtimes use this to
-	// re-enable interposition, as §IV-B(a) of the paper describes.
-	CloneHook func(parent, child *Task)
+	// re-enable interposition, as §IV-B(a) of the paper describes. A
+	// non-nil error is a guest-visible fault: the child is killed with
+	// SIGSYS and the clone fails in the parent with -EAGAIN.
+	CloneHook func(parent, child *Task) error
 }
 
 // New creates a kernel.
@@ -143,6 +162,7 @@ func New(cfg Config) *Kernel {
 		images:        make(map[string]*loader.Image),
 		randState:     cfg.RandSeed | 1,
 		noDecodeCache: cfg.DisableDecodeCache,
+		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
 	}
 	if k.Costs == (CostModel{}) {
 		k.Costs = DefaultCostModel()
@@ -152,6 +172,9 @@ func New(cfg Config) *Kernel {
 	}
 	if k.Net == nil {
 		k.Net = netstack.NewStack()
+	}
+	if k.chaos != nil {
+		k.Net.SetFaults(chaosFaults{k.chaos})
 	}
 	return k
 }
@@ -240,9 +263,28 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 	if k.noDecodeCache {
 		t.CPU.SetDecodeCache(false)
 	}
+	k.installAllocGate(as)
 	k.tasks[t.ID] = t
 	k.order = append(k.order, t)
 	return t
+}
+
+// installAllocGate wires an address space's allocation path to the
+// chaos engine's SiteAllocFail stream. Host-side setup (no current
+// task) and host-synthesised syscalls (Kernel.Syscall) are exempt —
+// only application-level allocations may fault, which is what keeps
+// the fault schedule identical across interposition mechanisms.
+func (k *Kernel) installAllocGate(as *mem.AddressSpace) {
+	if k.chaos == nil || as.AllocGate != nil {
+		return
+	}
+	as.AllocGate = func(pages uint64) bool {
+		t := k.current
+		if t == nil || t.hostSyscall {
+			return true
+		}
+		return !k.chaos.Fire(chaos.SiteAllocFail, uint64(t.ID))
+	}
 }
 
 // mapVdso installs the kernel's signal-return stub page. The stub is
@@ -416,8 +458,17 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 	// Context switch: install the task's protection-key rights (PKRU is
 	// per logical CPU on hardware; here, per scheduled task).
 	t.AS.SetActivePKRU(t.CPU.PKRU)
+	k.current = t
 	k.checkSignals(t)
-	for q := uint64(0); q < k.Costs.SchedQuantum && t.state == TaskRunnable; q++ {
+	// Scheduler-quantum jitter: the chaos engine may shorten this
+	// quantum, forcing preemption at points the normal schedule never
+	// exercises. Purely a timing perturbation — it cannot change what a
+	// deterministic single-task guest computes, only when.
+	quantum := k.Costs.SchedQuantum
+	if k.chaos.Fire(chaos.SiteSchedJitter, uint64(t.ID)) {
+		quantum = 1 + k.chaos.Pick(chaos.SiteSchedJitter, uint64(t.ID), quantum)
+	}
+	for q := uint64(0); q < quantum && t.state == TaskRunnable; q++ {
 		ev := t.CPU.Step()
 		n++
 		switch ev {
@@ -456,6 +507,7 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 	if t.CPU.Cycles > k.maxCycles {
 		k.maxCycles = t.CPU.Cycles
 	}
+	k.current = nil
 	return n
 }
 

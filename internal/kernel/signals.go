@@ -3,6 +3,7 @@ package kernel
 import (
 	"encoding/binary"
 
+	"lazypoline/internal/chaos"
 	"lazypoline/internal/cpu"
 	"lazypoline/internal/isa"
 )
@@ -19,51 +20,110 @@ func (k *Kernel) postSignal(t *Task, ps pendingSignal) {
 		return
 	}
 	t.pending = append(t.pending, ps)
-	if t.state == TaskBlocked {
-		// Signals interrupt blocking syscalls: make the task runnable so
-		// delivery happens promptly; the syscall is restarted by its
-		// retry closure semantics only via poll, so instead we fail the
-		// wait with EINTR by clearing the block and letting checkSignals
-		// deliver. Simplification: the blocking syscalls we implement are
-		// restartable, so we re-enter them after the handler via the
-		// blocked retry, matching SA_RESTART behaviour.
-		if ps.force {
-			t.state = TaskRunnable
-			t.blocked = blockedState{}
+	if t.state != TaskBlocked {
+		return
+	}
+	if ps.force {
+		// Forced signal: always interrupts the wait; checkSignals then
+		// delivers or kills.
+		t.state = TaskRunnable
+		t.blocked = blockedState{}
+		return
+	}
+	// An ordinary signal interrupts a blocking syscall only if it will
+	// actually do something — run a handler or terminate the task.
+	// Masked and ignored signals leave the wait undisturbed (Linux
+	// semantics). Whether the interrupted syscall restarts transparently
+	// or fails with -EINTR is decided at delivery time from the
+	// handler's SaRestart flag.
+	if k.signalInterrupts(t, ps) {
+		t.sigInterrupted = true
+		t.state = TaskRunnable
+		t.blocked = blockedState{}
+	}
+}
+
+// signalInterrupts reports whether a freshly posted, non-forced signal
+// should yank t out of a blocking syscall. The disposition cannot
+// change between this check and delivery: only t itself could change
+// its mask or handlers, and t does not run in between.
+func (k *Kernel) signalInterrupts(t *Task, ps pendingSignal) bool {
+	if t.SigMask&(1<<uint(ps.sig)) != 0 {
+		return false
+	}
+	act := t.Sig.Get(ps.sig)
+	if act.Handler == SigIgn {
+		return false
+	}
+	if act.Handler == SigDfl {
+		return !defaultIgnored(ps.sig) // default-terminate ends the wait
+	}
+	return true
+}
+
+// checkSignals delivers at most one deliverable pending signal.
+// Discarded (ignored) signals do not count as the delivery: the scan
+// restarts after removing them, so an ignored signal queued ahead of a
+// handled one can never leave an interrupted syscall unresolved.
+func (k *Kernel) checkSignals(t *Task) {
+	for t.Alive() && len(t.pending) > 0 {
+		discarded := false
+	scan:
+		for i, ps := range t.pending {
+			blocked := t.SigMask&(1<<uint(ps.sig)) != 0
+			act := t.Sig.Get(ps.sig)
+			switch {
+			case blocked && ps.force:
+				// Forced signal while blocked: kill (Linux force_sig).
+				k.exitGroup(t, 128+ps.sig)
+				return
+			case blocked:
+				continue // stays pending
+			case act.Handler == SigIgn:
+				t.pending = append(t.pending[:i], t.pending[i+1:]...)
+				discarded = true
+				break scan
+			case act.Handler == SigDfl:
+				if defaultIgnored(ps.sig) {
+					t.pending = append(t.pending[:i], t.pending[i+1:]...)
+					discarded = true
+					break scan
+				}
+				k.exitGroup(t, 128+ps.sig)
+				return
+			default:
+				t.pending = append(t.pending[:i], t.pending[i+1:]...)
+				k.resolveInterrupt(t, act)
+				k.deliverSignal(t, ps, act)
+				return
+			}
+		}
+		if !discarded {
+			return
 		}
 	}
 }
 
-// checkSignals delivers at most one deliverable pending signal.
-func (k *Kernel) checkSignals(t *Task) {
-	if len(t.pending) == 0 || !t.Alive() {
+// resolveInterrupt finalises a blocking syscall that a signal tore the
+// task out of, just before the handler frame is built. With SaRestart
+// the program counter is backed up onto the SYSCALL instruction — RAX
+// still holds the number and the argument registers are intact, so the
+// call re-executes after the handler returns (Linux's ERESTARTSYS
+// fixup). The re-execution takes the full interception path again, so
+// every mechanism observes the restart identically. Without SaRestart
+// the syscall fails: the handler frame captures RAX = -EINTR as the
+// post-handler return value.
+func (k *Kernel) resolveInterrupt(t *Task, act SigAction) {
+	if !t.sigInterrupted {
 		return
 	}
-	for i, ps := range t.pending {
-		blocked := t.SigMask&(1<<uint(ps.sig)) != 0
-		act := t.Sig.Get(ps.sig)
-		switch {
-		case blocked && ps.force:
-			// Forced signal while blocked: kill (Linux force_sig).
-			k.exitGroup(t, 128+ps.sig)
-			return
-		case blocked:
-			continue // stays pending
-		case act.Handler == SigIgn:
-			t.pending = append(t.pending[:i], t.pending[i+1:]...)
-			return
-		case act.Handler == SigDfl:
-			t.pending = append(t.pending[:i], t.pending[i+1:]...)
-			if defaultIgnored(ps.sig) {
-				return
-			}
-			k.exitGroup(t, 128+ps.sig)
-			return
-		default:
-			t.pending = append(t.pending[:i], t.pending[i+1:]...)
-			k.deliverSignal(t, ps, act)
-			return
-		}
+	t.sigInterrupted = false
+	if act.Flags&SaRestart != 0 {
+		t.CPU.RIP -= isa.SyscallLen
+	} else {
+		ret := int64(-EINTR)
+		t.CPU.Regs[isa.RAX] = uint64(ret)
+		t.CPU.Cycles += k.Costs.SyscallExit
 	}
 }
 
@@ -87,6 +147,12 @@ func (k *Kernel) deliverSignal(t *Task, ps pendingSignal, act SigAction) {
 	// half-filled NOP batch to the interrupted run before redirecting.
 	t.CPU.FlushNopBatch()
 	t.CPU.Cycles += k.Costs.SignalDeliver
+	// Chaos delivery-timing perturbation: model a slow interrupt path.
+	// Only cycles move — what gets delivered, and in what order, never
+	// changes, so guest-visible state is untouched.
+	if k.chaos.Fire(chaos.SiteSignalDelay, uint64(t.ID)) {
+		t.CPU.Cycles += k.chaos.Pick(chaos.SiteSignalDelay, uint64(t.ID), k.Costs.SignalDeliver)
+	}
 
 	const redZone = 128
 	sp := t.CPU.Regs[isa.RSP] - redZone

@@ -63,7 +63,17 @@ func (k *Kernel) sysClone(t *Task, args [6]uint64) sysResult {
 	t.children = append(t.children, child)
 
 	if k.CloneHook != nil {
-		k.CloneHook(t, child)
+		if err := k.CloneHook(t, child); err != nil {
+			// The interposition runtime could not re-establish itself in
+			// the child. Letting the child run uninterposed would break
+			// the exhaustiveness guarantee, and panicking would take the
+			// whole simulation down for a guest-local problem. Instead
+			// the fault is guest-visible: the child dies with SIGSYS and
+			// the clone fails in the parent with -EAGAIN, the errno
+			// Linux uses for transient clone failures.
+			k.exitTask(child, 128+SIGSYS)
+			return sysErr(EAGAIN)
+		}
 	}
 	return sysRet(int64(child.ID))
 }
@@ -109,7 +119,14 @@ func (k *Kernel) sysExecve(t *Task, args [6]uint64) sysResult {
 	t.Name = path
 
 	if k.ExecveHook != nil {
-		k.ExecveHook(t)
+		if err := k.ExecveHook(t); err != nil {
+			// The old image is already gone, so the execve cannot fail
+			// with an errno (Linux is in the same bind after the point
+			// of no return and kills with SIGSEGV). Deliver a forced
+			// SIGSYS: guest-visible, and fatal unless handled.
+			k.postSignal(t, pendingSignal{sig: SIGSYS, force: true})
+			return sysNoReturn()
+		}
 	}
 	return sysNoReturn()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"lazypoline/internal/bpf"
+	"lazypoline/internal/chaos"
 	"lazypoline/internal/fs"
 	"lazypoline/internal/mem"
 	"lazypoline/internal/netstack"
@@ -243,6 +244,11 @@ func (k *Kernel) sysRead(t *Task, args [6]uint64) sysResult {
 	if count > maxIOChunk {
 		count = maxIOChunk
 	}
+	// Chaos short read: shrink the transfer before it happens, so file
+	// offsets and socket buffers stay consistent with what the guest
+	// actually received. Short reads are legal for every byte stream —
+	// hardened guests loop until satisfied or EOF.
+	count = k.chaosShortIO(t, chaos.SiteShortRead, count)
 	buf := make([]byte, count)
 	var n int
 	switch fd.Kind {
@@ -266,6 +272,9 @@ func (k *Kernel) sysRead(t *Task, args [6]uint64) sysResult {
 			}
 			sock := fd.Sock
 			return sysBlock(func() bool { return sock.Ready()&(netstack.ReadyIn|netstack.ReadyHup) != 0 })
+		}
+		if errors.Is(err, netstack.ErrReset) {
+			return sysErr(ECONNRESET)
 		}
 		if err != nil {
 			return sysErr(EBADF)
@@ -291,6 +300,10 @@ func (k *Kernel) sysWrite(t *Task, args [6]uint64) sysResult {
 	if count > maxIOChunk {
 		count = maxIOChunk
 	}
+	// Chaos short write: accept only a prefix. POSIX lets write(2)
+	// return less than requested at any time; hardened guests advance
+	// the buffer and loop.
+	count = k.chaosShortIO(t, chaos.SiteShortWrite, count)
 	buf := make([]byte, count)
 	if count > 0 {
 		if err := t.AS.ReadAt(args[1], buf); err != nil {
@@ -320,6 +333,9 @@ func (k *Kernel) sysWrite(t *Task, args [6]uint64) sysResult {
 			}
 			sock := fd.Sock
 			return sysBlock(func() bool { return sock.Ready()&(netstack.ReadyOut|netstack.ReadyHup) != 0 })
+		}
+		if errors.Is(err, netstack.ErrReset) {
+			return sysErr(ECONNRESET)
 		}
 		if errors.Is(err, netstack.ErrPipe) {
 			// Write to a closed peer: EPIPE (SIGPIPE is default-ignored in
@@ -355,6 +371,9 @@ func (k *Kernel) sysSendfile(t *Task, args [6]uint64) sysResult {
 	if count > maxIOChunk {
 		count = maxIOChunk
 	}
+	// Chaos short write: sendfile may legally send any prefix of count;
+	// servers loop on the returned byte count.
+	count = k.chaosShortIO(t, chaos.SiteShortWrite, count)
 	buf := make([]byte, count)
 	n, err := in.File.Read(buf)
 	if err != nil {
@@ -389,6 +408,9 @@ func (k *Kernel) sysSendfile(t *Task, args [6]uint64) sysResult {
 	}
 	if errors.Is(werr, netstack.ErrPipe) {
 		return sysErr(EPIPE)
+	}
+	if errors.Is(werr, netstack.ErrReset) {
+		return sysErr(ECONNRESET)
 	}
 	return sysErr(EBADF)
 }
@@ -493,6 +515,7 @@ func (k *Kernel) sysRtSigaction(t *Task, args [6]uint64) sysResult {
 		var buf [24]byte
 		binary.LittleEndian.PutUint64(buf[0:], old.Handler)
 		binary.LittleEndian.PutUint64(buf[8:], old.Mask)
+		binary.LittleEndian.PutUint64(buf[16:], old.Flags)
 		if err := t.AS.WriteAt(args[2], buf[:]); err != nil {
 			return sysErr(EFAULT)
 		}
@@ -505,6 +528,7 @@ func (k *Kernel) sysRtSigaction(t *Task, args [6]uint64) sysResult {
 		t.Sig.Set(sig, SigAction{
 			Handler: binary.LittleEndian.Uint64(buf[0:]),
 			Mask:    binary.LittleEndian.Uint64(buf[8:]),
+			Flags:   binary.LittleEndian.Uint64(buf[16:]),
 		})
 	}
 	return sysRet(0)

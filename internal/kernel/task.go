@@ -52,6 +52,10 @@ type SigAction struct {
 	Handler uint64
 	// Mask is the additional signal mask during the handler.
 	Mask uint64
+	// Flags holds sa_flags; the kernel honours SaRestart, which decides
+	// whether a blocking syscall interrupted by this handler restarts
+	// transparently or fails with -EINTR.
+	Flags uint64
 }
 
 // SigState is the signal handler table, shared between CLONE_SIGHAND
@@ -320,6 +324,15 @@ type Task struct {
 	state    TaskState
 	blocked  blockedState
 	ExitCode int
+
+	// hostSyscall marks a syscall synthesised by Kernel.Syscall (an
+	// interposer's Go payload): exempt from chaos fault injection so
+	// mechanism-internal activity never perturbs the fault schedule.
+	hostSyscall bool
+	// sigInterrupted records that a signal yanked this task out of a
+	// blocking syscall; delivery decides restart-vs-EINTR from the
+	// handler's SaRestart flag.
+	sigInterrupted bool
 
 	// TidAddress / RobustList record set_tid_address / set_robust_list.
 	TidAddress uint64

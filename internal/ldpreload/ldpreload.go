@@ -42,7 +42,10 @@ type WrapperInfo struct {
 // DefaultWrappers maps the guest corpus's libc entry points.
 var DefaultWrappers = []WrapperInfo{
 	{"libc_read", kernel.SysRead},
-	{"libc_write", kernel.SysWrite},
+	// libc_write's retry/partial-write loop needs setup before its first
+	// syscall, so the raw issue point is a separate symbol with the
+	// canonical hookable prologue.
+	{"libc_write_raw", kernel.SysWrite},
 	{"libc_open", kernel.SysOpen},
 	{"libc_close", kernel.SysClose},
 	{"libc_stat", kernel.SysStat},

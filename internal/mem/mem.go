@@ -106,6 +106,11 @@ var ErrBadRange = errors.New("mem: bad address range")
 // ErrOverlap is returned by MapFixed when the range is already mapped.
 var ErrOverlap = errors.New("mem: range already mapped")
 
+// ErrNoMem is returned when an allocation is denied by the AllocGate —
+// the deterministic fault-injection analogue of a transient
+// out-of-memory condition.
+var ErrNoMem = errors.New("mem: cannot allocate memory")
+
 // page is one 4 KiB page.
 type page struct {
 	data [PageSize]byte
@@ -141,6 +146,14 @@ type AddressSpace struct {
 	// read lock-free by the CPU's decode-cache fast path; while it is
 	// unchanged, every previously validated block is still valid.
 	codeMut atomic.Uint64
+
+	// AllocGate, if set, is consulted before every page allocation
+	// (MapFixed, MapAnon). Returning false denies the allocation with
+	// ErrNoMem. The kernel wires this to the chaos engine's allocation-
+	// failure stream; the gate must be deterministic for a given call
+	// sequence. Clone does not copy it — the owner re-installs it on
+	// the copy. It is only read from the kernel's scheduling goroutine.
+	AllocGate func(pages uint64) bool
 }
 
 // NewAddressSpace returns an empty address space. Anonymous (non-fixed)
@@ -183,6 +196,9 @@ func (as *AddressSpace) MapFixed(addr, length uint64, prot Prot) error {
 	if addr%PageSize != 0 || length == 0 || length%PageSize != 0 {
 		return ErrBadRange
 	}
+	if as.AllocGate != nil && !as.AllocGate(length>>PageShift) {
+		return ErrNoMem
+	}
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	first, n := addr>>PageShift, length>>PageShift
@@ -205,6 +221,9 @@ func (as *AddressSpace) MapAnon(length uint64, prot Prot) (uint64, error) {
 		return 0, ErrBadRange
 	}
 	length = (length + PageSize - 1) &^ (PageSize - 1)
+	if as.AllocGate != nil && !as.AllocGate(length>>PageShift) {
+		return 0, ErrNoMem
+	}
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	// Find a free run starting at brk.

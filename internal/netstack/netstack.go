@@ -34,8 +34,27 @@ var (
 	ErrWouldBlock  = errors.New("netstack: operation would block")  // EAGAIN
 	ErrClosed      = errors.New("netstack: endpoint closed")        // EBADF
 	ErrPipe        = errors.New("netstack: broken pipe")            // EPIPE
+	ErrReset       = errors.New("netstack: connection reset")       // ECONNRESET
 	ErrBacklogFull = errors.New("netstack: accept backlog full")    // (dropped SYN)
 )
+
+// FaultPlan is the deterministic fault-injection interface the kernel
+// wires to its chaos engine. Each established connection gets a stable
+// id (assigned in Connect order, which is an application-level event
+// sequence); the plan must be a pure function of its own state and the
+// query sequence — netstack never feeds it time or randomness.
+type FaultPlan interface {
+	// Drop reports whether to drop this outgoing segment. The segment
+	// is retransmitted rather than lost (reliable stream): delivery is
+	// deferred by two reader polls.
+	Drop(connID uint64) bool
+	// Delay reports whether to delay this outgoing segment by one
+	// reader poll.
+	Delay(connID uint64) bool
+	// Reset reports whether to inject an RST on this connection,
+	// hard-closing both sides and discarding in-flight data.
+	Reset(connID uint64) bool
+}
 
 // RecvBufSize is the per-endpoint receive buffer capacity. Writers block
 // (EAGAIN) when the peer's buffer is full, which gives the web server
@@ -100,11 +119,22 @@ func (n *notifier) wake() {
 type Stack struct {
 	mu        sync.Mutex
 	listeners map[uint16]*Listener
+	faults    FaultPlan
+	nextConn  uint64
 }
 
 // NewStack returns an empty stack.
 func NewStack() *Stack {
 	return &Stack{listeners: make(map[uint16]*Listener)}
+}
+
+// SetFaults installs a fault plan on the stack. Connections established
+// after the call carry it; pipes (NewPipe) never do — packet faults are
+// a network phenomenon.
+func (s *Stack) SetFaults(f FaultPlan) {
+	s.mu.Lock()
+	s.faults = f
+	s.mu.Unlock()
 }
 
 // Listen binds a listener to port.
@@ -127,11 +157,16 @@ func (s *Stack) Listen(port uint16, backlog int) (*Listener, error) {
 func (s *Stack) Connect(port uint16) (*Endpoint, error) {
 	s.mu.Lock()
 	l, ok := s.listeners[port]
+	faults := s.faults
+	s.nextConn++
+	connID := s.nextConn
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: port %d", ErrConnRefused, port)
 	}
 	client, server := newPair()
+	client.faults, server.faults = faults, faults
+	client.connID, server.connID = connID, connID
 	if err := l.enqueue(server); err != nil {
 		return nil, err
 	}
@@ -248,7 +283,22 @@ type Endpoint struct {
 	buf    []byte // receive buffer
 	peer   *Endpoint
 	closed bool
+	reset  bool // hard-closed by an injected RST
 	refs   int
+
+	// Fault injection: faults/connID are set by Stack.Connect (nil for
+	// pipes). stage holds outgoing segments whose delivery the fault
+	// plan deferred; the receiving side ages them, one poll per tick,
+	// and order is always preserved (a reliable stream never reorders).
+	faults FaultPlan
+	connID uint64
+	stage  []stagedSegment
+}
+
+// stagedSegment is an in-flight segment awaiting (re)delivery.
+type stagedSegment struct {
+	data []byte
+	hold int // reader polls remaining before delivery
 }
 
 func newPair() (a, b *Endpoint) {
@@ -275,9 +325,14 @@ func NewPipe() (readEnd, writeEnd *Endpoint) {
 // (0, nil) for EOF (peer closed, buffer drained) and ErrWouldBlock when
 // no data is available yet.
 func (e *Endpoint) Read(p []byte) (int, error) {
+	e.tickStaged()
 	e.mu.Lock()
 	if e.closed {
+		reset := e.reset
 		e.mu.Unlock()
+		if reset {
+			return 0, ErrReset
+		}
 		return 0, ErrClosed
 	}
 	if len(e.buf) == 0 {
@@ -302,15 +357,25 @@ func (e *Endpoint) Read(p []byte) (int, error) {
 }
 
 // Write appends to the peer's receive buffer. It returns ErrPipe if the
-// peer is gone and ErrWouldBlock when the peer's buffer is full.
+// peer is gone, ErrWouldBlock when the peer's buffer is full, and
+// ErrReset when the fault plan injects an RST on the connection.
 func (e *Endpoint) Write(p []byte) (int, error) {
 	e.mu.Lock()
 	if e.closed {
+		reset := e.reset
 		e.mu.Unlock()
+		if reset {
+			return 0, ErrReset
+		}
 		return 0, ErrClosed
 	}
 	peer := e.peer
+	faults := e.faults
 	e.mu.Unlock()
+	if faults != nil && faults.Reset(e.connID) {
+		e.injectReset()
+		return 0, ErrReset
+	}
 	if peer == nil || peer.isClosed() {
 		return 0, ErrPipe
 	}
@@ -324,10 +389,94 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 	if n > space {
 		n = space
 	}
+	peer.mu.Unlock()
+
+	// Fault plan: drop (retransmit after two reader polls) or delay
+	// (one poll) this segment. A segment also stages, with no extra
+	// hold, whenever earlier segments are still in flight — a stream
+	// never reorders.
+	hold := 0
+	if faults != nil {
+		if faults.Drop(e.connID) {
+			hold = 2
+		} else if faults.Delay(e.connID) {
+			hold = 1
+		}
+	}
+	e.mu.Lock()
+	if hold > 0 || len(e.stage) > 0 {
+		seg := stagedSegment{data: append([]byte(nil), p[:n]...), hold: hold}
+		e.stage = append(e.stage, seg)
+		e.mu.Unlock()
+		// Accepted into the send buffer; the peer is woken only when a
+		// segment is actually delivered (by its poll-driven ticks).
+		return n, nil
+	}
+	e.mu.Unlock()
+
+	peer.mu.Lock()
 	peer.buf = append(peer.buf, p[:n]...)
 	peer.mu.Unlock()
 	peer.notif.wake()
 	return n, nil
+}
+
+// tickStaged ages the segments the fault plan is holding back on the
+// peer (the writer of data flowing toward e) and delivers any that are
+// due. Called from the reading side's Read and Ready, so delay is
+// measured in reader polls — deterministic virtual time, no wall clock.
+func (e *Endpoint) tickStaged() {
+	e.mu.Lock()
+	w := e.peer
+	e.mu.Unlock()
+	if w == nil {
+		return
+	}
+	var due [][]byte
+	w.mu.Lock()
+	if len(w.stage) > 0 {
+		w.stage[0].hold-- // only the head ages: in-order delivery
+		for len(w.stage) > 0 && w.stage[0].hold <= 0 {
+			due = append(due, w.stage[0].data)
+			w.stage = w.stage[1:]
+		}
+	}
+	w.mu.Unlock()
+	if len(due) == 0 {
+		return
+	}
+	e.mu.Lock()
+	for _, d := range due {
+		e.buf = append(e.buf, d...)
+	}
+	e.mu.Unlock()
+}
+
+// injectReset hard-closes both sides of the connection, discarding
+// buffered and in-flight data — RST semantics. Descriptor reference
+// counts are irrelevant: a reset kills the connection, not the fds.
+func (e *Endpoint) injectReset() {
+	e.mu.Lock()
+	peer := e.peer
+	e.refs = 0
+	e.closed = true
+	e.reset = true
+	e.buf = nil
+	e.stage = nil
+	e.mu.Unlock()
+	if peer != nil {
+		peer.mu.Lock()
+		peer.refs = 0
+		peer.closed = true
+		peer.reset = true
+		peer.buf = nil
+		peer.stage = nil
+		peer.mu.Unlock()
+	}
+	e.notif.wake()
+	if peer != nil {
+		peer.notif.wake()
+	}
 }
 
 // Close drops one reference; the endpoint shuts down (waking both
@@ -346,7 +495,20 @@ func (e *Endpoint) Close() {
 	e.refs = 0
 	e.closed = true
 	peer := e.peer
+	stage := e.stage
+	e.stage = nil
 	e.mu.Unlock()
+	// FIN queues behind in-flight data: anything the fault plan was
+	// still holding is delivered before the peer can observe the close.
+	if peer != nil && len(stage) > 0 {
+		peer.mu.Lock()
+		if !peer.closed {
+			for _, seg := range stage {
+				peer.buf = append(peer.buf, seg.data...)
+			}
+		}
+		peer.mu.Unlock()
+	}
 	e.notif.wake()
 	if peer != nil {
 		peer.notif.wake()
@@ -368,7 +530,10 @@ func (e *Endpoint) Buffered() int {
 
 // Ready implements Pollable. It never holds its own lock while taking the
 // peer's, so concurrent Ready calls from both sides cannot deadlock.
+// Each poll ages fault-delayed segments headed this way, so a blocked
+// reader's periodic polling is exactly what "time" means for delivery.
 func (e *Endpoint) Ready() Readiness {
+	e.tickStaged()
 	e.mu.Lock()
 	bufLen := len(e.buf)
 	closed := e.closed

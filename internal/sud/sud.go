@@ -105,7 +105,7 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer) (*Mechani
 	// The kernel clears SUD in clone/fork children; a real SUD library
 	// re-enables it there (the handler page, gs region and selector all
 	// exist in the child's copied address space at the same addresses).
-	k.CloneHook = func(parent, child *kernel.Task) {
+	k.CloneHook = func(parent, child *kernel.Task) error {
 		cfg := kernel.SUDConfig{
 			Enabled:      true,
 			SelectorAddr: child.CPU.GSBase + interpose.GSSelector,
@@ -113,8 +113,12 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer) (*Mechani
 			RangeLen:     2 * mem.PageSize,
 		}
 		if err := k.ConfigSUD(child, cfg); err != nil {
-			panic(fmt.Sprintf("sud: clone hook: %v", err))
+			// A child we cannot re-interpose must not run: report the
+			// failure to the kernel, which kills the child with SIGSYS
+			// and fails the parent's clone with -EAGAIN.
+			return fmt.Errorf("sud: clone hook: %w", err)
 		}
+		return nil
 	}
 	return m, nil
 }

@@ -34,7 +34,15 @@ type clientConn struct {
 	awaiting int // bytes of the current response still expected; 0 = idle
 	buf      []byte
 	request  []byte
+	retries  int // reconnects performed after injected RSTs (bounded)
+	backoff  int // Step() calls to sit out before the next reconnect
 }
+
+// maxReconnects bounds how often a connection re-dials after an injected
+// RST before giving up for good. Like every retry policy in the chaos
+// design, the backoff is measured in virtual time (Step calls), so runs
+// replay identically from the chaos seed.
+const maxReconnects = 8
 
 // NewClient prepares nconns connections that will collectively issue
 // `target` requests, each expecting a response of respSize bytes.
@@ -79,18 +87,27 @@ const requestLine = "GET /static   \r\n"
 func (c *Client) Step() {
 	for _, cc := range c.conns {
 		if cc.ep == nil {
+			c.stepReconnect(cc)
 			continue
 		}
 		if cc.awaiting == 0 && c.sent < c.target {
-			if _, err := cc.ep.Write(cc.request); err == nil {
+			_, err := cc.ep.Write(cc.request)
+			if err == nil {
 				c.sent++
 				cc.awaiting = c.respSize
+			} else if errors.Is(err, netstack.ErrReset) {
+				c.dropConn(cc)
+				continue
 			}
 			// EAGAIN/EPIPE: retry on a later step.
 		}
 		for cc.awaiting > 0 {
 			n, err := cc.ep.Read(cc.buf)
 			if errors.Is(err, netstack.ErrWouldBlock) || (n == 0 && err == nil) {
+				break
+			}
+			if errors.Is(err, netstack.ErrReset) {
+				c.dropConn(cc)
 				break
 			}
 			if err != nil {
@@ -104,6 +121,42 @@ func (c *Client) Step() {
 			}
 		}
 	}
+}
+
+// dropConn tears down a connection killed by an injected RST. The
+// in-flight request (if any) is returned to the send budget so it gets
+// re-issued once the connection is re-established.
+func (c *Client) dropConn(cc *clientConn) {
+	cc.ep.Close()
+	cc.ep = nil
+	if cc.awaiting > 0 {
+		cc.awaiting = 0
+		c.sent--
+	}
+	cc.retries++
+	if cc.retries > maxReconnects {
+		return // permanently dead; remaining conns carry the load
+	}
+	// Deterministic exponential backoff: 1, 2, 4, ... Step calls.
+	cc.backoff = 1 << uint(cc.retries-1)
+}
+
+// stepReconnect advances a dropped connection's backoff and re-dials
+// once it expires. Dial failures (backlog full, server mid-restart) are
+// retried on the next step.
+func (c *Client) stepReconnect(cc *clientConn) {
+	if cc.retries == 0 || cc.retries > maxReconnects {
+		return // never connected, or gave up
+	}
+	if cc.backoff > 0 {
+		cc.backoff--
+		return
+	}
+	ep, err := c.stack.Connect(c.port)
+	if err != nil {
+		return
+	}
+	cc.ep = ep
 }
 
 // Done reports whether all requested responses have been received.
@@ -145,6 +198,13 @@ type Config struct {
 	// instruction cache. Results are identical either way (the cache is
 	// semantically invisible); CI uses this to prove it.
 	DisableDecodeCache bool
+	// ChaosSeed and ChaosRate configure deterministic fault injection
+	// (see internal/chaos). Rate 0 disables it entirely. The multi-task
+	// server makes scheduling mechanism-dependent, so chaos webbench runs
+	// promise per-(mechanism, seed, rate) reproducibility rather than the
+	// cross-mechanism invariance of the single-task suites.
+	ChaosSeed uint64
+	ChaosRate float64
 }
 
 // Result is one run's outcome.
@@ -177,7 +237,12 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Connections <= 0 {
 		cfg.Connections = 36
 	}
-	k := kernel.New(kernel.Config{Costs: cfg.Costs, DisableDecodeCache: cfg.DisableDecodeCache})
+	k := kernel.New(kernel.Config{
+		Costs:              cfg.Costs,
+		DisableDecodeCache: cfg.DisableDecodeCache,
+		ChaosSeed:          cfg.ChaosSeed,
+		ChaosRate:          cfg.ChaosRate,
+	})
 
 	// Static content.
 	content := make([]byte, cfg.FileSize)

@@ -26,3 +26,22 @@ strip_wall() { grep -v '"wall_seconds"' "$1"; }
 strip_wall /tmp/ci_fig5_cache_on.json > /tmp/ci_fig5_cache_on.stripped
 strip_wall /tmp/ci_fig5_cache_off.json > /tmp/ci_fig5_cache_off.stripped
 diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_cache_off.stripped
+
+# Chaos determinism (DESIGN.md §8): a fixed fault plan must be
+# mechanism-invariant on a single-task guest — identical strace log,
+# console and exit across mechanisms — and demonstrably engaged (the
+# injected -EINTR/-EAGAIN returns must appear in the log).
+chaos="-builtin cat -stats=false -chaos-seed 7 -chaos-rate 0.3"
+go run ./cmd/runsim -mech lazypoline $chaos > /tmp/ci_chaos_lazypoline.txt
+go run ./cmd/runsim -mech sud $chaos > /tmp/ci_chaos_sud.txt
+diff -u /tmp/ci_chaos_lazypoline.txt /tmp/ci_chaos_sud.txt
+grep -q ' = -4$' /tmp/ci_chaos_sud.txt   # an injected EINTR was retried
+grep -q ' = -11$' /tmp/ci_chaos_sud.txt  # an injected EAGAIN was retried
+
+# Zero-rate chaos must be byte-identical to chaos never configured.
+go run ./cmd/runsim -mech sud -builtin cat > /tmp/ci_chaos_off.txt
+go run ./cmd/runsim -mech sud -builtin cat -chaos-seed 7 -chaos-rate 0 > /tmp/ci_chaos_zero.txt
+diff -u /tmp/ci_chaos_off.txt /tmp/ci_chaos_zero.txt
+
+# Decoder fuzz smoke: the isa decoder must survive arbitrary bytes.
+go test ./internal/isa/ -run '^$' -fuzz FuzzDecode -fuzztime 5s
