@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -16,6 +16,15 @@ test:
 chaos-smoke:
 	go test ./internal/experiments -run 'TestChaosInvariance' -count 1
 	go test ./internal/kernel -run 'TestChaos|TestBlockingRead|TestSigactionReportsFlags' -count 1
+
+# Quick telemetry sanity pass: profile the microbenchmark under
+# lazypoline, run the inertness suite's fastest matrix, and show the
+# hottest folded stacks (see the EXPERIMENTS.md telemetry walkthrough).
+profile-smoke:
+	go test ./internal/experiments -run 'TestTelemetryInvarianceMicrobench' -count 1
+	go run ./cmd/runsim -builtin microbench -mech lazypoline -trace=false \
+		-stats=false -profile-out /tmp/profile_smoke.folded
+	head -10 /tmp/profile_smoke.folded
 
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:

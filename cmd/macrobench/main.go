@@ -23,6 +23,8 @@ import (
 	"lazypoline/internal/benchfmt"
 	"lazypoline/internal/experiments"
 	"lazypoline/internal/guest"
+	"lazypoline/internal/telemetry"
+	"lazypoline/internal/webbench"
 )
 
 func main() {
@@ -37,6 +39,9 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
+	metricsOut := flag.String("metrics-out", "", "record per-dispatch-path cycle breakdowns for every cell into this benchfmt file")
+	traceOut := flag.String("trace-out", "", "write a timeline trace of one instrumented webserver run (.jsonl = compact lines, else Chrome/Perfetto JSON)")
+	profileOut := flag.String("profile-out", "", "write folded flamegraph stacks of one instrumented webserver run")
 	flag.Parse()
 
 	cfg := experiments.Figure5Config{
@@ -72,7 +77,13 @@ func main() {
 		cfg.Requests, cfg.Connections)
 
 	begin := time.Now()
-	points, err := experiments.Figure5(cfg)
+	var points []experiments.Figure5Point
+	var cellMetrics []experiments.Figure5CellMetrics
+	if *metricsOut != "" {
+		points, cellMetrics, err = experiments.Figure5WithMetrics(cfg)
+	} else {
+		points, err = experiments.Figure5(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +116,93 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	// The per-path breakdowns go into a SEPARATE benchfmt file: the main
+	// BENCH_figure5.json must stay byte-identical whether or not the
+	// sweep was instrumented (CI diffs the two to prove telemetry is
+	// inert).
+	if *metricsOut != "" {
+		err := benchfmt.Write(*metricsOut, benchfmt.File{
+			Name:        "figure5-metrics",
+			Parallelism: *parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results:     cellMetrics,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if *traceOut != "" || *profileOut != "" {
+		if err := instrumentedRun(cfg, *traceOut, *profileOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// instrumentedRun re-runs one representative cell — lazypoline, one
+// worker, the smallest swept file size — with a timeline and profiler
+// attached, and writes the requested outputs. It runs after the sweep so
+// the measured points are never from an instrumented kernel.
+func instrumentedRun(cfg experiments.Figure5Config, traceOut, profileOut string) error {
+	sink := &telemetry.Sink{}
+	if traceOut != "" {
+		sink.Timeline = telemetry.NewTimeline()
+	}
+	if profileOut != "" {
+		sink.Profiler = telemetry.NewProfiler()
+	}
+	wcfg := webbench.Config{
+		Style:       cfg.Servers[0],
+		Workers:     1,
+		FileSize:    cfg.FileSizes[0],
+		Connections: cfg.Connections,
+		Requests:    cfg.Requests,
+		Attach:      experiments.AttachFunc(experiments.MechLazypoline),
+		Costs:       cfg.Costs,
+		Telemetry:   sink,
+	}
+	if _, err := webbench.Run(wcfg); err != nil {
+		return fmt.Errorf("instrumented run: %w", err)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		evs := sink.Timeline.Events()
+		if strings.HasSuffix(traceOut, ".jsonl") {
+			err = telemetry.EncodeJSONL(f, evs)
+		} else {
+			err = telemetry.EncodeChrome(f, evs)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", traceOut)
+	}
+	if profileOut != "" {
+		symbols, err := webbench.Symbols(wcfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(profileOut)
+		if err != nil {
+			return err
+		}
+		err = sink.Profiler.WriteFolded(f, symbols)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", profileOut)
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -26,9 +26,81 @@ import (
 	"lazypoline/internal/ptracer"
 	"lazypoline/internal/seccomputil"
 	"lazypoline/internal/sud"
+	"lazypoline/internal/telemetry"
 	"lazypoline/internal/trace"
 	"lazypoline/internal/zpoline"
 )
+
+// telemetryOuts holds the telemetry output paths; empty = surface off.
+type telemetryOuts struct {
+	metrics string
+	trace   string
+	profile string
+}
+
+func (o telemetryOuts) sink() *telemetry.Sink {
+	if o.metrics == "" && o.trace == "" && o.profile == "" {
+		return nil
+	}
+	s := &telemetry.Sink{}
+	if o.metrics != "" {
+		s.Metrics = telemetry.NewRegistry()
+	}
+	if o.trace != "" {
+		s.Timeline = telemetry.NewTimeline()
+	}
+	if o.profile != "" {
+		s.Profiler = telemetry.NewProfiler()
+	}
+	return s
+}
+
+// write emits the requested telemetry files. Trace format follows the
+// extension: .jsonl gets the compact line form, everything else the
+// Chrome trace-event JSON Perfetto loads.
+func (o telemetryOuts) write(s *telemetry.Sink, symbols map[string]uint64) error {
+	if o.metrics != "" {
+		data, err := s.Metrics.Snapshot().MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.metrics, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		evs := s.Timeline.Events()
+		if strings.HasSuffix(o.trace, ".jsonl") {
+			err = telemetry.EncodeJSONL(f, evs)
+		} else {
+			err = telemetry.EncodeChrome(f, evs)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if o.profile != "" {
+		f, err := os.Create(o.profile)
+		if err != nil {
+			return err
+		}
+		err = s.Profiler.WriteFolded(f, symbols)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func main() {
 	mech := flag.String("mech", "lazypoline", "interposition mechanism: lazypoline, lazypoline-noxstate, zpoline, sud, seccomp-user, ptrace, ldpreload, none")
@@ -37,16 +109,21 @@ func main() {
 	stats := flag.Bool("stats", true, "print cycle and mechanism statistics")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
+	var outs telemetryOuts
+	flag.StringVar(&outs.metrics, "metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
+	flag.StringVar(&outs.trace, "trace-out", "", "write a timeline trace to this file (.jsonl = compact lines, else Chrome/Perfetto JSON)")
+	flag.StringVar(&outs.profile, "profile-out", "", "write folded flamegraph stacks of the virtual-cycle profile to this file")
 	flag.Parse()
 
-	if err := run(*mech, *doTrace, *builtin, *stats, *chaosSeed, *chaosRate, flag.Args()); err != nil {
+	if err := run(*mech, *doTrace, *builtin, *stats, *chaosSeed, *chaosRate, outs, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "runsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64, chaosRate float64, args []string) error {
-	k := kernel.New(kernel.Config{ChaosSeed: chaosSeed, ChaosRate: chaosRate})
+func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64, chaosRate float64, outs telemetryOuts, args []string) error {
+	sink := outs.sink()
+	k := kernel.New(kernel.Config{ChaosSeed: chaosSeed, ChaosRate: chaosRate, Telemetry: sink})
 	prog, err := loadProgram(k, builtin, args)
 	if err != nil {
 		return err
@@ -60,6 +137,7 @@ func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64
 	var ip interpose.Interposer = rec
 	var lpStats *core.Runtime
 	var zpStats *zpoline.Mechanism
+	var mechSyms map[string]uint64
 	switch mech {
 	case "lazypoline":
 		lpStats, err = core.Attach(k, task, ip, core.Options{})
@@ -68,7 +146,11 @@ func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64
 	case "zpoline":
 		zpStats, err = zpoline.Attach(k, task, ip, zpoline.Options{})
 	case "sud":
-		_, err = sud.Attach(k, task, ip)
+		var m *sud.Mechanism
+		m, err = sud.Attach(k, task, ip)
+		if err == nil {
+			mechSyms = m.Symbols()
+		}
 	case "seccomp-user":
 		_, err = seccomputil.AttachUser(k, task, ip)
 	case "ptrace":
@@ -76,8 +158,11 @@ func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64
 	case "ldpreload":
 		var lp *ldpreload.Mechanism
 		lp, err = ldpreload.Attach(k, task, ip, prog.Image.Symbols, ldpreload.DefaultWrappers)
-		if err == nil && len(lp.Hooked) == 0 {
-			fmt.Fprintln(os.Stderr, "runsim: warning: no known wrappers found; nothing hooked")
+		if err == nil {
+			mechSyms = lp.Symbols()
+			if len(lp.Hooked) == 0 {
+				fmt.Fprintln(os.Stderr, "runsim: warning: no known wrappers found; nothing hooked")
+			}
 		}
 	case "none":
 	default:
@@ -86,9 +171,23 @@ func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64
 	if err != nil {
 		return err
 	}
+	if lpStats != nil {
+		mechSyms = lpStats.Symbols()
+	}
+	if zpStats != nil {
+		mechSyms = zpStats.Symbols()
+	}
 
 	if err := k.Run(500_000_000); err != nil {
 		return err
+	}
+
+	if sink != nil {
+		symbols := telemetry.MergeSymbols(prog.Image.Symbols, mechSyms,
+			map[string]uint64{"vdso_sigreturn": kernel.VdsoBase})
+		if err := outs.write(sink, symbols); err != nil {
+			return err
+		}
 	}
 
 	if doTrace && mech != "none" {

@@ -1,0 +1,98 @@
+// Command tracecat pretty-prints and converts telemetry timeline traces
+// produced by runsim/macrobench -trace-out. Both on-disk forms are
+// accepted and sniffed automatically: Chrome trace-event JSON (the
+// Perfetto-loadable envelope) and the compact JSONL form.
+//
+// Usage:
+//
+//	tracecat trace.json               # pretty-print a table
+//	tracecat -format jsonl trace.json # convert to compact JSONL
+//	tracecat -format chrome trace.jsonl > trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lazypoline/internal/telemetry"
+)
+
+func main() {
+	format := flag.String("format", "pretty", "output format: pretty, chrome, jsonl")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [-format pretty|chrome|jsonl] trace-file")
+		os.Exit(2)
+	}
+	if err := run(*format, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(format, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	evs, err := telemetry.DecodeTrace(data)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		return telemetry.EncodeChrome(os.Stdout, evs)
+	case "jsonl":
+		return telemetry.EncodeJSONL(os.Stdout, evs)
+	case "pretty":
+		return pretty(evs)
+	}
+	return fmt.Errorf("unknown format %q (want pretty, chrome or jsonl)", format)
+}
+
+// pretty prints one line per event: lanes up front, then the timed
+// events in the encoder's per-lane order.
+func pretty(evs []telemetry.Event) error {
+	lanes := 0
+	for _, ev := range evs {
+		if ev.Ph == "M" {
+			lanes++
+		}
+	}
+	fmt.Printf("%d events (%d metadata)\n", len(evs), lanes)
+	fmt.Printf("%-5s %-5s %-12s %-10s %12s %10s  %s\n",
+		"pid", "tid", "ph", "cat", "ts", "dur", "name")
+	for _, ev := range evs {
+		if ev.Ph == "M" {
+			label := ""
+			if ev.Args != nil {
+				label = ev.Args["name"]
+			}
+			fmt.Printf("%-5d %-5d %-12s %-10s %12s %10s  %s = %s\n",
+				ev.PID, ev.TID, "meta", "", "", "", ev.Name, label)
+			continue
+		}
+		dur := ""
+		if ev.Ph == "X" {
+			dur = fmt.Sprintf("%d", ev.Dur)
+		}
+		fmt.Printf("%-5d %-5d %-12s %-10s %12d %10s  %s\n",
+			ev.PID, ev.TID, phName(ev.Ph), ev.Cat, ev.TS, dur, ev.Name)
+	}
+	return nil
+}
+
+func phName(ph string) string {
+	switch ph {
+	case "B":
+		return "begin"
+	case "E":
+		return "end"
+	case "X":
+		return "slice"
+	case "i":
+		return "instant"
+	}
+	return ph
+}

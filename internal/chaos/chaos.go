@@ -49,12 +49,40 @@ const (
 	SiteSchedJitter
 )
 
+// SiteName names a site for telemetry output.
+func SiteName(s Site) string {
+	switch s {
+	case SiteSyscallErrno:
+		return "syscall-errno"
+	case SiteShortRead:
+		return "short-read"
+	case SiteShortWrite:
+		return "short-write"
+	case SiteSignalDelay:
+		return "signal-delay"
+	case SiteNetDrop:
+		return "net-drop"
+	case SiteNetDelay:
+		return "net-delay"
+	case SiteNetReset:
+		return "net-reset"
+	case SiteAllocFail:
+		return "alloc-fail"
+	case SiteSchedJitter:
+		return "sched-jitter"
+	}
+	return "unknown"
+}
+
 // Engine is a deterministic fault plan. The zero value is unusable;
 // construct with New. A nil Engine never fires.
 type Engine struct {
 	seed      uint64
 	threshold uint64 // fire when next draw < threshold
 	counters  map[streamKey]uint64
+	// fires counts injections per site — bookkeeping for telemetry,
+	// never consulted by the decision functions.
+	fires map[Site]uint64
 }
 
 type streamKey struct {
@@ -83,6 +111,7 @@ func New(seed uint64, rate float64) *Engine {
 		seed:      seed,
 		threshold: threshold,
 		counters:  make(map[streamKey]uint64),
+		fires:     make(map[Site]uint64),
 	}
 }
 
@@ -117,7 +146,24 @@ func (e *Engine) Fire(site Site, id uint64) bool {
 	if e == nil {
 		return false
 	}
-	return e.draw(site, id) < e.threshold
+	fired := e.draw(site, id) < e.threshold
+	if fired {
+		e.fires[site]++
+	}
+	return fired
+}
+
+// FireCounts returns a copy of the per-site injection counts. Nil-safe:
+// returns nil for a nil engine.
+func (e *Engine) FireCounts() map[Site]uint64 {
+	if e == nil {
+		return nil
+	}
+	out := make(map[Site]uint64, len(e.fires))
+	for site, n := range e.fires {
+		out[site] = n
+	}
+	return out
 }
 
 // Pick draws a value in [0, n) from the (site, id) stream, advancing

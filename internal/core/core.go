@@ -36,6 +36,7 @@ import (
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/mem"
+	"lazypoline/internal/telemetry"
 	"lazypoline/internal/zpoline"
 )
 
@@ -160,7 +161,27 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer, opts Opti
 		}
 		return nil
 	}
+	if tel := k.Telemetry(); tel != nil && tel.Metrics != nil {
+		tel.Metrics.AddCollector(func(r *telemetry.Registry) {
+			r.Counter("lazypoline.slowpath_hits").Set(uint64(rt.Stats.SlowPathHits))
+			r.Counter("lazypoline.rewrites").Set(uint64(rt.Stats.Rewrites))
+			r.Counter("lazypoline.wrapped_signals").Set(uint64(rt.Stats.WrappedSignals))
+			r.Counter("lazypoline.sigreturns_routed").Set(uint64(rt.Stats.SigreturnsRouted))
+		})
+	}
 	return rt, nil
+}
+
+// Symbols names the runtime's injected entry points, for the profiler's
+// folded-stack output ("N% of cycles in sigsys_entry").
+func (rt *Runtime) Symbols() map[string]uint64 {
+	return map[string]uint64{
+		"trampoline_sled":      0,
+		"lazypoline_entry":     rt.entryAddr,
+		"sigsys_entry":         rt.sigsysAddr,
+		"signal_wrapper":       rt.wrapperAddr,
+		"sigreturn_trampoline": rt.sigretTramp,
+	}
 }
 
 // binderEnter wraps Binder.Enter but skips pushing pending state for

@@ -7,6 +7,7 @@ import (
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/mem"
+	"lazypoline/internal/telemetry"
 )
 
 // slowPath is the SIGSYS payload — the heart of the lazy design. It runs
@@ -48,8 +49,15 @@ func (rt *Runtime) slowPath(hc *kernel.HcallCtx) error {
 	site := savedRIP - isa.SyscallLen
 
 	// Lazily install the fast path for this site (Figure 2 transition).
+	// The telemetry timeline brackets the rewrite window — the span in
+	// which the site bytes are mid-patch and signals are masked.
+	rewriteStart := t.CPU.Cycles
 	if err := rt.rewriteSiteLocked(t, site); err != nil {
 		return err
+	}
+	if tel := rt.K.Telemetry(); tel != nil && tel.Timeline != nil {
+		tel.Timeline.Span(telemetry.PIDMachine, t.ID, "rewrite", "rewrite",
+			rewriteStart, t.CPU.Cycles-rewriteStart)
 	}
 
 	// Interpose this first execution too: resume at the generic entry

@@ -167,6 +167,13 @@ type CPU struct {
 	// Hook, if non-nil, is called for every retired instruction.
 	Hook InsnHook
 
+	// FetchWalks counts instruction fetches that missed the decode cache
+	// and walked guest memory; NopBatches counts completed NOP batches
+	// (full batches plus flush-billed partials). Pure observability for
+	// the telemetry layer — neither affects timing or behaviour.
+	FetchWalks uint64
+	NopBatches uint64
+
 	nopAccum uint64
 	fetchBuf [16]byte
 	cache    *decodeCache
@@ -251,6 +258,7 @@ func (c *CPU) Step() Event {
 		// Uncached fetch: one locked walk computes how many executable
 		// bytes are available at pc (the tail of a mapping may hold fewer
 		// than the 10-byte maximum instruction length).
+		c.FetchWalks++
 		n, ferr := c.AS.FetchExec(pc, c.fetchBuf[:maxInsnLen])
 		if n == 0 {
 			c.FlushNopBatch()
@@ -281,6 +289,7 @@ func (c *CPU) Step() Event {
 		if c.nopAccum >= c.Costs.NopsPerCycle {
 			c.nopAccum = 0
 			c.Cycles += c.Costs.Insn
+			c.NopBatches++
 		}
 	} else {
 		// Any non-NOP ends the run: a partial batch still occupies a
@@ -586,5 +595,6 @@ func (c *CPU) FlushNopBatch() {
 	if c.nopAccum > 0 {
 		c.nopAccum = 0
 		c.Cycles += c.Costs.Insn
+		c.NopBatches++
 	}
 }

@@ -273,7 +273,7 @@ func TestCacheInvarianceWebServers(t *testing.T) {
 						FileSize:           1024,
 						Connections:        4,
 						Requests:           40,
-						Attach:             attachFunc(mech),
+						Attach:             AttachFunc(mech),
 						DisableDecodeCache: disable,
 					})
 					if err != nil {

@@ -210,7 +210,7 @@ func TestChaosInvarianceWebBench(t *testing.T) {
 						FileSize:    1024,
 						Connections: 4,
 						Requests:    40,
-						Attach:      attachFunc(mech),
+						Attach:      AttachFunc(mech),
 						ChaosSeed:   seed,
 						ChaosRate:   rate,
 					})

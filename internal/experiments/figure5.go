@@ -5,6 +5,7 @@ import (
 
 	"lazypoline/internal/guest"
 	"lazypoline/internal/kernel"
+	"lazypoline/internal/telemetry"
 	"lazypoline/internal/webbench"
 )
 
@@ -96,21 +97,53 @@ type figure5Cell struct {
 	mech     string
 }
 
+// Figure5PathMetric is one dispatch path's aggregate within a cell, from
+// the telemetry registry's kernel.dispatch.<path> counters.
+type Figure5PathMetric struct {
+	Path   string `json:"path"`
+	Calls  uint64 `json:"calls"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// Figure5CellMetrics is the per-dispatch-path cycle breakdown of one
+// sweep cell, recorded when the sweep runs with telemetry attached.
+type Figure5CellMetrics struct {
+	Server    string              `json:"server"`
+	Workers   int                 `json:"workers"`
+	FileSize  int                 `json:"file_size"`
+	Mechanism string              `json:"mechanism"`
+	Paths     []Figure5PathMetric `json:"paths"`
+}
+
 // Figure5 runs the macrobenchmark sweep: all cells are enumerated up
 // front, measured on a bounded worker pool, and assembled in plot order.
 // Baselines are looked up explicitly per configuration, so the output is
 // independent of both execution interleaving and the order of the
 // Workers/Mechanisms slices.
 func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
+	points, _, err := figure5Run(cfg, false)
+	return points, err
+}
+
+// Figure5WithMetrics is Figure5 with a per-cell telemetry registry
+// attached, additionally returning each cell's dispatch-path cycle
+// breakdown (in cell enumeration order). The points are byte-identical
+// to a plain Figure5 run — telemetry is strictly observational, and the
+// CI invariance step diffs the two to prove it.
+func Figure5WithMetrics(cfg Figure5Config) ([]Figure5Point, []Figure5CellMetrics, error) {
+	return figure5Run(cfg, true)
+}
+
+func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5CellMetrics, error) {
 	if len(cfg.Mechanisms) == 0 {
 		cfg.Mechanisms = Figure5Mechanisms
 	}
 	if !containsStr(cfg.Mechanisms, MechBaseline) {
-		return nil, fmt.Errorf("experiments: figure5: mechanism list %v lacks %q — every point's Relative is normalised to the same-configuration baseline cell",
+		return nil, nil, fmt.Errorf("experiments: figure5: mechanism list %v lacks %q — every point's Relative is normalised to the same-configuration baseline cell",
 			cfg.Mechanisms, MechBaseline)
 	}
 	if cfg.ClientCapFactor > 0 && containsGreater(cfg.Workers, 1) && !containsInt(cfg.Workers, 1) {
-		return nil, fmt.Errorf("experiments: figure5: ClientCapFactor=%g needs a workers==1 configuration to anchor the client capacity cap (got workers %v)",
+		return nil, nil, fmt.Errorf("experiments: figure5: ClientCapFactor=%g needs a workers==1 configuration to anchor the client capacity cap (got workers %v)",
 			cfg.ClientCapFactor, cfg.Workers)
 	}
 
@@ -126,32 +159,51 @@ func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
 		}
 	}
 
-	// Measure. Each cell builds its own kernel, guest image and cost
-	// model; the raw (uncapped) throughputs land at disjoint indices.
+	// Measure. Each cell builds its own kernel, guest image, cost model
+	// and (optionally) telemetry registry; the raw (uncapped) throughputs
+	// and per-cell metrics land at disjoint indices.
 	raw := make([]float64, len(cells))
+	var metrics []Figure5CellMetrics
+	if withMetrics {
+		metrics = make([]Figure5CellMetrics, len(cells))
+	}
 	err := runSweep(len(cells), cfg.Parallelism, func(i int) error {
 		c := cells[i]
+		var sink *telemetry.Sink
+		if withMetrics {
+			sink = &telemetry.Sink{Metrics: telemetry.NewRegistry()}
+		}
 		res, err := webbench.Run(webbench.Config{
 			Style:              c.server,
 			Workers:            c.workers,
 			FileSize:           c.fileSize,
 			Connections:        cfg.Connections,
 			Requests:           cfg.Requests,
-			Attach:             attachFunc(c.mech),
+			Attach:             AttachFunc(c.mech),
 			Costs:              cfg.Costs,
 			DisableDecodeCache: cfg.DisableDecodeCache,
 			ChaosSeed:          cfg.ChaosSeed,
 			ChaosRate:          cfg.ChaosRate,
+			Telemetry:          sink,
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",
 				c.server, c.workers, c.fileSize, c.mech, err)
 		}
 		raw[i] = res.Throughput
+		if withMetrics {
+			metrics[i] = Figure5CellMetrics{
+				Server:    c.server.String(),
+				Workers:   c.workers,
+				FileSize:  c.fileSize,
+				Mechanism: c.mech,
+				Paths:     dispatchBreakdown(sink.Metrics.Snapshot()),
+			}
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tput := make(map[figure5Cell]float64, len(cells))
 	for i, c := range cells {
@@ -178,7 +230,7 @@ func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
 			for _, workers := range cfg.Workers {
 				baseline, _ := applyCap(figure5Cell{server, workers, fileSize, MechBaseline}, single)
 				if baseline <= 0 {
-					return nil, fmt.Errorf("experiments: figure5 %s/%dw/%dB: baseline cell produced no throughput; cannot normalise",
+					return nil, nil, fmt.Errorf("experiments: figure5 %s/%dw/%dB: baseline cell produced no throughput; cannot normalise",
 						server, workers, fileSize)
 				}
 				for _, mech := range cfg.Mechanisms {
@@ -196,7 +248,25 @@ func Figure5(cfg Figure5Config) ([]Figure5Point, error) {
 			}
 		}
 	}
-	return out, nil
+	return out, metrics, nil
+}
+
+// dispatchBreakdown extracts the kernel.dispatch.<path> counters from a
+// registry snapshot, keeping paths that saw at least one call.
+func dispatchBreakdown(snap telemetry.Snapshot) []Figure5PathMetric {
+	var out []Figure5PathMetric
+	for _, path := range kernel.DispatchPaths() {
+		calls := snap.Counters["kernel.dispatch."+path+".calls"]
+		if calls == 0 {
+			continue
+		}
+		out = append(out, Figure5PathMetric{
+			Path:   path,
+			Calls:  calls,
+			Cycles: snap.Counters["kernel.dispatch."+path+".cycles"],
+		})
+	}
+	return out
 }
 
 func containsStr(xs []string, want string) bool {
@@ -226,8 +296,9 @@ func containsGreater(xs []int, floor int) bool {
 	return false
 }
 
-// attachFunc adapts the mechanism registry to webbench.
-func attachFunc(mech string) webbench.AttachFunc {
+// AttachFunc adapts the mechanism registry to webbench, for callers
+// (macrobench's instrumented run) that assemble their own Config.
+func AttachFunc(mech string) webbench.AttachFunc {
 	if mech == MechBaseline {
 		return nil
 	}

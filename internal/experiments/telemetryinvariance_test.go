@@ -1,0 +1,257 @@
+package experiments
+
+// The telemetry layer's inertness contract (DESIGN.md §9): attaching a
+// full sink — metrics registry, timeline, profiler — must be invisible
+// to the simulation. These tests run the differential matrix in the
+// style of the cache- and chaos-invariance suites: every guest under
+// every mechanism, telemetry on vs off, requiring byte-identical
+// outcomes including per-task cycle counts, plus non-vacuousness checks
+// proving the enabled sink actually recorded the run (and attributed
+// syscalls to the dispatch path each mechanism is supposed to use).
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/telemetry"
+	"lazypoline/internal/webbench"
+)
+
+// telemetryMechPath maps each mechanism to the dispatch path its
+// application syscalls must be attributed to — the per-mechanism
+// non-vacuousness anchor.
+var telemetryMechPath = map[string]string{
+	MechBaseline:      "direct",
+	MechBaselineSUD:   "sud-allow",
+	MechZpoline:       "trampoline",
+	MechLazypolineNX:  "trampoline",
+	MechLazypoline:    "trampoline",
+	MechLazypolineMPK: "trampoline",
+	MechSUD:           "sud-range",
+	MechSeccompUser:   "seccomp",
+	MechPtrace:        "ptrace",
+}
+
+// telemetryDifferential executes the run builder with no sink and with a
+// full sink and fails unless the outcomes are byte-identical. It then
+// checks the enabled sink is non-vacuous: metrics were recorded, the
+// timeline has events, the profiler sampled cycles, and the mechanism's
+// expected dispatch path saw calls.
+func telemetryDifferential(t *testing.T, mech string,
+	run func(t *testing.T, sink *telemetry.Sink) (runOutcome, *kernel.Task)) {
+	t.Helper()
+	off, _ := run(t, nil)
+	sink := telemetry.NewSink()
+	on, _ := run(t, sink)
+	if off != on {
+		t.Errorf("telemetry-on and telemetry-off outcomes differ:\n--- off ---\n%s\n--- on ---\n%s\nfirst diff: %s",
+			off, on, firstDiff(off.String(), on.String()))
+	}
+
+	snap := sink.Metrics.Snapshot()
+	if len(snap.Counters) == 0 {
+		t.Fatal("enabled sink recorded no counters; the differential is vacuous")
+	}
+	if sink.Timeline.Len() == 0 {
+		t.Error("enabled sink recorded no timeline events")
+	}
+	if sink.Profiler.TotalWeight() == 0 {
+		t.Error("enabled sink sampled no cycles")
+	}
+	if snap.Counters["cpu.cycles_total"] == 0 || snap.Counters["sched.quanta"] == 0 {
+		t.Errorf("substrate counters empty: cycles=%d quanta=%d",
+			snap.Counters["cpu.cycles_total"], snap.Counters["sched.quanta"])
+	}
+	path := telemetryMechPath[mech]
+	if calls := snap.Counters["kernel.dispatch."+path+".calls"]; calls == 0 {
+		t.Errorf("%s: no syscalls attributed to expected path %q; dispatch counters: %v",
+			mech, path, dispatchCounters(snap))
+	}
+}
+
+// dispatchCounters filters a snapshot down to the kernel.dispatch.*
+// counters, for failure messages.
+func dispatchCounters(snap telemetry.Snapshot) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "kernel.dispatch.") {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func TestTelemetryInvarianceMicrobench(t *testing.T) {
+	for _, mech := range invarianceMechs {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			telemetryDifferential(t, mech, func(t *testing.T, sink *telemetry.Sink) (runOutcome, *kernel.Task) {
+				k := kernel.New(kernel.Config{Telemetry: sink})
+				var ground strings.Builder
+				k.OnDispatch = groundHook(&ground)
+				prog, err := guest.Microbench(kernel.NonexistentSyscall, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				task, err := prog.Spawn(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := attachForTrace(mech, k, task, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Run(-1); err != nil {
+					t.Fatal(err)
+				}
+				if task.ExitCode != 0 {
+					t.Fatalf("microbench exited %d", task.ExitCode)
+				}
+				return finishOutcome(k, task, &ground, rec), task
+			})
+		})
+	}
+}
+
+func TestTelemetryInvarianceJIT(t *testing.T) {
+	for _, mech := range invarianceMechs {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			telemetryDifferential(t, mech, func(t *testing.T, sink *telemetry.Sink) (runOutcome, *kernel.Task) {
+				k := kernel.New(kernel.Config{Telemetry: sink})
+				if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				var ground strings.Builder
+				k.OnDispatch = groundHook(&ground)
+				prog, err := guest.JIT()
+				if err != nil {
+					t.Fatal(err)
+				}
+				task, err := prog.Spawn(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := attachForTrace(mech, k, task, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Run(50_000_000); err != nil {
+					t.Fatal(err)
+				}
+				if task.ExitCode != task.Tgid {
+					t.Fatalf("jit guest exited %d, want pid", task.ExitCode)
+				}
+				return finishOutcome(k, task, &ground, rec), task
+			})
+		})
+	}
+}
+
+// telemetryCoreutilDifferential runs one (utility, libc, mechanism) cell.
+func telemetryCoreutilDifferential(t *testing.T, name string, libc guest.Libc, mech string) {
+	telemetryDifferential(t, mech, func(t *testing.T, sink *telemetry.Sink) (runOutcome, *kernel.Task) {
+		k := kernel.New(kernel.Config{Telemetry: sink})
+		for _, dir := range []string{"/tmp", "/etc", "/var/log"} {
+			if err := k.FS.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		paths := make([]string, 0, len(guest.CoreutilFSFiles))
+		for path := range guest.CoreutilFSFiles {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if err := k.FS.WriteFile(path, []byte(guest.CoreutilFSFiles[path]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ground strings.Builder
+		k.OnDispatch = groundHook(&ground)
+		prog, err := guest.Coreutil(name, libc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := prog.Spawn(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := attachForTrace(mech, k, task, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if task.ExitCode != 0 {
+			t.Fatalf("%s exited %d", name, task.ExitCode)
+		}
+		return finishOutcome(k, task, &ground, rec), task
+	})
+}
+
+func TestTelemetryInvarianceCoreutils(t *testing.T) {
+	for _, name := range guest.CoreutilNames {
+		for _, mech := range invarianceMechs {
+			name, mech := name, mech
+			t.Run(name+"/ubuntu/"+mech, func(t *testing.T) {
+				telemetryCoreutilDifferential(t, name, guest.LibcUbuntu2004(false), mech)
+			})
+		}
+	}
+	// The second libc variant on a representative utility keeps the matrix
+	// honest without doubling its runtime.
+	for _, mech := range invarianceMechs {
+		mech := mech
+		t.Run("cat/clearlinux/"+mech, func(t *testing.T) {
+			telemetryCoreutilDifferential(t, "cat", guest.LibcClearLinux(), mech)
+		})
+	}
+}
+
+func TestTelemetryInvarianceWebServers(t *testing.T) {
+	for _, style := range []guest.ServerStyle{guest.StyleNginx, guest.StyleLighttpd} {
+		for _, mech := range invarianceMechs {
+			style, mech := style, mech
+			t.Run(style.String()+"/"+mech, func(t *testing.T) {
+				run := func(sink *telemetry.Sink) webbench.Result {
+					res, err := webbench.Run(webbench.Config{
+						Style:       style,
+						Workers:     1,
+						FileSize:    1024,
+						Connections: 4,
+						Requests:    40,
+						Attach:      AttachFunc(mech),
+						Telemetry:   sink,
+					})
+					if err != nil {
+						t.Fatalf("webbench %s/%s: %v", style, mech, err)
+					}
+					return res
+				}
+				off := run(nil)
+				sink := telemetry.NewSink()
+				on := run(sink)
+				if off != on {
+					t.Errorf("web server results differ telemetry on/off:\noff: %+v\non:  %+v", off, on)
+				}
+				snap := sink.Metrics.Snapshot()
+				path := telemetryMechPath[mech]
+				if snap.Counters["kernel.dispatch."+path+".calls"] == 0 {
+					t.Errorf("no syscalls on expected path %q; dispatch counters: %v",
+						path, dispatchCounters(snap))
+				}
+				if snap.Counters["net.conns_accepted"] == 0 {
+					t.Error("netstack counters empty under a network workload")
+				}
+			})
+		}
+	}
+}

@@ -138,6 +138,20 @@ const (
 	ECONNREFUSED = 111
 )
 
+var errnoNames = map[int64]string{
+	EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
+	EBADF: "EBADF", ECHILD: "ECHILD", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM",
+	EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY", EEXIST: "EEXIST",
+	ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL", EMFILE: "EMFILE",
+	ENOSYS: "ENOSYS", ENAMETOOLONG: "ENAMETOOLONG", ENOTEMPTY: "ENOTEMPTY",
+	EPIPE: "EPIPE", EADDRINUSE: "EADDRINUSE", ECONNRESET: "ECONNRESET",
+	ECONNREFUSED: "ECONNREFUSED",
+}
+
+// ErrnoName returns the symbolic name for a (positive) errno value, or
+// "" when the value is not one the simulated kernel ever produces.
+func ErrnoName(errno int64) string { return errnoNames[errno] }
+
 // SaRestart is the SA_RESTART sigaction flag: syscalls interrupted by
 // this handler are transparently restarted instead of failing with
 // -EINTR (the restart-semantics pitfall interposers must reproduce).

@@ -39,6 +39,7 @@ func sysBlock(poll func() bool) sysResult {
 func (k *Kernel) syscallEntry(t *Task) {
 	c := &k.Costs
 	insnAddr := t.CPU.RIP - isa.SyscallLen
+	t.telBegin(insnAddr)
 	t.CPU.Cycles += c.SyscallEntry
 
 	// The mere presence of any interception interface slows down the
@@ -63,6 +64,7 @@ func (k *Kernel) syscallEntry(t *Task) {
 
 	nr := int64(t.CPU.Regs[isa.RAX])
 	args := t.SyscallArgs()
+	t.telNr = nr
 
 	// seccomp: run every installed filter; the most restrictive action
 	// wins (Linux semantics). Each executed BPF instruction is charged.
@@ -81,6 +83,7 @@ func (k *Kernel) syscallEntry(t *Task) {
 			// registers are left untouched (RAX still holds the number),
 			// as with SUD, so user-space handlers can reconstruct the
 			// call from the saved context.
+			k.telAbort(t, PathSeccompNotify, nr)
 			k.postSignal(t, pendingSignal{
 				sig: SIGSYS, code: SysSeccompCode, nr: nr, callAddr: insnAddr, force: true,
 			})
@@ -103,6 +106,9 @@ func (k *Kernel) syscallEntry(t *Task) {
 	if t.SUD.Enabled {
 		inRange := t.SUD.RangeLen > 0 &&
 			insnAddr >= t.SUD.RangeLo && insnAddr < t.SUD.RangeLo+t.SUD.RangeLen
+		if inRange {
+			t.telRefinePath(PathSUDRange)
+		}
 		if !inRange {
 			t.CPU.Cycles += c.SUDSelectorRead
 			var sel [1]byte
@@ -112,9 +118,10 @@ func (k *Kernel) syscallEntry(t *Task) {
 			}
 			switch sel[0] {
 			case SyscallDispatchFilterAllow:
-				// dispatch normally
+				t.telRefinePath(PathSUDAllow)
 			case SyscallDispatchFilterBlock:
 				// Abort the syscall, deliver SIGSYS/SYS_USER_DISPATCH.
+				k.telAbort(t, PathSigsys, nr)
 				k.postSignal(t, pendingSignal{
 					sig: SIGSYS, code: SysUserDispatch, nr: nr, callAddr: insnAddr, force: true,
 				})
@@ -199,8 +206,10 @@ func (k *Kernel) finishSyscall(t *Task, nr int64, args [6]uint64, res sysResult)
 				t.tracer.OnExit(&PtraceStop{Task: t})
 			}
 		}
+		k.telSyscallEnd(t, nr)
 	case resNoReturn:
 		// Context replaced or task gone; nothing to write back.
+		k.telSyscallEnd(t, nr)
 	case resBlocked:
 		t.state = TaskBlocked
 		t.blocked = blockedState{

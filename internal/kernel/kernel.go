@@ -13,6 +13,7 @@ import (
 	"lazypoline/internal/loader"
 	"lazypoline/internal/mem"
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/telemetry"
 )
 
 // Errors from Run and Spawn.
@@ -100,6 +101,11 @@ type Config struct {
 	// fault schedule is reproducible from (seed, rate) alone.
 	ChaosSeed uint64
 	ChaosRate float64
+	// Telemetry, if non-nil, receives metrics, timeline events and
+	// profiler samples. Strictly observational: a kernel with a sink is
+	// byte-identical in guest-visible behaviour — console, exit codes,
+	// cycle counts, interposer traces — to one without (DESIGN.md §9).
+	Telemetry *telemetry.Sink
 }
 
 // Kernel is the simulated operating system.
@@ -127,6 +133,11 @@ type Kernel struct {
 	// kernel serialises guest execution, so a plain field suffices).
 	chaos   *chaos.Engine
 	current *Task
+
+	// tel is the telemetry sink (nil when disabled); quanta counts
+	// completed scheduler quanta for its collector.
+	tel    *telemetry.Sink
+	quanta uint64
 
 	// OnDispatch, if set, observes every syscall that actually reaches
 	// the dispatch table (the kernel's ground-truth trace, used by the
@@ -163,6 +174,7 @@ func New(cfg Config) *Kernel {
 		randState:     cfg.RandSeed | 1,
 		noDecodeCache: cfg.DisableDecodeCache,
 		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
+		tel:           cfg.Telemetry,
 	}
 	if k.Costs == (CostModel{}) {
 		k.Costs = DefaultCostModel()
@@ -175,6 +187,15 @@ func New(cfg Config) *Kernel {
 	}
 	if k.chaos != nil {
 		k.Net.SetFaults(chaosFaults{k.chaos})
+	}
+	if k.tel != nil {
+		if k.tel.Metrics != nil {
+			k.tel.Metrics.AddCollector(k.telCollect)
+		}
+		if k.tel.Timeline != nil {
+			k.tel.Timeline.SetProcess(telemetry.PIDMachine, "machine")
+			k.tel.Timeline.SetProcess(telemetry.PIDScheduler, "scheduler")
+		}
 	}
 	return k
 }
@@ -266,6 +287,7 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 	k.installAllocGate(as)
 	k.tasks[t.ID] = t
 	k.order = append(k.order, t)
+	k.telTaskStarted(t)
 	return t
 }
 
@@ -468,6 +490,7 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 	if k.chaos.Fire(chaos.SiteSchedJitter, uint64(t.ID)) {
 		quantum = 1 + k.chaos.Pick(chaos.SiteSchedJitter, uint64(t.ID), quantum)
 	}
+	startCycles := t.CPU.Cycles
 	for q := uint64(0); q < quantum && t.state == TaskRunnable; q++ {
 		ev := t.CPU.Step()
 		n++
@@ -507,6 +530,8 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 	if t.CPU.Cycles > k.maxCycles {
 		k.maxCycles = t.CPU.Cycles
 	}
+	k.quanta++
+	k.telQuantum(t, startCycles)
 	k.current = nil
 	return n
 }

@@ -119,11 +119,15 @@ func (k *Kernel) resolveInterrupt(t *Task, act SigAction) {
 	}
 	t.sigInterrupted = false
 	if act.Flags&SaRestart != 0 {
+		// The syscall re-executes from scratch after the handler, opening
+		// a fresh measurement; drop the interrupted one.
+		t.telActive = false
 		t.CPU.RIP -= isa.SyscallLen
 	} else {
 		ret := int64(-EINTR)
 		t.CPU.Regs[isa.RAX] = uint64(ret)
 		t.CPU.Cycles += k.Costs.SyscallExit
+		k.telSyscallEnd(t, t.telNr)
 	}
 }
 
@@ -182,6 +186,7 @@ func (k *Kernel) deliverSignal(t *Task, ps pendingSignal, act SigAction) {
 		return
 	}
 
+	k.telSignalDelivered(t, ps.sig)
 	t.frames = append(t.frames, sigFrame{ucAddr: ucAddr, oldMask: t.SigMask, sig: ps.sig})
 	// Mask the delivered signal plus the handler's sa_mask for the
 	// duration of the handler.
@@ -244,6 +249,7 @@ func (k *Kernel) sigreturn(t *Task) {
 	}
 	fr := t.frames[len(t.frames)-1]
 	t.frames = t.frames[:len(t.frames)-1]
+	k.telSigreturn(t, fr.sig)
 	if err := k.readUContext(t, fr.ucAddr); err != nil {
 		k.exitGroup(t, 128+SIGSEGV)
 		return

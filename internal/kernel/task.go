@@ -341,6 +341,15 @@ type Task struct {
 	// ConsoleOut accumulates console writes (fd 1/2).
 	ConsoleOut []byte
 
+	// Telemetry bookkeeping for the in-flight syscall (see
+	// kernel/telemetry.go). Plain fields updated identically whether or
+	// not a sink is attached, so they cannot perturb the run.
+	telStart  uint64
+	telNr     int64
+	telPath   DispatchPath
+	telActive bool
+	telLabel  string
+
 	k *Kernel
 }
 

@@ -29,6 +29,7 @@ import (
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/mem"
+	"lazypoline/internal/telemetry"
 )
 
 // WrapperInfo describes one known syscall wrapper: its symbol and the
@@ -107,7 +108,19 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer,
 	if err := t.AS.Protect(stubArea, mem.PageSize, mem.ProtRX); err != nil {
 		return nil, err
 	}
+
+	if tel := k.Telemetry(); tel != nil && tel.Metrics != nil {
+		tel.Metrics.AddCollector(func(r *telemetry.Registry) {
+			r.Counter("ldpreload.hooked").Set(uint64(len(m.Hooked)))
+			r.Counter("ldpreload.missing").Set(uint64(len(m.Missing)))
+		})
+	}
 	return m, nil
+}
+
+// Symbols names the mechanism's injected code for profiler output.
+func (m *Mechanism) Symbols() map[string]uint64 {
+	return map[string]uint64{"ldpreload_stubs": stubArea}
 }
 
 // hook plants `mov64 r11, stub ; jmp r11` (12 bytes) at the wrapper

@@ -146,6 +146,10 @@ type AddressSpace struct {
 	// read lock-free by the CPU's decode-cache fast path; while it is
 	// unchanged, every previously validated block is still valid.
 	codeMut atomic.Uint64
+	// faults counts access violations (unmapped pages, protection and
+	// pkey denials, exec fetch faults) for the telemetry layer. Atomic
+	// because the exec-fetch paths count under the read lock.
+	faults atomic.Uint64
 
 	// AllocGate, if set, is consulted before every page allocation
 	// (MapFixed, MapAnon). Returning false denies the allocation with
@@ -315,9 +319,11 @@ func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind Acc
 		a := addr + uint64(off)
 		pg, ok := as.pages[a>>PageShift]
 		if !ok || pg.prot&need == 0 {
+			as.faults.Add(1)
 			return &Fault{Addr: a, Kind: kind}
 		}
 		if !privileged && kind != AccessExec && !pkeyAllows(as.activePKRU, pg.pkey, kind == AccessWrite) {
+			as.faults.Add(1)
 			return &Fault{Addr: a, Kind: kind, Pkey: true}
 		}
 		po := int(a & (PageSize - 1))
@@ -373,6 +379,29 @@ type PageGen struct {
 // still reads m.
 func (as *AddressSpace) CodeMutations() uint64 {
 	return as.codeMut.Load()
+}
+
+// Stats is a snapshot of an address space's observability counters.
+type Stats struct {
+	// Faults counts access violations surfaced to callers of the
+	// checked read/write paths (unmapped, protection, pkey).
+	Faults uint64
+	// Generations is the number of page-generation bumps issued (every
+	// page write or mapping change advances it at least once).
+	Generations uint64
+	// CodeMutations mirrors CodeMutations().
+	CodeMutations uint64
+}
+
+// Stats returns the current counters.
+func (as *AddressSpace) Stats() Stats {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return Stats{
+		Faults:        as.faults.Load(),
+		Generations:   as.genSeq,
+		CodeMutations: as.codeMut.Load(),
+	}
 }
 
 // FetchExec reads up to len(p) executable bytes starting at addr in a

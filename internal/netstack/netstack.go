@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Readiness is a poll-style event mask.
@@ -115,13 +116,47 @@ func (n *notifier) wake() {
 	}
 }
 
+// StackStats counts stack-wide events for the telemetry layer. All
+// fields are atomics: endpoints update them without holding stack
+// locks, and snapshots may race with the simulation. Counting is
+// unconditional and purely observational.
+type StackStats struct {
+	// Accepted counts connections placed into an accept queue.
+	Accepted atomic.Uint64
+	// BacklogDrops counts connection attempts refused because the
+	// listener's accept queue was full.
+	BacklogDrops atomic.Uint64
+	// SegsDropped / SegsDelayed / Resets count fault-plan injections.
+	SegsDropped atomic.Uint64
+	SegsDelayed atomic.Uint64
+	Resets      atomic.Uint64
+	// AcceptHighWater / RecvHighWater are the deepest accept queue and
+	// fullest receive buffer observed.
+	AcceptHighWater atomic.Uint64
+	RecvHighWater   atomic.Uint64
+}
+
+func (s *StackStats) setMax(g *atomic.Uint64, v uint64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Stack is one loopback network namespace.
 type Stack struct {
 	mu        sync.Mutex
 	listeners map[uint16]*Listener
 	faults    FaultPlan
 	nextConn  uint64
+	stats     StackStats
 }
+
+// Stats exposes the stack's counters. The pointer stays valid for the
+// stack's lifetime.
+func (s *Stack) Stats() *StackStats { return &s.stats }
 
 // NewStack returns an empty stack.
 func NewStack() *Stack {
@@ -167,9 +202,11 @@ func (s *Stack) Connect(port uint16) (*Endpoint, error) {
 	client, server := newPair()
 	client.faults, server.faults = faults, faults
 	client.connID, server.connID = connID, connID
+	client.stats, server.stats = &s.stats, &s.stats
 	if err := l.enqueue(server); err != nil {
 		return nil, err
 	}
+	s.stats.Accepted.Add(1)
 	return client, nil
 }
 
@@ -187,6 +224,7 @@ type Listener struct {
 }
 
 func (l *Listener) enqueue(e *Endpoint) error {
+	stats := l.stack.Stats()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -194,10 +232,13 @@ func (l *Listener) enqueue(e *Endpoint) error {
 	}
 	if len(l.queue) >= l.backlog {
 		l.mu.Unlock()
+		stats.BacklogDrops.Add(1)
 		return ErrBacklogFull
 	}
 	l.queue = append(l.queue, e)
+	depth := uint64(len(l.queue))
 	l.mu.Unlock()
+	stats.setMax(&stats.AcceptHighWater, depth)
 	l.notif.wake()
 	return nil
 }
@@ -293,6 +334,9 @@ type Endpoint struct {
 	faults FaultPlan
 	connID uint64
 	stage  []stagedSegment
+
+	// stats points at the owning stack's counters (nil for pipes).
+	stats *StackStats
 }
 
 // stagedSegment is an in-flight segment awaiting (re)delivery.
@@ -373,6 +417,9 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 	faults := e.faults
 	e.mu.Unlock()
 	if faults != nil && faults.Reset(e.connID) {
+		if e.stats != nil {
+			e.stats.Resets.Add(1)
+		}
 		e.injectReset()
 		return 0, ErrReset
 	}
@@ -399,8 +446,14 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 	if faults != nil {
 		if faults.Drop(e.connID) {
 			hold = 2
+			if e.stats != nil {
+				e.stats.SegsDropped.Add(1)
+			}
 		} else if faults.Delay(e.connID) {
 			hold = 1
+			if e.stats != nil {
+				e.stats.SegsDelayed.Add(1)
+			}
 		}
 	}
 	e.mu.Lock()
@@ -416,7 +469,11 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 
 	peer.mu.Lock()
 	peer.buf = append(peer.buf, p[:n]...)
+	depth := uint64(len(peer.buf))
 	peer.mu.Unlock()
+	if e.stats != nil {
+		e.stats.setMax(&e.stats.RecvHighWater, depth)
+	}
 	peer.notif.wake()
 	return n, nil
 }
@@ -449,7 +506,11 @@ func (e *Endpoint) tickStaged() {
 	for _, d := range due {
 		e.buf = append(e.buf, d...)
 	}
+	depth := uint64(len(e.buf))
 	e.mu.Unlock()
+	if e.stats != nil {
+		e.stats.setMax(&e.stats.RecvHighWater, depth)
+	}
 }
 
 // injectReset hard-closes both sides of the connection, discarding

@@ -11,6 +11,7 @@ import (
 	"lazypoline/internal/interpose"
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
+	"lazypoline/internal/telemetry"
 )
 
 // Mechanism is an attached ptrace interposer.
@@ -35,6 +36,11 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer) *Mechanis
 		OnEnter: m.onEnter,
 		OnExit:  m.onExit,
 	})
+	if tel := k.Telemetry(); tel != nil && tel.Metrics != nil {
+		tel.Metrics.AddCollector(func(r *telemetry.Registry) {
+			r.Counter("ptracer.stops").Set(uint64(m.Stops))
+		})
+	}
 	return m
 }
 

@@ -20,6 +20,7 @@ import (
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/mem"
+	"lazypoline/internal/telemetry"
 )
 
 // HandlerBase is where the SIGSYS handler stub is mapped: directly after
@@ -120,7 +121,18 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer) (*Mechani
 		}
 		return nil
 	}
+
+	if tel := k.Telemetry(); tel != nil && tel.Metrics != nil {
+		tel.Metrics.AddCollector(func(r *telemetry.Registry) {
+			r.Counter("sud.sigsys_hits").Set(uint64(m.Hits))
+		})
+	}
 	return m, nil
+}
+
+// Symbols names the mechanism's injected code for profiler output.
+func (m *Mechanism) Symbols() map[string]uint64 {
+	return map[string]uint64{"sud_handler": HandlerBase}
 }
 
 func patchJz(e *isa.Enc, insnOff, target int) {

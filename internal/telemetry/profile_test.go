@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfilerSymbolization(t *testing.T) {
+	p := NewProfiler()
+	p.SetLane(1, "guest/1")
+	symbols := map[string]uint64{
+		"main":         0x1000,
+		"helper":       0x2000,
+		"sigsys_entry": 0x3000,
+	}
+
+	p.Sample(1, 0x1000, 10)                // exactly at main
+	p.Sample(1, 0x1fff, 5)                 // inside main (nearest-below)
+	p.Sample(1, 0x2008, 30)                // inside helper
+	p.Sample(1, 0x500, 3)                  // below every symbol: hex fallback
+	p.Sample(1, 0x3000+maxSymbolSpan+1, 2) // past the span cap: hex fallback
+	p.Sample(2, 0x1004, 7)                 // unnamed lane: task<tid> fallback
+	p.Sample(1, 0x1000, 0)                 // zero weight: dropped
+
+	folded := p.Folded(symbols)
+	byStack := make(map[string]uint64, len(folded))
+	for _, l := range folded {
+		byStack[l.Stack] = l.Weight
+	}
+	if byStack["guest/1;main"] != 15 {
+		t.Errorf("main weight = %d, want 15 (aggregated)", byStack["guest/1;main"])
+	}
+	if byStack["guest/1;helper"] != 30 {
+		t.Errorf("helper weight = %d", byStack["guest/1;helper"])
+	}
+	if byStack["guest/1;0x500"] != 3 {
+		t.Errorf("below-all fallback: %v", byStack)
+	}
+	if byStack["task2;main"] != 7 {
+		t.Errorf("lane fallback: %v", byStack)
+	}
+	// Past the span cap the PC must not attribute to sigsys_entry.
+	for stack := range byStack {
+		if strings.Contains(stack, "sigsys_entry") {
+			t.Errorf("span cap ignored: %q", stack)
+		}
+	}
+	// Sorted by descending weight.
+	for i := 1; i < len(folded); i++ {
+		if folded[i].Weight > folded[i-1].Weight {
+			t.Errorf("not sorted: %v", folded)
+		}
+	}
+	if p.TotalWeight() != 57 {
+		t.Errorf("TotalWeight = %d", p.TotalWeight())
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	p := NewProfiler()
+	p.Sample(1, 0x40, 4)
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf, map[string]uint64{"f": 0x40}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "task1;f 4\n" {
+		t.Errorf("folded output = %q", got)
+	}
+}
+
+func TestMergeSymbols(t *testing.T) {
+	m := MergeSymbols(
+		map[string]uint64{"a": 1, "b": 2},
+		nil,
+		map[string]uint64{"b": 20, "c": 3},
+	)
+	if len(m) != 3 || m["a"] != 1 || m["b"] != 20 || m["c"] != 3 {
+		t.Errorf("merged = %v", m)
+	}
+}

@@ -1,0 +1,282 @@
+// Package telemetry is the simulator's observability layer: a metrics
+// registry of counters/gauges/virtual-cycle histograms, a timeline event
+// trace exportable as Chrome trace-event JSON (loadable in Perfetto),
+// and a deterministic sampling profiler keyed on virtual cycles.
+//
+// The layer is strictly observational. Nothing in this package charges
+// guest cycles, touches guest memory, or perturbs scheduling; a kernel
+// built with a Sink must produce byte-identical guest-visible behaviour
+// to one built without (the inertness contract, enforced by the
+// TestTelemetryInvariance* suite in internal/experiments). To keep the
+// dependency graph acyclic the package imports only the standard
+// library, so cpu/mem/netstack/kernel and every mechanism can publish
+// into it.
+//
+// All hot-path handles (Counter, Gauge, Histogram) update with
+// sync/atomic operations, so substrate code may publish from the
+// parallel sweep harness without extra locking.
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink bundles the three telemetry surfaces. Any field may be nil to
+// disable that surface; a nil *Sink disables the layer entirely (the
+// kernel guards every touch with a single nil check).
+type Sink struct {
+	Metrics  *Registry
+	Timeline *Timeline
+	Profiler *Profiler
+}
+
+// NewSink returns a Sink with all three surfaces enabled.
+func NewSink() *Sink {
+	return &Sink{
+		Metrics:  NewRegistry(),
+		Timeline: NewTimeline(),
+		Profiler: NewProfiler(),
+	}
+}
+
+// Registry is a get-or-create namespace of metrics. Handle creation
+// takes a mutex; updates through a handle are lock-free atomics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func(*Registry)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the counter. Collectors use it to publish values that
+// are accumulated elsewhere (mechanism stats structs, cpu fields).
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// SetMax raises the gauge to n if n is larger (high-water tracking).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the bucket count for power-of-two histograms: bucket 0
+// holds the value 0 and bucket i (i ≥ 1) holds values v with
+// bits.Len64(v) == i, i.e. the range [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Histogram accumulates a distribution of virtual-cycle measurements in
+// power-of-two buckets. All fields update atomically.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stores ^value so zero-init means "unset"
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	for { // min, stored inverted so the zero value acts as +inf
+		cur := h.min.Load()
+		if ^v <= cur || h.min.CompareAndSwap(cur, ^v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// BucketRange returns the [lo, hi] value range of bucket i.
+func BucketRange(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i == 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1)<<i - 1
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddCollector registers a function run (in registration order) at
+// every Snapshot. Substrates whose counters live in their own structs —
+// mechanism Stats, cpu fields, netstack stats — publish through
+// collectors instead of updating registry handles inline.
+func (r *Registry) AddCollector(fn func(*Registry)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot.
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is the exported state of one histogram.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, JSON-serialisable view of a registry.
+// encoding/json emits map keys sorted, so marshalling a snapshot is
+// deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot runs all collectors, then captures every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	collectors := append([]func(*Registry){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn(r)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+		if hs.Count > 0 {
+			hs.Min = ^h.min.Load()
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				lo, hi := BucketRange(i)
+				hs.Buckets = append(hs.Buckets, HistBucket{Lo: lo, Hi: hi, Count: n})
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// MarshalJSON gives Snapshot a stable, indented form suitable for both
+// -metrics-out files and test goldens.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	type alias Snapshot // avoid recursing into this method
+	b, err := json.MarshalIndent(alias(s), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CounterNames returns the sorted names of all counters in the
+// snapshot, for deterministic iteration.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func buildTimeline() *Timeline {
+	tl := NewTimeline()
+	tl.SetProcess(PIDMachine, "machine")
+	tl.SetLane(PIDMachine, 1, "guest/1")
+	// Deliberately out of order within the lane: Events() must restore
+	// per-lane monotonicity.
+	tl.Span(PIDMachine, 1, "write", "direct", 500, 20)
+	tl.Span(PIDMachine, 1, "read", "trampoline", 100, 50)
+	tl.Begin(PIDMachine, 1, "SIGUSR1", "signal", 700)
+	tl.End(PIDMachine, 1, "SIGUSR1", "signal", 900)
+	tl.Span(PIDScheduler, 1, "guest/1", "quantum", 0, 1000)
+	return tl
+}
+
+func TestTimelineEventOrdering(t *testing.T) {
+	evs := buildTimeline().Events()
+	// Metadata first, then sorted by (pid, tid, ts).
+	for i, ev := range evs {
+		if ev.Ph != "M" {
+			for _, later := range evs[i:] {
+				if later.Ph == "M" {
+					t.Fatal("metadata event after timed event")
+				}
+			}
+			break
+		}
+	}
+	lastTS := make(map[[2]int]uint64)
+	for _, ev := range evs {
+		if ev.Ph == "M" {
+			continue
+		}
+		lane := [2]int{ev.PID, ev.TID}
+		if ev.TS < lastTS[lane] {
+			t.Errorf("lane %v: ts %d after %d", lane, ev.TS, lastTS[lane])
+		}
+		lastTS[lane] = ev.TS
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeChrome(&buf, buildTimeline().Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	validPh := map[string]bool{"B": true, "E": true, "X": true, "M": true, "i": true}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if !validPh[ph] {
+			t.Errorf("event %d: bad ph %q", i, ph)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event %d: missing pid", i)
+		}
+		if _, ok := ev["tid"]; !ok {
+			t.Errorf("event %d: missing tid", i)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("event %d: missing ts", i)
+			}
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"]; !ok && ev["name"] != "read" {
+				// dur omitted only for zero-duration slices.
+				t.Errorf("event %d: X without dur", i)
+			}
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	evs := buildTimeline().Events()
+
+	var chrome bytes.Buffer
+	if err := EncodeChrome(&chrome, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTrace(chrome.Bytes())
+	if err != nil {
+		t.Fatalf("decode chrome: %v", err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("chrome round-trip: %d events, want %d", len(back), len(evs))
+	}
+
+	var jsonl bytes.Buffer
+	if err := EncodeJSONL(&jsonl, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err = DecodeTrace(jsonl.Bytes())
+	if err != nil {
+		t.Fatalf("decode jsonl: %v", err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("jsonl round-trip: %d events, want %d", len(back), len(evs))
+	}
+	for i := range back {
+		a, b := back[i], evs[i]
+		if a.Name != b.Name || a.Cat != b.Cat || a.Ph != b.Ph ||
+			a.TS != b.TS || a.Dur != b.Dur || a.PID != b.PID || a.TID != b.TID {
+			t.Errorf("event %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}

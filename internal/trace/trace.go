@@ -21,13 +21,20 @@ type Entry struct {
 	Ret  int64
 }
 
-// String renders like strace: "getpid() = 1001".
+// String renders like strace: "getpid() = 1001", with failing returns
+// annotated with the errno name: "open(...) = -2 (ENOENT)".
 func (e Entry) String() string {
 	args := make([]string, 0, 6)
 	for _, a := range e.Args {
 		args = append(args, fmt.Sprintf("%#x", a))
 	}
-	return fmt.Sprintf("%s(%s) = %d", kernel.SyscallName(e.Nr), strings.Join(args, ", "), e.Ret)
+	s := fmt.Sprintf("%s(%s) = %d", kernel.SyscallName(e.Nr), strings.Join(args, ", "), e.Ret)
+	if e.Ret < 0 {
+		if name := kernel.ErrnoName(-e.Ret); name != "" {
+			s += " (" + name + ")"
+		}
+	}
+	return s
 }
 
 // Recorder is an Interposer that records every call it sees and executes
@@ -57,11 +64,26 @@ func (r *Recorder) Enter(c *interpose.Call) interpose.Action {
 }
 
 // Exit implements interpose.Interposer.
+//
+// Exits are normally LIFO per task, but calls that never return (exit,
+// exit_group, execve, rt_sigreturn) leave their entry open forever: a
+// signal handler that re-enters a syscall on the same task and exits
+// after one of those would otherwise write its return value into the
+// stale open entry. Match the exiting call to the innermost open entry
+// with the same syscall number; fall back to the plain stack top when
+// none matches (e.g. the interposer rewrote the number in flight).
 func (r *Recorder) Exit(c *interpose.Call) {
 	r.mu.Lock()
 	if stack := r.open[c.Task.ID]; len(stack) > 0 {
-		idx := stack[len(stack)-1]
-		r.open[c.Task.ID] = stack[:len(stack)-1]
+		pos := len(stack) - 1
+		for i := len(stack) - 1; i >= 0; i-- {
+			if r.entries[stack[i]].Nr == c.Nr {
+				pos = i
+				break
+			}
+		}
+		idx := stack[pos]
+		r.open[c.Task.ID] = append(stack[:pos], stack[pos+1:]...)
 		r.entries[idx].Ret = c.Ret
 	}
 	r.mu.Unlock()

@@ -61,11 +61,94 @@ func TestRecorderNestedCalls(t *testing.T) {
 	}
 }
 
+func TestRecorderNoReturnThenNestedExit(t *testing.T) {
+	// Regression: a syscall that never returns (rt_sigreturn, exit,
+	// execve) leaves its entry open. A later exit on the same task must
+	// not land its return value in that stale entry — it belongs to the
+	// innermost open entry with the matching syscall number.
+	r := &Recorder{}
+	task := fakeTask(1)
+
+	outer := &interpose.Call{Nr: kernel.SysRead, Task: task}
+	r.Enter(outer)
+	sigret := &interpose.Call{Nr: kernel.SysRtSigreturn, Task: task}
+	r.Enter(sigret) // never exits
+	outer.Ret = 512
+	r.Exit(outer)
+
+	entries := r.Entries()
+	if entries[0].Nr != kernel.SysRead || entries[0].Ret != 512 {
+		t.Errorf("read entry swallowed by stale sigreturn: %+v", entries[0])
+	}
+	if entries[1].Ret != 0 {
+		t.Errorf("sigreturn entry got a return value: %+v", entries[1])
+	}
+}
+
+func TestRecorderExitUnknownNrFallsBack(t *testing.T) {
+	// When no open entry matches the exiting number (the interposer
+	// rewrote it in flight), the plain stack top takes the value.
+	r := &Recorder{}
+	task := fakeTask(1)
+
+	c := &interpose.Call{Nr: kernel.SysGetpid, Task: task}
+	r.Enter(c)
+	c.Nr = kernel.SysWrite // rewritten between Enter and Exit
+	c.Ret = 7
+	r.Exit(c)
+
+	if entries := r.Entries(); entries[0].Ret != 7 {
+		t.Errorf("fallback pop missed: %+v", entries[0])
+	}
+	// The open stack must be empty: a second exit is a no-op.
+	r.Exit(&interpose.Call{Nr: kernel.SysRead, Task: task, Ret: 99})
+	if entries := r.Entries(); entries[0].Ret != 7 {
+		t.Errorf("exit on empty stack mutated entries: %+v", entries[0])
+	}
+}
+
+func TestRecorderDuplicateNrMatchesInnermost(t *testing.T) {
+	// Two open entries with the same number: the exit pairs with the
+	// innermost one (ordinary LIFO for recursive same-nr nesting).
+	r := &Recorder{}
+	task := fakeTask(1)
+
+	outer := &interpose.Call{Nr: kernel.SysRead, Task: task}
+	r.Enter(outer)
+	inner := &interpose.Call{Nr: kernel.SysRead, Task: task}
+	r.Enter(inner)
+	inner.Ret = 1
+	r.Exit(inner)
+	outer.Ret = 2
+	r.Exit(outer)
+
+	entries := r.Entries()
+	if entries[0].Ret != 2 || entries[1].Ret != 1 {
+		t.Errorf("same-nr nesting: %+v %+v", entries[0], entries[1])
+	}
+}
+
 func TestEntryString(t *testing.T) {
 	e := Entry{Nr: kernel.SysWrite, Args: [6]uint64{1, 0x30000, 25}, Ret: 25}
 	s := e.String()
 	if !strings.HasPrefix(s, "write(") || !strings.HasSuffix(s, "= 25") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEntryStringErrno(t *testing.T) {
+	e := Entry{Nr: kernel.SysOpen, Args: [6]uint64{0x30000}, Ret: -kernel.ENOENT}
+	if s := e.String(); !strings.HasSuffix(s, "= -2 (ENOENT)") {
+		t.Errorf("String() = %q", s)
+	}
+	// Args stay hex even when the return is annotated.
+	if s := e.String(); !strings.Contains(s, "0x30000") {
+		t.Errorf("args not hex: %q", e.String())
+	}
+	// Unknown errno values render the raw number only.
+	e = Entry{Nr: kernel.SysRead, Ret: -999}
+	if s := e.String(); !strings.HasSuffix(s, "= -999") {
+		t.Errorf("unknown errno: %q", s)
 	}
 }
 
@@ -78,6 +161,14 @@ func TestDiffNrs(t *testing.T) {
 	}
 	if d := DiffNrs([]int64{1}, []int64{1, 2}); !strings.Contains(d, "length") {
 		t.Errorf("length diff = %q", d)
+	}
+	// Empty-slice edges: nil vs nil is equal; nil vs non-empty is a
+	// length diff, not a panic.
+	if d := DiffNrs(nil, nil); d != "" {
+		t.Errorf("nil vs nil: %q", d)
+	}
+	if d := DiffNrs(nil, []int64{1}); !strings.Contains(d, "length 0 vs 1") {
+		t.Errorf("nil vs [1]: %q", d)
 	}
 }
 
@@ -94,6 +185,17 @@ func TestMissing(t *testing.T) {
 	// got may contain extras without affecting the result.
 	if m := Missing([]int64{1}, []int64{1, 2, 3}); m != nil {
 		t.Errorf("extras reported as missing: %v", m)
+	}
+	// Empty-slice edges.
+	if m := Missing(nil, []int64{1}); m != nil {
+		t.Errorf("nil want: %v", m)
+	}
+	if m := Missing([]int64{1, 1}, nil); len(m) != 2 {
+		t.Errorf("nil got: %v", m)
+	}
+	// Multiset duplicates: want has three 5s, got covers only one.
+	if m := Missing([]int64{5, 5, 5}, []int64{5}); len(m) != 2 || m[0] != 5 || m[1] != 5 {
+		t.Errorf("duplicate accounting: %v", m)
 	}
 }
 

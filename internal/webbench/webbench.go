@@ -15,6 +15,7 @@ import (
 	"lazypoline/internal/guest"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/telemetry"
 )
 
 // Client is a set of closed-loop keep-alive connections (wrk threads).
@@ -205,6 +206,10 @@ type Config struct {
 	// cross-mechanism invariance of the single-task suites.
 	ChaosSeed uint64
 	ChaosRate float64
+	// Telemetry, when non-nil, attaches a telemetry sink to the kernel.
+	// It is strictly observational (DESIGN.md §9): Result is identical
+	// with or without it.
+	Telemetry *telemetry.Sink
 }
 
 // Result is one run's outcome.
@@ -229,6 +234,24 @@ const ClockHz = 2.1e9
 
 const port = 8080
 
+// Symbols returns the symbol table of the server guest a configuration
+// runs, for symbolizing telemetry profiler samples taken during Run.
+func Symbols(cfg Config) (map[string]uint64, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	prog, err := guest.WebServer(guest.WebServerConfig{
+		Style:   cfg.Style,
+		Port:    port,
+		Path:    "/www/static",
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prog.Image.Symbols, nil
+}
+
 // Run executes one benchmark configuration.
 func Run(cfg Config) (Result, error) {
 	if cfg.Workers <= 0 {
@@ -242,6 +265,7 @@ func Run(cfg Config) (Result, error) {
 		DisableDecodeCache: cfg.DisableDecodeCache,
 		ChaosSeed:          cfg.ChaosSeed,
 		ChaosRate:          cfg.ChaosRate,
+		Telemetry:          cfg.Telemetry,
 	})
 
 	// Static content.

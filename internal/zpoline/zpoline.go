@@ -26,6 +26,7 @@ import (
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/mem"
+	"lazypoline/internal/telemetry"
 )
 
 // ScanMode selects how the rewriter identifies syscall instructions.
@@ -128,7 +129,22 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer, opts Opti
 	if err := m.RewriteAll(t, opts.Mode); err != nil {
 		return nil, err
 	}
+
+	if tel := k.Telemetry(); tel != nil && tel.Metrics != nil {
+		tel.Metrics.AddCollector(func(r *telemetry.Registry) {
+			r.Counter("zpoline.scanned_bytes").Set(m.Stats.ScannedBytes)
+			r.Counter("zpoline.rewritten").Set(uint64(m.Stats.Rewritten))
+		})
+	}
 	return m, nil
+}
+
+// Symbols names the mechanism's injected code for profiler output.
+func (m *Mechanism) Symbols() map[string]uint64 {
+	return map[string]uint64{
+		"zpoline_trampoline": 0,
+		"zpoline_entry":      m.entry,
+	}
 }
 
 // EntryAddr returns the address of the interposer entry stub (the sled's

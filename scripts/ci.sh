@@ -35,13 +35,36 @@ chaos="-builtin cat -stats=false -chaos-seed 7 -chaos-rate 0.3"
 go run ./cmd/runsim -mech lazypoline $chaos > /tmp/ci_chaos_lazypoline.txt
 go run ./cmd/runsim -mech sud $chaos > /tmp/ci_chaos_sud.txt
 diff -u /tmp/ci_chaos_lazypoline.txt /tmp/ci_chaos_sud.txt
-grep -q ' = -4$' /tmp/ci_chaos_sud.txt   # an injected EINTR was retried
-grep -q ' = -11$' /tmp/ci_chaos_sud.txt  # an injected EAGAIN was retried
+grep -q ' = -4 (EINTR)$' /tmp/ci_chaos_sud.txt   # an injected EINTR was retried
+grep -q ' = -11 (EAGAIN)$' /tmp/ci_chaos_sud.txt # an injected EAGAIN was retried
 
 # Zero-rate chaos must be byte-identical to chaos never configured.
 go run ./cmd/runsim -mech sud -builtin cat > /tmp/ci_chaos_off.txt
 go run ./cmd/runsim -mech sud -builtin cat -chaos-seed 7 -chaos-rate 0 > /tmp/ci_chaos_zero.txt
 diff -u /tmp/ci_chaos_off.txt /tmp/ci_chaos_zero.txt
+
+# Telemetry inertness (DESIGN.md §9): a Figure 5 row instrumented with
+# the metrics registry must produce a byte-identical BENCH snapshot to
+# an uninstrumented run — telemetry only ever adds a separate file.
+tsmoke="-requests 40 -conns 4 -sizes 1024 -workers 1 -servers nginx"
+go run ./cmd/macrobench $tsmoke -out /tmp/ci_fig5_tel_off.json
+go run ./cmd/macrobench $tsmoke -out /tmp/ci_fig5_tel_on.json -metrics-out /tmp/ci_fig5_metrics.json
+strip_wall /tmp/ci_fig5_tel_off.json > /tmp/ci_fig5_tel_off.stripped
+strip_wall /tmp/ci_fig5_tel_on.json > /tmp/ci_fig5_tel_on.stripped
+diff -u /tmp/ci_fig5_tel_off.stripped /tmp/ci_fig5_tel_on.stripped
+grep -q '"path": "trampoline"' /tmp/ci_fig5_metrics.json  # breakdown recorded
+
+# Telemetry outputs + tracecat round trip: runsim must emit all three
+# surfaces, and tracecat must pretty-print and convert the trace.
+go run ./cmd/runsim -builtin microbench -mech lazypoline -trace=false -stats=false \
+    -metrics-out /tmp/ci_tel_metrics.json -trace-out /tmp/ci_tel_trace.json \
+    -profile-out /tmp/ci_tel_profile.folded
+grep -q 'kernel.dispatch.trampoline.calls' /tmp/ci_tel_metrics.json
+grep -q 'lazypoline_entry' /tmp/ci_tel_profile.folded
+go run ./cmd/tracecat /tmp/ci_tel_trace.json | head -5
+go run ./cmd/tracecat -format jsonl /tmp/ci_tel_trace.json > /tmp/ci_tel_trace.jsonl
+go run ./cmd/tracecat -format chrome /tmp/ci_tel_trace.jsonl > /tmp/ci_tel_trace2.json
+diff -u /tmp/ci_tel_trace.json /tmp/ci_tel_trace2.json
 
 # Decoder fuzz smoke: the isa decoder must survive arbitrary bytes.
 go test ./internal/isa/ -run '^$' -fuzz FuzzDecode -fuzztime 5s
