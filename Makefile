@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke profile-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -26,9 +26,18 @@ profile-smoke:
 		-stats=false -profile-out /tmp/profile_smoke.folded
 	head -10 /tmp/profile_smoke.folded
 
+# Fast data-fast-path check: the TLB/superblock unit tests under -race,
+# the cheapest invariance matrix, and a small cpubench run that must
+# clear the fast-path speedup floor (scripts/ci.sh runs the full gate).
+tlb-smoke:
+	go test -race ./internal/cpu ./internal/mem -count 1
+	go test ./internal/experiments -run 'TestTLBInvariance(Microbench|SMC|Telemetry)' -count 1
+	go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -out /tmp/tlb_smoke_BENCH_cpu.json
+
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
+	go test ./internal/mem/ -run '^$$' -fuzz FuzzAccess -fuzztime 30s
 
 bench:
 	go test -bench . -benchtime 1x ./...

@@ -1,21 +1,29 @@
 // Command cpubench measures interpreter throughput — host nanoseconds per
-// simulated instruction and simulated MIPS — with the decoded-instruction
-// cache enabled and disabled, on two workloads:
+// simulated instruction and simulated MIPS — on four workloads:
 //
 //   - a raw register loop stepped directly on a CPU (the decode cache's
-//     best case, mirroring BenchmarkCPUStep), and
+//     best case, mirroring BenchmarkCPUStep),
 //   - the paper's microbenchmark guest running under the full simulated
-//     kernel with syscall dispatch in the loop.
+//     kernel with syscall dispatch in the loop,
+//   - a raw load/store sweep driven through StepBlock (the data fast
+//     path's best case), and
+//   - the MemBench guest — a memory-heavy sweep with one syscall at exit
+//     — under the full kernel.
 //
-// The run fails if the microbenchmark guest's wall-clock speedup from the
-// cache falls below -minspeedup, and writes BENCH_cpu.json so the
-// interpreter's performance is tracked across commits. The simulation is
-// deterministic, so both modes retire the same instructions and cycles;
-// cpubench verifies that as a side effect.
+// The first two compare the decoded-instruction cache on/off; the last
+// two compare the data-path fast path (software D-TLB + superblock
+// execution, -tlb/-superblock) against decode-cache-only execution. The
+// run fails if the microbenchmark cache speedup falls below -minspeedup
+// or the MemBench fast-path speedup falls below -minfastpath, and writes
+// BENCH_cpu.json so performance is tracked across commits. The
+// simulation is deterministic, so all modes retire the same instructions
+// and cycles; cpubench verifies that as a side effect.
 //
 // Usage:
 //
-//	cpubench [-steps N] [-iters N] [-repeat N] [-minspeedup X] [-out BENCH_cpu.json]
+//	cpubench [-steps N] [-iters N] [-memsweeps N] [-repeat N]
+//	         [-tlb] [-superblock] [-minspeedup X] [-minfastpath X]
+//	         [-out BENCH_cpu.json]
 package main
 
 import (
@@ -58,21 +66,33 @@ type WorkloadResult struct {
 }
 
 type config struct {
-	Steps      int64   `json:"raw_loop_steps"`
-	Iters      int64   `json:"microbench_iters"`
-	Repeat     int     `json:"repeat"`
-	MinSpeedup float64 `json:"min_speedup"`
+	Steps       int64   `json:"raw_loop_steps"`
+	Iters       int64   `json:"microbench_iters"`
+	MemSweeps   int64   `json:"membench_sweeps"`
+	Repeat      int     `json:"repeat"`
+	TLB         bool    `json:"tlb"`
+	Superblock  bool    `json:"superblock"`
+	MinSpeedup  float64 `json:"min_speedup"`
+	MinFastpath float64 `json:"min_fastpath_speedup"`
 }
 
 func main() {
 	steps := flag.Int64("steps", 5_000_000, "instructions to step in the raw register loop")
 	iters := flag.Int64("iters", 100_000, "microbenchmark guest loop iterations")
+	memSweeps := flag.Int64("memsweeps", 500, "data-segment sweeps in the memory workloads")
 	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is kept)")
+	tlb := flag.Bool("tlb", true, "enable the software D-TLB in the fast-path modes")
+	superblock := flag.Bool("superblock", true, "enable superblock execution in the fast-path modes")
 	minSpeedup := flag.Float64("minspeedup", 1.5, "fail if the microbenchmark cache speedup is below this (0 disables)")
+	minFastpath := flag.Float64("minfastpath", 2.0, "fail if the MemBench fast-path speedup is below this (0 disables; only sensible with -tlb and -superblock)")
 	out := flag.String("out", "BENCH_cpu.json", "machine-readable result file (empty disables)")
 	flag.Parse()
 
-	cfg := config{Steps: *steps, Iters: *iters, Repeat: *repeat, MinSpeedup: *minSpeedup}
+	cfg := config{
+		Steps: *steps, Iters: *iters, MemSweeps: *memSweeps, Repeat: *repeat,
+		TLB: *tlb, Superblock: *superblock,
+		MinSpeedup: *minSpeedup, MinFastpath: *minFastpath,
+	}
 
 	begin := time.Now()
 	rawLoop, err := measureRawLoop(cfg)
@@ -83,11 +103,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	memLoop, err := measureMemLoop(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	memBench, err := measureMemBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	wall := time.Since(begin)
 
 	fmt.Printf("CPU interpreter throughput (best of %d)\n\n", cfg.Repeat)
 	report("raw register loop", rawLoop)
 	report("microbench guest (full kernel)", micro)
+	reportFastpath("raw load/store sweep", memLoop)
+	reportFastpath("membench guest (full kernel)", memBench)
 
 	if *out != "" {
 		err := benchfmt.Write(*out, benchfmt.File{
@@ -95,9 +125,11 @@ func main() {
 			Parallelism: 1,
 			WallSeconds: wall.Seconds(),
 			Config:      cfg,
-			Results: map[string]WorkloadResult{
+			Results: map[string]any{
 				"raw_loop":   rawLoop,
 				"microbench": micro,
+				"mem_loop":   memLoop,
+				"membench":   memBench,
 			},
 		})
 		if err != nil {
@@ -109,6 +141,10 @@ func main() {
 	if cfg.MinSpeedup > 0 && micro.Speedup < cfg.MinSpeedup {
 		fatal(fmt.Errorf("microbench cache speedup %.2fx is below the %.2fx floor",
 			micro.Speedup, cfg.MinSpeedup))
+	}
+	if cfg.MinFastpath > 0 && memBench.Speedup < cfg.MinFastpath {
+		fatal(fmt.Errorf("membench fast-path speedup %.2fx is below the %.2fx floor",
+			memBench.Speedup, cfg.MinFastpath))
 	}
 }
 
@@ -248,6 +284,188 @@ func assemble(insns, cycles uint64, on, off float64, stats cpu.DecodeCacheStats)
 		Speedup:      off / on,
 		DecodeCache:  stats,
 	}
+}
+
+// FastpathResult compares fast-path-on (D-TLB + superblocks per the
+// -tlb/-superblock toggles) against decode-cache-only execution on one
+// memory-heavy workload.
+type FastpathResult struct {
+	Instructions uint64     `json:"instructions"`
+	Cycles       uint64     `json:"cycles"`
+	FastpathOn   ModeResult `json:"fastpath_on"`
+	FastpathOff  ModeResult `json:"fastpath_off"`
+	// Speedup is FastpathOff.WallSeconds / FastpathOn.WallSeconds.
+	Speedup float64 `json:"speedup"`
+	// TLB reports the fast-path run's D-TLB counters.
+	TLB cpu.TLBStats `json:"tlb"`
+	// SuperblockInsts is how many instructions the fast-path run retired
+	// inside superblock tight loops.
+	SuperblockInsts uint64 `json:"superblock_insts"`
+}
+
+func reportFastpath(name string, w FastpathResult) {
+	fmt.Printf("%s — %d instructions\n", name, w.Instructions)
+	fmt.Printf("  fastpath on   %8.2f ns/insn  %8.1f simulated MIPS\n",
+		w.FastpathOn.NsPerInstruction, w.FastpathOn.SimulatedMIPS)
+	fmt.Printf("  fastpath off  %8.2f ns/insn  %8.1f simulated MIPS\n",
+		w.FastpathOff.NsPerInstruction, w.FastpathOff.SimulatedMIPS)
+	fmt.Printf("  speedup       %8.2fx   (tlb: %d hits, %d misses; superblock insts: %d)\n\n",
+		w.Speedup, w.TLB.Hits, w.TLB.Misses, w.SuperblockInsts)
+}
+
+// assembleFastpath mirrors assemble for the fast-path comparison.
+func assembleFastpath(insns, cycles uint64, on, off float64, tlb cpu.TLBStats, sbInsts uint64) FastpathResult {
+	mode := func(wall float64) ModeResult {
+		return ModeResult{
+			WallSeconds:      wall,
+			NsPerInstruction: wall * 1e9 / float64(insns),
+			SimulatedMIPS:    float64(insns) / wall / 1e6,
+		}
+	}
+	return FastpathResult{
+		Instructions:    insns,
+		Cycles:          cycles,
+		FastpathOn:      mode(on),
+		FastpathOff:     mode(off),
+		Speedup:         off / on,
+		TLB:             tlb,
+		SuperblockInsts: sbInsts,
+	}
+}
+
+// memLoopProgram encodes the raw load/store sweep: `sweeps` passes over
+// `pages` RW pages at a 64-byte stride, each step a store, a dependent
+// load, and the loop bookkeeping, ending in a syscall.
+func memLoopProgram(sweeps int64, pages uint64, dataBase uint64) []byte {
+	steps := int64(pages) * int64(mem.PageSize) / 64
+	var e isa.Enc
+	e.MovImm64(isa.RCX, sweeps)
+	outer := e.Len()
+	e.MovImm64(isa.RBX, int64(dataBase))
+	e.MovImm64(isa.RSI, steps)
+	inner := e.Len()
+	e.Store(isa.RBX, 0, isa.RCX)
+	e.Load(isa.RDX, isa.RBX, 0)
+	e.AddImm(isa.RBX, 64)
+	e.AddImm(isa.RSI, -1)
+	e.Jnz(int64(inner) - int64(e.Len()) - 5)
+	e.AddImm(isa.RCX, -1)
+	e.Jnz(int64(outer) - int64(e.Len()) - 5)
+	e.Syscall()
+	return e.Buf
+}
+
+// measureMemLoop drives the raw sweep through StepBlock the way the
+// kernel does — with the fast path off, StepBlock degrades to
+// per-instruction dispatch, which is exactly the cost superblocks
+// eliminate.
+func measureMemLoop(cfg config) (FastpathResult, error) {
+	const (
+		codeBase = 0x1000
+		dataBase = 0x100000
+		pages    = 16
+	)
+	run := func(fastpath, instrument bool) (insns, cycles uint64, wall float64, tlb cpu.TLBStats, sbInsts uint64, err error) {
+		as := mem.NewAddressSpace()
+		if err := as.MapFixed(codeBase, mem.PageSize, mem.ProtRX); err != nil {
+			return 0, 0, 0, tlb, 0, err
+		}
+		if err := as.WriteForce(codeBase, memLoopProgram(cfg.MemSweeps, pages, dataBase)); err != nil {
+			return 0, 0, 0, tlb, 0, err
+		}
+		if err := as.MapFixed(dataBase, pages*mem.PageSize, mem.ProtRW); err != nil {
+			return 0, 0, 0, tlb, 0, err
+		}
+		c := cpu.New(as)
+		c.SetTLB(fastpath && cfg.TLB)
+		c.SetSuperblocks(fastpath && cfg.Superblock)
+		c.RIP = codeBase
+		if instrument {
+			c.Hook = func(uint64, isa.Inst) { insns++ }
+		}
+		start := time.Now()
+		for {
+			ev, _, _ := c.StepBlock(1 << 20)
+			if ev == cpu.EvSyscall {
+				break
+			}
+			if ev != cpu.EvNone {
+				return 0, 0, 0, tlb, 0, fmt.Errorf("mem loop stopped with event %v (%v)", ev, c.FaultErr)
+			}
+		}
+		wall = time.Since(start).Seconds()
+		return insns, c.Cycles, wall, c.TLBStats(), c.SuperblockInsts, nil
+	}
+	return fastpathWorkload(cfg, run)
+}
+
+// measureMemBench runs the MemBench guest under the full kernel.
+func measureMemBench(cfg config) (FastpathResult, error) {
+	run := func(fastpath, instrument bool) (insns, cycles uint64, wall float64, tlb cpu.TLBStats, sbInsts uint64, err error) {
+		k := kernel.New(kernel.Config{
+			DisableTLB:         !(fastpath && cfg.TLB),
+			DisableSuperblocks: !(fastpath && cfg.Superblock),
+		})
+		prog, err := guest.MemBench(cfg.MemSweeps)
+		if err != nil {
+			return 0, 0, 0, tlb, 0, err
+		}
+		task, err := prog.Spawn(k)
+		if err != nil {
+			return 0, 0, 0, tlb, 0, err
+		}
+		if instrument {
+			task.CPU.Hook = func(uint64, isa.Inst) { insns++ }
+		}
+		start := time.Now()
+		if err := k.Run(-1); err != nil {
+			return 0, 0, 0, tlb, 0, err
+		}
+		wall = time.Since(start).Seconds()
+		if task.ExitCode != 0 {
+			return 0, 0, 0, tlb, 0, fmt.Errorf("membench guest exited %d (self-check failed)", task.ExitCode)
+		}
+		return insns, task.CPU.Cycles, wall, task.CPU.TLBStats(), task.CPU.SuperblockInsts, nil
+	}
+	return fastpathWorkload(cfg, run)
+}
+
+// fastpathWorkload shares the instrument-once, best-of-repeat,
+// cycle-invariance structure between the two memory workloads.
+func fastpathWorkload(cfg config, run func(fastpath, instrument bool) (uint64, uint64, float64, cpu.TLBStats, uint64, error)) (FastpathResult, error) {
+	insns, cyclesRef, _, _, _, err := run(true, true)
+	if err != nil {
+		return FastpathResult{}, err
+	}
+	best := func(fastpath bool) (uint64, float64, cpu.TLBStats, uint64, error) {
+		bestWall := 0.0
+		var cycles, sbInsts uint64
+		var tlb cpu.TLBStats
+		for r := 0; r < cfg.Repeat; r++ {
+			_, c, wall, t, sb, err := run(fastpath, false)
+			if err != nil {
+				return 0, 0, tlb, 0, err
+			}
+			if bestWall == 0 || wall < bestWall {
+				bestWall = wall
+			}
+			cycles, tlb, sbInsts = c, t, sb
+		}
+		return cycles, bestWall, tlb, sbInsts, nil
+	}
+	cyclesOn, on, tlb, sbInsts, err := best(true)
+	if err != nil {
+		return FastpathResult{}, err
+	}
+	cyclesOff, off, _, _, err := best(false)
+	if err != nil {
+		return FastpathResult{}, err
+	}
+	if cyclesRef != cyclesOn || cyclesOn != cyclesOff {
+		return FastpathResult{}, fmt.Errorf("cycle counts diverged: instrumented=%d fastpath-on=%d fastpath-off=%d (the fast path must be semantically invisible)",
+			cyclesRef, cyclesOn, cyclesOff)
+	}
+	return assembleFastpath(insns, cyclesOn, on, off, tlb, sbInsts), nil
 }
 
 func fatal(err error) {

@@ -36,6 +36,8 @@ func main() {
 	capFactor := flag.Float64("clientcap", 10, "client capacity as a multiple of the 1-worker baseline (0 disables)")
 	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
 	decodeCache := flag.Bool("decodecache", true, "run the simulated CPUs with the decoded-instruction cache (results are identical either way; false re-measures without it)")
+	tlb := flag.Bool("tlb", true, "run the simulated CPUs with the software D-TLB (results are identical either way; false re-measures without it)")
+	superblock := flag.Bool("superblock", true, "run the simulated CPUs with superblock execution (results are identical either way; false re-measures without it)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
@@ -51,6 +53,8 @@ func main() {
 		Parallelism:        *parallel,
 		Mechanisms:         experiments.Figure5Mechanisms,
 		DisableDecodeCache: !*decodeCache,
+		DisableTLB:         !*tlb,
+		DisableSuperblocks: !*superblock,
 		ChaosSeed:          *chaosSeed,
 		ChaosRate:          *chaosRate,
 	}

@@ -174,16 +174,27 @@ type CPU struct {
 	FetchWalks uint64
 	NopBatches uint64
 
-	nopAccum uint64
-	fetchBuf [16]byte
-	cache    *decodeCache
+	// SuperblockRuns counts entries into StepBlock's tight loop that
+	// retired at least one instruction; SuperblockInsts counts the
+	// instructions retired there, bypassing per-instruction event
+	// dispatch. Pure observability, like FetchWalks.
+	SuperblockRuns  uint64
+	SuperblockInsts uint64
+
+	nopAccum   uint64
+	fetchBuf   [16]byte
+	cache      *decodeCache
+	tlb        *dtlb
+	superblock bool
 }
 
 // New returns a CPU bound to an address space with default costs. The
-// decoded-instruction cache is enabled; SetDecodeCache(false) turns it
-// off.
+// whole execution fast path is enabled — decoded-instruction cache,
+// software D-TLB and superblock execution; SetDecodeCache(false),
+// SetTLB(false) and SetSuperblocks(false) turn the layers off
+// individually.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, Costs: DefaultCosts(), cache: newDecodeCache(as)}
+	return &CPU{AS: as, Costs: DefaultCosts(), cache: newDecodeCache(as), tlb: newDTLB(as), superblock: true}
 }
 
 // CloneState copies the register state (not the address space binding or
@@ -233,12 +244,12 @@ func (c *CPU) cmpVals(a, b uint64) {
 // push pushes v onto the stack.
 func (c *CPU) push(v uint64) error {
 	c.Regs[isa.RSP] -= 8
-	return c.AS.WriteU64(c.Regs[isa.RSP], v)
+	return c.writeU64(c.Regs[isa.RSP], v)
 }
 
 // pop pops the stack top.
 func (c *CPU) pop() (uint64, error) {
-	v, err := c.AS.ReadU64(c.Regs[isa.RSP])
+	v, err := c.readU64(c.Regs[isa.RSP])
 	if err != nil {
 		return 0, err
 	}
@@ -251,37 +262,48 @@ func (c *CPU) pop() (uint64, error) {
 // faulting instruction.
 func (c *CPU) Step() Event {
 	pc := c.RIP
-	var in isa.Inst
 	if cached := c.cachedInst(pc); cached != nil {
-		in = *cached
-	} else {
-		// Uncached fetch: one locked walk computes how many executable
-		// bytes are available at pc (the tail of a mapping may hold fewer
-		// than the 10-byte maximum instruction length).
-		c.FetchWalks++
-		n, ferr := c.AS.FetchExec(pc, c.fetchBuf[:maxInsnLen])
-		if n == 0 {
-			c.FlushNopBatch()
-			c.FaultErr = ferr
-			return EvFault
-		}
-		var err error
-		in, err = isa.Decode(c.fetchBuf[:n])
-		if err != nil {
-			c.FlushNopBatch()
-			if errors.Is(err, isa.ErrTruncated) && ferr != nil {
-				// The instruction runs off the end of executable memory:
-				// the fetch fault belongs to the first unfetchable byte
-				// (pc+n), not to pc and not to an illegal opcode.
-				c.FaultErr = ferr
-			} else {
-				c.FaultErr = fmt.Errorf("cpu: at %#x: %w", pc, err)
-			}
-			return EvFault
-		}
+		return c.execInst(pc, cached)
 	}
+	return c.stepUncached(pc)
+}
+
+// stepUncached fetches, decodes and executes the instruction at pc when
+// no valid cached block covers it (cache disabled, or bytes that do not
+// decode into at least one instruction).
+func (c *CPU) stepUncached(pc uint64) Event {
+	// Uncached fetch: one locked walk computes how many executable
+	// bytes are available at pc (the tail of a mapping may hold fewer
+	// than the 10-byte maximum instruction length).
+	c.FetchWalks++
+	n, ferr := c.AS.FetchExec(pc, c.fetchBuf[:maxInsnLen])
+	if n == 0 {
+		c.FlushNopBatch()
+		c.FaultErr = ferr
+		return EvFault
+	}
+	in, err := isa.Decode(c.fetchBuf[:n])
+	if err != nil {
+		c.FlushNopBatch()
+		if errors.Is(err, isa.ErrTruncated) && ferr != nil {
+			// The instruction runs off the end of executable memory:
+			// the fetch fault belongs to the first unfetchable byte
+			// (pc+n), not to pc and not to an illegal opcode.
+			c.FaultErr = ferr
+		} else {
+			c.FaultErr = fmt.Errorf("cpu: at %#x: %w", pc, err)
+		}
+		return EvFault
+	}
+	return c.execInst(pc, &in)
+}
+
+// execInst retires one decoded instruction at pc: instrumentation hook,
+// cycle and NOP-batch accounting, RIP advance, and the operation itself.
+// in is read-only; it may point into a cached block.
+func (c *CPU) execInst(pc uint64, in *isa.Inst) Event {
 	if c.Hook != nil {
-		c.Hook(pc, in)
+		c.Hook(pc, *in)
 	}
 	if in.Mnem == isa.MOp && in.Op == isa.OpNop && c.Costs.NopsPerCycle > 1 {
 		// NOP runs retire several per cycle; charge one cycle per batch.
@@ -348,29 +370,29 @@ func (c *CPU) Step() Event {
 	case isa.OpMovReg:
 		c.Regs[in.A] = c.Regs[in.B]
 	case isa.OpLoad:
-		v, err := c.AS.ReadU64(c.Regs[in.B] + uint64(in.Imm))
+		v, err := c.readU64(c.Regs[in.B] + uint64(in.Imm))
 		if err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.A] = v
 	case isa.OpStore:
-		if err := c.AS.WriteU64(c.Regs[in.A]+uint64(in.Imm), c.Regs[in.B]); err != nil {
+		if err := c.writeU64(c.Regs[in.A]+uint64(in.Imm), c.Regs[in.B]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpLoadB:
 		var b [1]byte
-		if err := c.AS.ReadAt(c.Regs[in.B]+uint64(in.Imm), b[:]); err != nil {
+		if err := c.readAt(c.Regs[in.B]+uint64(in.Imm), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.A] = uint64(b[0])
 	case isa.OpStoreB:
 		b := [1]byte{byte(c.Regs[in.B])}
-		if err := c.AS.WriteAt(c.Regs[in.A]+uint64(in.Imm), b[:]); err != nil {
+		if err := c.writeAt(c.Regs[in.A]+uint64(in.Imm), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpLoad32:
 		var b [4]byte
-		if err := c.AS.ReadAt(c.Regs[in.B]+uint64(in.Imm), b[:]); err != nil {
+		if err := c.readAt(c.Regs[in.B]+uint64(in.Imm), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.A] = uint64(binary.LittleEndian.Uint32(b[:]))
@@ -451,11 +473,11 @@ func (c *CPU) Step() Event {
 		x := isa.XReg(in.A)
 		copy(c.X.X[x][8:], c.X.X[x][:8])
 	case isa.OpMovupsStore:
-		if err := c.AS.WriteAt(c.Regs[in.B]+uint64(in.Imm), c.X.X[isa.XReg(in.A)][:]); err != nil {
+		if err := c.writeAt(c.Regs[in.B]+uint64(in.Imm), c.X.X[isa.XReg(in.A)][:]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpMovupsLoad:
-		if err := c.AS.ReadAt(c.Regs[in.B]+uint64(in.Imm), c.X.X[isa.XReg(in.A)][:]); err != nil {
+		if err := c.readAt(c.Regs[in.B]+uint64(in.Imm), c.X.X[isa.XReg(in.A)][:]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpXorps:
@@ -472,33 +494,33 @@ func (c *CPU) Step() Event {
 	case isa.OpRdCycle:
 		c.Regs[in.A] = c.Cycles
 	case isa.OpGsLoad:
-		v, err := c.AS.ReadU64(c.GSBase + uint64(in.Imm))
+		v, err := c.readU64(c.GSBase + uint64(in.Imm))
 		if err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.A] = v
 	case isa.OpGsStore:
-		if err := c.AS.WriteU64(c.GSBase+uint64(in.Imm), c.Regs[in.A]); err != nil {
+		if err := c.writeU64(c.GSBase+uint64(in.Imm), c.Regs[in.A]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpGsLoadB:
 		var b [1]byte
-		if err := c.AS.ReadAt(c.GSBase+uint64(in.Imm), b[:]); err != nil {
+		if err := c.readAt(c.GSBase+uint64(in.Imm), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.A] = uint64(b[0])
 	case isa.OpGsStoreB:
 		b := [1]byte{byte(c.Regs[in.A])}
-		if err := c.AS.WriteAt(c.GSBase+uint64(in.Imm), b[:]); err != nil {
+		if err := c.writeAt(c.GSBase+uint64(in.Imm), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpGsStoreBI:
 		b := [1]byte{byte(in.Imm)}
-		if err := c.AS.WriteAt(c.GSBase+uint64(in.Imm2), b[:]); err != nil {
+		if err := c.writeAt(c.GSBase+uint64(in.Imm2), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpGsPush:
-		v, err := c.AS.ReadU64(c.GSBase + uint64(in.Imm))
+		v, err := c.readU64(c.GSBase + uint64(in.Imm))
 		if err != nil {
 			return c.fault(pc, err)
 		}
@@ -507,47 +529,47 @@ func (c *CPU) Step() Event {
 		}
 	case isa.OpGsAddI:
 		addr := c.GSBase + uint64(in.Imm)
-		v, err := c.AS.ReadU64(addr)
+		v, err := c.readU64(addr)
 		if err != nil {
 			return c.fault(pc, err)
 		}
-		if err := c.AS.WriteU64(addr, v+uint64(in.Imm2)); err != nil {
+		if err := c.writeU64(addr, v+uint64(in.Imm2)); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpGsMovB:
 		var b [1]byte
-		if err := c.AS.ReadAt(c.GSBase+uint64(in.Imm2), b[:]); err != nil {
+		if err := c.readAt(c.GSBase+uint64(in.Imm2), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
-		if err := c.AS.WriteAt(c.GSBase+uint64(in.Imm), b[:]); err != nil {
+		if err := c.writeAt(c.GSBase+uint64(in.Imm), b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpGsMov:
-		v, err := c.AS.ReadU64(c.GSBase + uint64(in.Imm2))
+		v, err := c.readU64(c.GSBase + uint64(in.Imm2))
 		if err != nil {
 			return c.fault(pc, err)
 		}
-		if err := c.AS.WriteU64(c.GSBase+uint64(in.Imm), v); err != nil {
+		if err := c.writeU64(c.GSBase+uint64(in.Imm), v); err != nil {
 			return c.fault(pc, err)
 		}
 	case isa.OpGsLoadIdxB:
 		var b [1]byte
-		if err := c.AS.ReadAt(c.GSBase+c.Regs[in.B], b[:]); err != nil {
+		if err := c.readAt(c.GSBase+c.Regs[in.B], b[:]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.A] = uint64(b[0])
 	case isa.OpXchg:
 		addr := c.Regs[in.A]
-		old, err := c.AS.ReadU64(addr)
+		old, err := c.readU64(addr)
 		if err != nil {
 			return c.fault(pc, err)
 		}
-		if err := c.AS.WriteU64(addr, c.Regs[in.B]); err != nil {
+		if err := c.writeU64(addr, c.Regs[in.B]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.Regs[in.B] = old
 	case isa.OpGsLoadIdx:
-		v, err := c.AS.ReadU64(c.GSBase + c.Regs[in.B] + uint64(in.Imm))
+		v, err := c.readU64(c.GSBase + c.Regs[in.B] + uint64(in.Imm))
 		if err != nil {
 			return c.fault(pc, err)
 		}
@@ -555,7 +577,7 @@ func (c *CPU) Step() Event {
 	case isa.OpXsave:
 		var buf [XStateSize]byte
 		c.X.Marshal(buf[:])
-		if err := c.AS.WriteAt(c.Regs[in.A], buf[:]); err != nil {
+		if err := c.writeAt(c.Regs[in.A], buf[:]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.Cycles += c.Costs.Xsave
@@ -566,7 +588,7 @@ func (c *CPU) Step() Event {
 		c.Regs[in.A] = uint64(c.PKRU)
 	case isa.OpXrstor:
 		var buf [XStateSize]byte
-		if err := c.AS.ReadAt(c.Regs[in.A], buf[:]); err != nil {
+		if err := c.readAt(c.Regs[in.A], buf[:]); err != nil {
 			return c.fault(pc, err)
 		}
 		c.X.Unmarshal(buf[:])

@@ -1,0 +1,92 @@
+package cpu
+
+// Superblock execution: the scheduler hands the CPU a whole budget of
+// instructions (the rest of the quantum) and StepBlock retires the
+// straight-line body of each decoded block in a tight loop, re-entering
+// the per-instruction Step dispatch only at block boundaries. Events —
+// syscalls, faults, traps, hcalls, halt — end the batch immediately, so
+// the kernel observes exactly the same stopping points as per-Step
+// scheduling: signal checks, quantum expiry and chaos injection all
+// happen between the same instructions either way.
+//
+// Self-modifying code stays exact because the tight loop re-checks the
+// address space's code-mutation counter before every instruction — the
+// same lock-free load the decode cache's sequential hit path performs —
+// and bails to the full lookup (which revalidates page generations under
+// the lock) the moment it changes.
+
+// SetSuperblocks enables or disables superblock execution. Like the
+// decode cache and the D-TLB it is semantically invisible, so turning it
+// off only exists for differential testing and measurement.
+func (c *CPU) SetSuperblocks(on bool) { c.superblock = on }
+
+// SuperblocksEnabled reports whether superblock execution is on. It only
+// takes effect while the decode cache is also enabled.
+func (c *CPU) SuperblocksEnabled() bool { return c.superblock }
+
+// StepBlock executes up to max instructions, stopping early at the first
+// non-EvNone event. It returns the event (EvNone means the budget was
+// exhausted without one), the number of instructions retired, and the
+// cycle counter value from just before the final instruction.
+//
+// The third value exists for the kernel clock: the per-Step scheduler
+// loop refreshed its max-cycles clock after every instruction, so when
+// an event instruction entered the kernel the clock held the cycle count
+// through the *previous* instruction. A batching scheduler replays that
+// exactly by folding in the pre-event value (when the batch retired more
+// than one instruction) before handling the event. Nothing else observes
+// the clock mid-batch, so batching stays semantically invisible.
+func (c *CPU) StepBlock(max uint64) (Event, uint64, uint64) {
+	if max == 0 {
+		return EvNone, 0, c.Cycles
+	}
+	if !c.superblock || c.cache == nil {
+		pre := c.Cycles
+		return c.Step(), 1, pre
+	}
+	var steps uint64
+	pre := c.Cycles
+	for {
+		ev := c.Step()
+		steps++
+		if ev != EvNone || steps >= max {
+			return ev, steps, pre
+		}
+		// Step left the decode cache positioned inside a block (cur/curIdx);
+		// retire the rest of its straight line here without re-dispatching.
+		// Blocks end at control transfers and kernel-entry instructions, so
+		// every instruction below falls through on EvNone.
+		if dc := c.cache; dc != nil && dc.cur != nil {
+			b := dc.cur
+			retired := false
+			for dc.curIdx < len(b.pcs) {
+				if b.mut != dc.as.CodeMutations() || b.pcs[dc.curIdx] != c.RIP {
+					// A code mutation (or an instrumentation-driven RIP
+					// change) invalidated the straight line: fall back to
+					// the full lookup, which revalidates under the lock.
+					break
+				}
+				pc := c.RIP
+				in := &b.insts[dc.curIdx]
+				dc.curIdx++
+				dc.stats.Hits++
+				retired = true
+				c.SuperblockInsts++
+				pre = c.Cycles
+				ev = c.execInst(pc, in)
+				steps++
+				if ev != EvNone || steps >= max {
+					c.SuperblockRuns++
+					return ev, steps, pre
+				}
+				if dc.cur != b {
+					break
+				}
+			}
+			if retired {
+				c.SuperblockRuns++
+			}
+		}
+		pre = c.Cycles
+	}
+}

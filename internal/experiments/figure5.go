@@ -68,6 +68,12 @@ type Figure5Config struct {
 	// so it is excluded from BENCH_figure5.json — cache-on and cache-off
 	// runs must produce identical snapshots (modulo wall_seconds).
 	DisableDecodeCache bool `json:"-"`
+	// DisableTLB and DisableSuperblocks turn off the data-path fast path
+	// (software D-TLB, superblock execution) in every cell. Like
+	// DisableDecodeCache they select execution machinery, are excluded
+	// from snapshots, and must not change a single point.
+	DisableTLB         bool `json:"-"`
+	DisableSuperblocks bool `json:"-"`
 	// ChaosSeed and ChaosRate enable deterministic fault injection in
 	// every cell (see internal/chaos). Unlike DisableDecodeCache these
 	// ARE experiment parameters — injected faults change throughput — so
@@ -182,6 +188,8 @@ func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5C
 			Attach:             AttachFunc(c.mech),
 			Costs:              cfg.Costs,
 			DisableDecodeCache: cfg.DisableDecodeCache,
+			DisableTLB:         cfg.DisableTLB,
+			DisableSuperblocks: cfg.DisableSuperblocks,
 			ChaosSeed:          cfg.ChaosSeed,
 			ChaosRate:          cfg.ChaosRate,
 			Telemetry:          sink,

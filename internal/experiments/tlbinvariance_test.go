@@ -1,0 +1,369 @@
+package experiments
+
+// The data-path fast path — the per-task software D-TLB and superblock
+// execution (internal/cpu, DESIGN.md §10) — must be semantically
+// invisible exactly like the decode cache: every guest, under every
+// interposition mechanism, must produce byte-identical syscall traces,
+// interposer observations, console output, exit codes and per-task cycle
+// counts whether the layers are enabled or disabled, including under
+// chaos injection and with telemetry sinks attached. These tests run the
+// same differential matrix as the cache-invariance suite, but toggling
+// the TLB and superblocks (individually and together) against the
+// all-on default.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"lazypoline/internal/cpu"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/kernel"
+	"lazypoline/internal/telemetry"
+	"lazypoline/internal/trace"
+	"lazypoline/internal/webbench"
+)
+
+// fastpathVariant is one off-toggle combination compared against the
+// all-on baseline.
+type fastpathVariant struct {
+	name            string
+	tlb, superblock bool // true = disable
+}
+
+// fastpathVariants covers {tlb, superblock} off individually and
+// together.
+var fastpathVariants = []fastpathVariant{
+	{"no-tlb", true, false},
+	{"no-superblock", false, true},
+	{"no-fastpath", true, true},
+}
+
+// fastpathDifferential executes the run builder with the full fast path
+// on and with each variant's layers disabled, requiring byte-identical
+// outcomes. It also checks the differential is non-vacuous: the on-run
+// must have TLB hits and superblock instructions, the off-runs must not.
+func fastpathDifferential(t *testing.T, run func(t *testing.T, cfg kernel.Config) (runOutcome, *kernel.Task)) {
+	t.Helper()
+	on, onTask := run(t, kernel.Config{})
+	if s := onTask.CPU.TLBStats(); s.Hits == 0 {
+		t.Error("fast-path-on run recorded zero TLB hits; the differential is vacuous")
+	}
+	if onTask.CPU.SuperblockInsts == 0 {
+		t.Error("fast-path-on run retired zero superblock instructions; the differential is vacuous")
+	}
+	for _, v := range fastpathVariants {
+		off, offTask := run(t, kernel.Config{DisableTLB: v.tlb, DisableSuperblocks: v.superblock})
+		if on != off {
+			t.Errorf("%s outcome differs from all-on:\n--- all on ---\n%s\n--- %s ---\n%s\nfirst diff: %s",
+				v.name, on, v.name, off, firstDiff(on.String(), off.String()))
+		}
+		if v.tlb {
+			if s := offTask.CPU.TLBStats(); s != (cpu.TLBStats{}) {
+				t.Errorf("%s run used the TLB: %+v", v.name, s)
+			}
+		}
+		if v.superblock && offTask.CPU.SuperblockInsts != 0 {
+			t.Errorf("%s run retired superblock instructions", v.name)
+		}
+	}
+}
+
+func TestTLBInvarianceMicrobench(t *testing.T) {
+	for _, mech := range invarianceMechs {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			fastpathDifferential(t, func(t *testing.T, cfg kernel.Config) (runOutcome, *kernel.Task) {
+				k := kernel.New(cfg)
+				var ground strings.Builder
+				k.OnDispatch = groundHook(&ground)
+				prog, err := guest.Microbench(kernel.NonexistentSyscall, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				task, err := prog.Spawn(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := attachForTrace(mech, k, task, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Run(-1); err != nil {
+					t.Fatal(err)
+				}
+				if task.ExitCode != 0 {
+					t.Fatalf("microbench exited %d", task.ExitCode)
+				}
+				return finishOutcome(k, task, &ground, rec), task
+			})
+		})
+	}
+}
+
+func TestTLBInvarianceJIT(t *testing.T) {
+	for _, mech := range invarianceMechs {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			fastpathDifferential(t, func(t *testing.T, cfg kernel.Config) (runOutcome, *kernel.Task) {
+				k := kernel.New(cfg)
+				if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				var ground strings.Builder
+				k.OnDispatch = groundHook(&ground)
+				prog, err := guest.JIT()
+				if err != nil {
+					t.Fatal(err)
+				}
+				task, err := prog.Spawn(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := attachForTrace(mech, k, task, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Run(50_000_000); err != nil {
+					t.Fatal(err)
+				}
+				if task.ExitCode != task.Tgid {
+					t.Fatalf("jit guest exited %d, want pid", task.ExitCode)
+				}
+				return finishOutcome(k, task, &ground, rec), task
+			})
+		})
+	}
+}
+
+func TestTLBInvarianceCoreutils(t *testing.T) {
+	libcs := []struct {
+		name string
+		libc guest.Libc
+	}{
+		{"ubuntu", guest.LibcUbuntu2004(false)},
+		{"clearlinux", guest.LibcClearLinux()},
+	}
+	for _, name := range guest.CoreutilNames {
+		for _, lc := range libcs {
+			for _, mech := range invarianceMechs {
+				mech := mech
+				t.Run(name+"/"+lc.name+"/"+mech, func(t *testing.T) {
+					fastpathDifferential(t, func(t *testing.T, cfg kernel.Config) (runOutcome, *kernel.Task) {
+						k := kernel.New(cfg)
+						for _, dir := range []string{"/tmp", "/etc", "/var/log"} {
+							if err := k.FS.MkdirAll(dir, 0o755); err != nil {
+								t.Fatal(err)
+							}
+						}
+						paths := make([]string, 0, len(guest.CoreutilFSFiles))
+						for path := range guest.CoreutilFSFiles {
+							paths = append(paths, path)
+						}
+						sort.Strings(paths)
+						for _, path := range paths {
+							if err := k.FS.WriteFile(path, []byte(guest.CoreutilFSFiles[path]), 0o644); err != nil {
+								t.Fatal(err)
+							}
+						}
+						var ground strings.Builder
+						k.OnDispatch = groundHook(&ground)
+						prog, err := guest.Coreutil(name, lc.libc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						task, err := prog.Spawn(k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rec, err := attachForTrace(mech, k, task, false)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := k.Run(50_000_000); err != nil {
+							t.Fatal(err)
+						}
+						if task.ExitCode != 0 {
+							t.Fatalf("%s exited %d", name, task.ExitCode)
+						}
+						return finishOutcome(k, task, &ground, rec), task
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestTLBInvarianceWebServers(t *testing.T) {
+	for _, style := range []guest.ServerStyle{guest.StyleNginx, guest.StyleLighttpd} {
+		for _, mech := range invarianceMechs {
+			style, mech := style, mech
+			t.Run(style.String()+"/"+mech, func(t *testing.T) {
+				run := func(disableTLB, disableSB bool) webbench.Result {
+					res, err := webbench.Run(webbench.Config{
+						Style:              style,
+						Workers:            1,
+						FileSize:           1024,
+						Connections:        4,
+						Requests:           40,
+						Attach:             AttachFunc(mech),
+						DisableTLB:         disableTLB,
+						DisableSuperblocks: disableSB,
+					})
+					if err != nil {
+						t.Fatalf("webbench %s/%s: %v", style, mech, err)
+					}
+					return res
+				}
+				on := run(false, false)
+				off := run(true, true)
+				if on != off {
+					t.Errorf("web server results differ fast path on/off:\non:  %+v\noff: %+v", on, off)
+				}
+			})
+		}
+	}
+}
+
+// TestTLBInvarianceSMC: the two self-modifying-code shapes — lazypoline's
+// mprotect-rewrite-mprotect slow path on the very page being executed,
+// and the JIT's direct stores to freshly minted code — must be invisible
+// to the data fast path too (a write-capable TLB entry for an executable
+// page would bypass the generation bump the decode cache depends on).
+func TestTLBInvarianceSMC(t *testing.T) {
+	t.Run("lazypoline-lazy-rewrite", func(t *testing.T) {
+		fastpathDifferential(t, func(t *testing.T, cfg kernel.Config) (runOutcome, *kernel.Task) {
+			k := kernel.New(cfg)
+			var ground strings.Builder
+			k.OnDispatch = groundHook(&ground)
+			prog, err := guest.Microbench(kernel.NonexistentSyscall, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, err := prog.Spawn(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &trace.Recorder{}
+			if err := attachTracing(MechLazypoline, k, task, rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(-1); err != nil {
+				t.Fatal(err)
+			}
+			if task.ExitCode != 0 {
+				t.Fatalf("microbench exited %d", task.ExitCode)
+			}
+			return finishOutcome(k, task, &ground, rec), task
+		})
+	})
+	t.Run("jit-direct-store", func(t *testing.T) {
+		fastpathDifferential(t, func(t *testing.T, cfg kernel.Config) (runOutcome, *kernel.Task) {
+			k := kernel.New(cfg)
+			if err := k.FS.MkdirAll("/src", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.FS.WriteFile(guest.JITSourcePath, []byte(guest.JITSource), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var ground strings.Builder
+			k.OnDispatch = groundHook(&ground)
+			prog, err := guest.JIT()
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, err := prog.Spawn(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := attach(MechBaseline, k, task, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if task.ExitCode != task.Tgid {
+				t.Fatalf("jit guest exited %d, want pid", task.ExitCode)
+			}
+			return finishOutcome(k, task, &ground, nil), task
+		})
+	})
+}
+
+// TestTLBInvarianceChaos: with a fixed fault plan injecting real faults,
+// the fast path must not shift a single decision — the whole outcome,
+// including the argument-level ground trace and cycle counts, must be
+// identical with the layers on and off.
+func TestTLBInvarianceChaos(t *testing.T) {
+	for _, mech := range []string{MechBaseline, MechLazypoline, MechSUD} {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			on, _ := chaosCoreutilRun(t, "cat", mech, kernel.Config{
+				ChaosSeed: chaosInvSeed, ChaosRate: chaosInvRate,
+			})
+			off, _ := chaosCoreutilRun(t, "cat", mech, kernel.Config{
+				ChaosSeed: chaosInvSeed, ChaosRate: chaosInvRate,
+				DisableTLB: true, DisableSuperblocks: true,
+			})
+			if on != off {
+				t.Errorf("chaos outcome differs fast path on/off:\n--- on ---\n%s\n--- off ---\n%s\nfirst diff: %s",
+					on, off, firstDiff(on.String(), off.String()))
+			}
+		})
+	}
+}
+
+// TestTLBInvarianceTelemetry: a telemetry sink attached to a fast-path-on
+// run must stay inert (nil-sink contract unchanged), and the sink must
+// expose the new substrate counters non-vacuously: TLB hits and
+// superblock instructions when on, zeros when off.
+func TestTLBInvarianceTelemetry(t *testing.T) {
+	run := func(cfg kernel.Config) (runOutcome, *kernel.Task) {
+		k := kernel.New(cfg)
+		var ground strings.Builder
+		k.OnDispatch = groundHook(&ground)
+		prog, err := guest.Microbench(kernel.NonexistentSyscall, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := prog.Spawn(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := attachForTrace(MechLazypoline, k, task, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(-1); err != nil {
+			t.Fatal(err)
+		}
+		return finishOutcome(k, task, &ground, rec), task
+	}
+
+	plain, _ := run(kernel.Config{})
+	sink := telemetry.NewSink()
+	observed, _ := run(kernel.Config{Telemetry: sink})
+	if plain != observed {
+		t.Errorf("telemetry sink perturbed a fast-path run:\n--- no sink ---\n%s\n--- sink ---\n%s\nfirst diff: %s",
+			plain, observed, firstDiff(plain.String(), observed.String()))
+	}
+	snap := sink.Metrics.Snapshot()
+	if snap.Counters["cpu.tlb.hits"] == 0 {
+		t.Error("sink saw zero cpu.tlb.hits on a fast-path-on run")
+	}
+	if snap.Counters["cpu.superblock.insts"] == 0 {
+		t.Error("sink saw zero cpu.superblock.insts on a fast-path-on run")
+	}
+
+	offSink := telemetry.NewSink()
+	if _, task := run(kernel.Config{Telemetry: offSink, DisableTLB: true, DisableSuperblocks: true}); task != nil {
+		snap := offSink.Metrics.Snapshot()
+		if snap.Counters["cpu.tlb.hits"] != 0 || snap.Counters["cpu.superblock.insts"] != 0 {
+			t.Errorf("disabled fast path still reported activity: tlb.hits=%d superblock.insts=%d",
+				snap.Counters["cpu.tlb.hits"], snap.Counters["cpu.superblock.insts"])
+		}
+	}
+}

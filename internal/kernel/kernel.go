@@ -94,6 +94,12 @@ type Config struct {
 	// nothing — it exists for differential tests and CI determinism
 	// checks that prove exactly that.
 	DisableDecodeCache bool
+	// DisableTLB turns off the CPUs' software D-TLB and DisableSuperblocks
+	// turns off superblock execution. Both layers are semantically
+	// invisible like the decode cache; the toggles exist for the same
+	// differential tests and for measuring each layer in isolation.
+	DisableTLB         bool
+	DisableSuperblocks bool
 	// ChaosSeed / ChaosRate configure the deterministic fault-injection
 	// engine (see internal/chaos). A rate of 0 constructs no engine at
 	// all, so a zero-rate run is byte-identical to a chaos-disabled run:
@@ -126,6 +132,8 @@ type Kernel struct {
 	maxCycles     uint64
 	extWaiters    int32
 	noDecodeCache bool
+	noTLB         bool
+	noSuperblocks bool
 
 	// chaos is the fault-injection engine; nil means disabled. current
 	// is the task whose quantum is executing — the mem.AllocGate closures
@@ -173,6 +181,8 @@ func New(cfg Config) *Kernel {
 		images:        make(map[string]*loader.Image),
 		randState:     cfg.RandSeed | 1,
 		noDecodeCache: cfg.DisableDecodeCache,
+		noTLB:         cfg.DisableTLB,
+		noSuperblocks: cfg.DisableSuperblocks,
 		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
 		tel:           cfg.Telemetry,
 	}
@@ -283,6 +293,12 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 	t.CPU.Costs = cpu.Costs{Insn: k.Costs.Insn, Xsave: k.Costs.Xsave, Xrstor: k.Costs.Xrstor, NopsPerCycle: k.Costs.NopsPerCycle}
 	if k.noDecodeCache {
 		t.CPU.SetDecodeCache(false)
+	}
+	if k.noTLB {
+		t.CPU.SetTLB(false)
+	}
+	if k.noSuperblocks {
+		t.CPU.SetSuperblocks(false)
 	}
 	k.installAllocGate(as)
 	k.tasks[t.ID] = t
@@ -491,9 +507,25 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 		quantum = 1 + k.chaos.Pick(chaos.SiteSchedJitter, uint64(t.ID), quantum)
 	}
 	startCycles := t.CPU.Cycles
-	for q := uint64(0); q < quantum && t.state == TaskRunnable; q++ {
-		ev := t.CPU.Step()
-		n++
+	for q := uint64(0); q < quantum && t.state == TaskRunnable; {
+		// Superblock batching: hand the CPU the rest of the quantum and
+		// let it retire straight-line runs without bouncing through the
+		// scheduler per instruction. StepBlock stops at the first event,
+		// so signal checks run at exactly the same instruction boundaries
+		// as single-stepping (EvNone steps never checked signals).
+		ev, steps, pre := t.CPU.StepBlock(quantum - q)
+		q += steps
+		n += int64(steps)
+		if steps > 1 && pre > k.maxCycles {
+			// The per-Step loop refreshed the clock after every retired
+			// instruction, so when an event entered the kernel the clock
+			// held the count through the instruction *before* it. Replay
+			// that here so Now()-derived state (file timestamps) cannot
+			// depend on batching. steps==1 means no instruction retired
+			// before the event in this batch — the old loop had made no
+			// refresh since the previous event either.
+			k.maxCycles = pre
+		}
 		switch ev {
 		case cpu.EvNone:
 			// fall through

@@ -242,7 +242,8 @@ func (k *Kernel) telSigreturn(t *Task, sig int) {
 // spaces through a seen-set is deterministic.
 func (k *Kernel) telCollect(r *telemetry.Registry) {
 	var cs cpuCacheTotals
-	var fetchWalks, nopBatches, cycles uint64
+	var ts cpuTLBTotals
+	var fetchWalks, nopBatches, cycles, sbRuns, sbInsts uint64
 	seen := make(map[*mem.AddressSpace]bool)
 	var faults, gens, codeMut uint64
 	for _, t := range k.order {
@@ -252,8 +253,15 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 		cs.builds += s.Builds
 		cs.invalidations += s.Invalidations
 		cs.flushes += s.Flushes
+		ls := t.CPU.TLBStats()
+		ts.hits += ls.Hits
+		ts.misses += ls.Misses
+		ts.evictions += ls.Evictions
+		ts.flushes += ls.Flushes
 		fetchWalks += t.CPU.FetchWalks
 		nopBatches += t.CPU.NopBatches
+		sbRuns += t.CPU.SuperblockRuns
+		sbInsts += t.CPU.SuperblockInsts
 		cycles += t.CPU.Cycles
 		if !seen[t.AS] {
 			seen[t.AS] = true
@@ -268,6 +276,12 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 	r.Counter("cpu.decode_cache.builds").Set(cs.builds)
 	r.Counter("cpu.decode_cache.invalidations").Set(cs.invalidations)
 	r.Counter("cpu.decode_cache.flushes").Set(cs.flushes)
+	r.Counter("cpu.tlb.hits").Set(ts.hits)
+	r.Counter("cpu.tlb.misses").Set(ts.misses)
+	r.Counter("cpu.tlb.evictions").Set(ts.evictions)
+	r.Counter("cpu.tlb.flushes").Set(ts.flushes)
+	r.Counter("cpu.superblock.runs").Set(sbRuns)
+	r.Counter("cpu.superblock.insts").Set(sbInsts)
 	r.Counter("cpu.fetch_walks").Set(fetchWalks)
 	r.Counter("cpu.nop_batches").Set(nopBatches)
 	r.Counter("cpu.cycles_total").Set(cycles)
@@ -297,4 +311,8 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 
 type cpuCacheTotals struct {
 	hits, misses, builds, invalidations, flushes uint64
+}
+
+type cpuTLBTotals struct {
+	hits, misses, evictions, flushes uint64
 }

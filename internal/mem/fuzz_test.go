@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSpace builds the fixed layout every FuzzAccess execution runs
+// against: a permission obstacle course of mapped, read-only, unmapped,
+// pkey-tagged and executable pages so that arbitrary (addr, len) pairs
+// cross every kind of boundary.
+//
+//	0x1000 RW      0x2000 R       0x3000 (hole)
+//	0x4000 RW+pkey 0x5000 RWX     0x6000 (end)
+func fuzzSpace(t testing.TB) *AddressSpace {
+	as := NewAddressSpace()
+	mapOne := func(addr uint64, prot Prot) {
+		if err := as.MapFixed(addr, PageSize, prot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mapOne(0x1000, ProtRW)
+	mapOne(0x2000, ProtRead)
+	mapOne(0x4000, ProtRW)
+	mapOne(0x5000, ProtRWX)
+	if err := as.SetPkey(0x4000, PageSize, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic fill so reads have content to disagree about.
+	fill := make([]byte, PageSize)
+	for i := range fill {
+		fill[i] = byte(i * 7)
+	}
+	for _, base := range []uint64{0x1000, 0x2000, 0x4000, 0x5000} {
+		if err := as.WriteForce(base, fill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return as
+}
+
+// oracleRead performs the same access byte-at-a-time — the obviously
+// correct reference the single-walk implementation must match, including
+// partial-transfer prefixes and the first-bad-byte fault address.
+func oracleRead(as *AddressSpace, addr uint64, dst []byte) error {
+	for i := range dst {
+		if err := as.ReadAt(addr+uint64(i), dst[i:i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func oracleWrite(as *AddressSpace, addr uint64, src []byte) error {
+	for i := range src {
+		if err := as.WriteAt(addr+uint64(i), src[i:i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fuzzSnapshot copies the readable window of the obstacle course for
+// comparing post-write memory state.
+func fuzzSnapshot(t testing.TB, as *AddressSpace) []byte {
+	out := make([]byte, 0, 4*PageSize)
+	buf := make([]byte, PageSize)
+	for _, base := range []uint64{0x1000, 0x2000, 0x4000, 0x5000} {
+		if err := as.ReadForce(base, buf); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf...)
+	}
+	return out
+}
+
+func faultAddr(t testing.TB, err error) (uint64, bool) {
+	if err == nil {
+		return 0, false
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error is not a mem.Fault: %v", err)
+	}
+	return f.Addr, true
+}
+
+// FuzzAccess cross-checks the single-walk multi-page ReadAt/WriteAt
+// against the byte-at-a-time oracle: same fault address (first
+// inaccessible byte), same partial-transfer prefix, same memory state,
+// under arbitrary sizes, alignments and PKRU values.
+func FuzzAccess(f *testing.F) {
+	f.Add(uint64(0x1ffc), uint16(16), uint32(0), byte(1), false)   // RW→R crossing
+	f.Add(uint64(0x2ff0), uint16(64), uint32(0), byte(2), false)   // into the hole
+	f.Add(uint64(0x4ffb), uint16(10), uint32(0), byte(3), true)    // pkey→RWX crossing
+	f.Add(uint64(0x4000), uint16(8), uint32(1<<6), byte(4), true)  // pkey 3 AD set
+	f.Add(uint64(0x4008), uint16(8), uint32(1<<7), byte(5), false) // pkey 3 WD set
+	f.Add(uint64(0x1000), uint16(0x3001), uint32(0), byte(6), false)
+	f.Fuzz(func(t *testing.T, addr uint64, n uint16, pkru uint32, seed byte, write bool) {
+		// Keep the access inside the course (plus sloppy margins so the
+		// hole and the unmapped tail are reachable).
+		addr = 0x800 + addr%(6*PageSize)
+		length := int(n) % (2*PageSize + 17)
+
+		got := fuzzSpace(t)
+		want := fuzzSpace(t)
+		got.SetActivePKRU(pkru)
+		want.SetActivePKRU(pkru)
+
+		if write {
+			src := make([]byte, length)
+			for i := range src {
+				src[i] = seed + byte(i)
+			}
+			gotErr := got.WriteAt(addr, src)
+			wantErr := oracleWrite(want, addr, src)
+			ga, gok := faultAddr(t, gotErr)
+			wa, wok := faultAddr(t, wantErr)
+			if gok != wok || ga != wa {
+				t.Fatalf("WriteAt(%#x, %d) fault = (%#x,%v), oracle (%#x,%v)", addr, length, ga, gok, wa, wok)
+			}
+			if gs, ws := fuzzSnapshot(t, got), fuzzSnapshot(t, want); !bytes.Equal(gs, ws) {
+				t.Fatalf("WriteAt(%#x, %d): memory state diverges from oracle", addr, length)
+			}
+		} else {
+			gotDst := make([]byte, length)
+			wantDst := make([]byte, length)
+			gotErr := got.ReadAt(addr, gotDst)
+			wantErr := oracleRead(want, addr, wantDst)
+			ga, gok := faultAddr(t, gotErr)
+			wa, wok := faultAddr(t, wantErr)
+			if gok != wok || ga != wa {
+				t.Fatalf("ReadAt(%#x, %d) fault = (%#x,%v), oracle (%#x,%v)", addr, length, ga, gok, wa, wok)
+			}
+			if !bytes.Equal(gotDst, wantDst) {
+				t.Fatalf("ReadAt(%#x, %d): returned bytes diverge from oracle", addr, length)
+			}
+		}
+	})
+}

@@ -117,13 +117,18 @@ type page struct {
 	prot Prot
 	pkey uint8
 	// gen is the page's generation: a value unique within the address
-	// space's lifetime, replaced on every write to the page and on every
-	// protection change. Decoded-code caches record the generations of the
-	// pages they predecoded and revalidate against them, which is how
-	// run-time code rewriting (lazypoline's SIGSYS-time patch, the JIT's
-	// code emission, zpoline's scans) invalidates stale decodes — the
-	// simulator's analogue of x86 icache coherence on self-modifying code.
-	gen uint64
+	// space's lifetime, replaced on every locked write to the page and on
+	// every protection or pkey change, and set to the never-issued value 0
+	// when the page is unmapped. Decoded-code caches record the
+	// generations of the pages they predecoded and revalidate against
+	// them, which is how run-time code rewriting (lazypoline's SIGSYS-time
+	// patch, the JIT's code emission, zpoline's scans) invalidates stale
+	// decodes — the simulator's analogue of x86 icache coherence on
+	// self-modifying code. Software TLBs (internal/cpu) hold PageHandles
+	// and compare this field lock-free on every hit, which is why it is
+	// atomic: stores happen under mu, loads happen from the CPU's
+	// zero-lock data fast path.
+	gen atomic.Uint64
 }
 
 // AddressSpace is a guest virtual address space. It is safe for concurrent
@@ -181,8 +186,12 @@ func (as *AddressSpace) Clone() *AddressSpace {
 	}
 	c.codeMut.Store(as.codeMut.Load())
 	for pn, pg := range as.pages {
-		cp := *pg
-		c.pages[pn] = &cp
+		// Field-by-field: the page embeds an atomic generation, which must
+		// not be copied as a struct (go vet copylocks).
+		cp := &page{prot: pg.prot, pkey: pg.pkey}
+		cp.data = pg.data
+		cp.gen.Store(pg.gen.Load())
+		c.pages[pn] = cp
 	}
 	return c
 }
@@ -212,7 +221,9 @@ func (as *AddressSpace) MapFixed(addr, length uint64, prot Prot) error {
 		}
 	}
 	for i := uint64(0); i < n; i++ {
-		as.pages[first+i] = &page{prot: prot, gen: as.nextGen()}
+		pg := &page{prot: prot}
+		pg.gen.Store(as.nextGen())
+		as.pages[first+i] = pg
 	}
 	as.codeMut.Add(1)
 	return nil
@@ -244,7 +255,9 @@ func (as *AddressSpace) MapAnon(length uint64, prot Prot) (uint64, error) {
 		}
 		if free {
 			for i := uint64(0); i < n; i++ {
-				as.pages[first+i] = &page{prot: prot, gen: as.nextGen()}
+				pg := &page{prot: prot}
+				pg.gen.Store(as.nextGen())
+				as.pages[first+i] = pg
 			}
 			as.brk = addr + length
 			as.codeMut.Add(1)
@@ -270,7 +283,7 @@ func (as *AddressSpace) Protect(addr, length uint64, prot Prot) error {
 	for i := uint64(0); i < n; i++ {
 		pg := as.pages[first+i]
 		pg.prot = prot
-		pg.gen = as.nextGen()
+		pg.gen.Store(as.nextGen())
 	}
 	as.codeMut.Add(1)
 	return nil
@@ -286,7 +299,13 @@ func (as *AddressSpace) Unmap(addr, length uint64) error {
 	defer as.mu.Unlock()
 	first, n := addr>>PageShift, length>>PageShift
 	for i := uint64(0); i < n; i++ {
-		delete(as.pages, first+i)
+		if pg, ok := as.pages[first+i]; ok {
+			// Tombstone: generation 0 is never issued, so any PageHandle
+			// still aliasing this page object can never validate again —
+			// even if the address is later remapped to a fresh page.
+			pg.gen.Store(0)
+			delete(as.pages, first+i)
+		}
 	}
 	as.codeMut.Add(1)
 	return nil
@@ -304,17 +323,22 @@ func (as *AddressSpace) ProtAt(addr uint64) (Prot, bool) {
 	return pg.prot, true
 }
 
-// access copies data in or out while checking the permission bit `need`
-// on every touched page. Exactly one of dst/src is non-nil.
-func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind AccessKind) error {
-	n := len(dst) + len(src) // one of them is nil
-	as.mu.Lock()
-	defer as.mu.Unlock()
+// accessRead copies data out while checking the permission bit `need` on
+// every touched page. Reads mutate no page state (the fault counter is
+// atomic), so the whole multi-page walk runs under a single read-lock
+// acquisition — concurrent readers (the Pin analogue, tracers, other
+// simulated CPUs over a shared CLONE_VM space) never serialise against
+// each other. A fault is reported at the first inaccessible byte; bytes
+// before it have already been copied out, matching Linux copy_from_user
+// partial-transfer semantics.
+func (as *AddressSpace) accessRead(addr uint64, dst []byte, need Prot, kind AccessKind) error {
+	n := len(dst)
+	as.mu.RLock()
+	defer as.mu.RUnlock()
 	// Force (kernel-privileged) accesses pass need == ProtRWX and bypass
 	// protection keys, like ring-0 accesses with SMAP/PKS aside.
 	privileged := need == ProtRWX
 	off := 0
-	execTouched := false
 	for off < n {
 		a := addr + uint64(off)
 		pg, ok := as.pages[a>>PageShift]
@@ -331,14 +355,46 @@ func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind Acc
 		if rem := n - off; chunk > rem {
 			chunk = rem
 		}
-		if dst != nil {
-			copy(dst[off:off+chunk], pg.data[po:po+chunk])
-		} else {
-			copy(pg.data[po:po+chunk], src[off:off+chunk])
-			pg.gen = as.nextGen()
-			if pg.prot&ProtExec != 0 {
-				execTouched = true
-			}
+		copy(dst[off:off+chunk], pg.data[po:po+chunk])
+		off += chunk
+	}
+	return nil
+}
+
+// accessWrite copies data in while checking the permission bit `need` on
+// every touched page, issuing a fresh generation per touched page and
+// advancing the code-mutation counter when an executable page was
+// written. One write-lock acquisition covers the whole multi-page run;
+// the fault address is the first inaccessible byte, and pages before it
+// keep the bytes already copied (Linux copy_to_user partial-transfer
+// semantics).
+func (as *AddressSpace) accessWrite(addr uint64, src []byte, need Prot, kind AccessKind) error {
+	n := len(src)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	privileged := need == ProtRWX
+	off := 0
+	execTouched := false
+	for off < n {
+		a := addr + uint64(off)
+		pg, ok := as.pages[a>>PageShift]
+		if !ok || pg.prot&need == 0 {
+			as.faults.Add(1)
+			return &Fault{Addr: a, Kind: kind}
+		}
+		if !privileged && !pkeyAllows(as.activePKRU, pg.pkey, true) {
+			as.faults.Add(1)
+			return &Fault{Addr: a, Kind: kind, Pkey: true}
+		}
+		po := int(a & (PageSize - 1))
+		chunk := PageSize - po
+		if rem := n - off; chunk > rem {
+			chunk = rem
+		}
+		copy(pg.data[po:po+chunk], src[off:off+chunk])
+		pg.gen.Store(as.nextGen())
+		if pg.prot&ProtExec != 0 {
+			execTouched = true
 		}
 		off += chunk
 	}
@@ -350,18 +406,18 @@ func (as *AddressSpace) access(addr uint64, dst, src []byte, need Prot, kind Acc
 
 // ReadAt reads len(p) bytes at addr, enforcing read permission.
 func (as *AddressSpace) ReadAt(addr uint64, p []byte) error {
-	return as.access(addr, p, nil, ProtRead, AccessRead)
+	return as.accessRead(addr, p, ProtRead, AccessRead)
 }
 
 // WriteAt writes p at addr, enforcing write permission.
 func (as *AddressSpace) WriteAt(addr uint64, p []byte) error {
-	return as.access(addr, nil, p, ProtWrite, AccessWrite)
+	return as.accessWrite(addr, p, ProtWrite, AccessWrite)
 }
 
 // Fetch reads len(p) bytes at addr for instruction fetch, enforcing
 // execute permission.
 func (as *AddressSpace) Fetch(addr uint64, p []byte) error {
-	return as.access(addr, p, nil, ProtExec, AccessExec)
+	return as.accessRead(addr, p, ProtExec, AccessExec)
 }
 
 // PageGen records the generation of one page (by page number) observed at
@@ -440,7 +496,7 @@ func (as *AddressSpace) fetchExecLocked(addr uint64, p []byte, wantGens bool) (n
 			return off, pages, npages, as.codeMut.Load(), &Fault{Addr: a, Kind: AccessExec}
 		}
 		if wantGens && npages < len(pages) {
-			pages[npages] = PageGen{PN: pn, Gen: pg.gen}
+			pages[npages] = PageGen{PN: pn, Gen: pg.gen.Load()}
 			npages++
 		}
 		po := int(a & (PageSize - 1))
@@ -463,18 +519,79 @@ func (as *AddressSpace) ValidatePages(pages []PageGen) (mut uint64, ok bool) {
 	defer as.mu.RUnlock()
 	for _, want := range pages {
 		pg, exists := as.pages[want.PN]
-		if !exists || pg.gen != want.Gen {
+		if !exists || pg.gen.Load() != want.Gen {
 			return 0, false
 		}
 	}
 	return as.codeMut.Load(), true
 }
 
+// PageHandle is a revalidatable, lock-free view of one mapped page — the
+// currency of the CPUs' software D-TLBs. It aliases the page's backing
+// bytes directly; while Valid() holds, the page still exists at the page
+// number it was looked up under, with the same protection, pkey and
+// contents lineage as when the handle was built (any locked write,
+// mprotect, pkey change or unmap replaces the generation, and unmap
+// additionally tombstones it so a remap at the same address can never
+// revalidate a stale handle).
+//
+// The simulated kernel serialises guest execution, so the single guest
+// thread using a handle between Valid() and the data access cannot race
+// a mutation; concurrent host-side tooling only reads (under the address
+// space lock), which is why the zero-lock data path is sound.
+type PageHandle struct {
+	// Data aliases the page's 4 KiB backing array.
+	Data *[PageSize]byte
+	// Gen is the page generation observed when the handle was built.
+	Gen uint64
+	// Prot and Pkey are the page's protection and protection key at build
+	// time (constant while Valid() holds).
+	Prot Prot
+	Pkey uint8
+	// DirectWrite reports whether the holder may store through Data
+	// without going back through WriteAt: the page is writable and NOT
+	// executable. Writes to executable pages must take the locked path so
+	// the generation and code-mutation counters advance and decoded-code
+	// caches observe the self-modification. Direct stores to data pages
+	// deliberately skip the generation bump: nothing stale can result,
+	// because every other view of the page (other TLBs, ReadAt, tracers)
+	// aliases the same backing array, and prot/pkey did not change.
+	DirectWrite bool
+
+	gen *atomic.Uint64
+}
+
+// Valid reports whether the handle still describes the live page: one
+// atomic load, no lock. False after any locked write to the page, any
+// protection or pkey change, and forever after unmap.
+func (h *PageHandle) Valid() bool { return h.gen != nil && h.gen.Load() == h.Gen }
+
+// PageForAccess looks up the page `pn` for the data-access fast path and
+// returns a PageHandle aliasing it. ok is false when the page is
+// unmapped. This is the TLB-miss fill path: one read-lock walk amortised
+// over every subsequent zero-lock hit.
+func (as *AddressSpace) PageForAccess(pn uint64) (PageHandle, bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	pg, ok := as.pages[pn]
+	if !ok {
+		return PageHandle{}, false
+	}
+	return PageHandle{
+		Data:        &pg.data,
+		Gen:         pg.gen.Load(),
+		Prot:        pg.prot,
+		Pkey:        pg.pkey,
+		DirectWrite: pg.prot&ProtWrite != 0 && pg.prot&ProtExec == 0,
+		gen:         &pg.gen,
+	}, true
+}
+
 // WriteForce writes p at addr ignoring page protections (kernel-privileged
 // write, e.g. signal frame setup or ptrace POKEDATA). It still faults on
 // unmapped pages.
 func (as *AddressSpace) WriteForce(addr uint64, p []byte) error {
-	return as.access(addr, nil, p, ProtRWX, AccessWrite)
+	return as.accessWrite(addr, p, ProtRWX, AccessWrite)
 }
 
 // ReadForce reads ignoring protections (kernel-privileged read). It still
@@ -482,7 +599,7 @@ func (as *AddressSpace) WriteForce(addr uint64, p []byte) error {
 func (as *AddressSpace) ReadForce(addr uint64, p []byte) error {
 	// Any mapped page passes: request a permission mask that matches any
 	// non-zero prot; pages with ProtNone still fault, matching Linux.
-	return as.access(addr, p, nil, ProtRWX, AccessRead)
+	return as.accessRead(addr, p, ProtRWX, AccessRead)
 }
 
 // ReadU64 reads a little-endian uint64 with read permission.

@@ -49,7 +49,12 @@ func (as *AddressSpace) SetPkey(addr, length uint64, key uint8) error {
 		}
 	}
 	for i := uint64(0); i < n; i++ {
-		as.pages[first+i].pkey = key
+		pg := as.pages[first+i]
+		pg.pkey = key
+		// A pkey change alters what a cached access decision may permit, so
+		// it must invalidate software-TLB handles the same way mprotect
+		// does: by issuing a fresh generation.
+		pg.gen.Store(as.nextGen())
 	}
 	return nil
 }
@@ -80,6 +85,14 @@ func (as *AddressSpace) ActivePKRU() uint32 {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
 	return as.activePKRU
+}
+
+// PkeyAllows checks a guest data access against a PKRU value. Exported
+// for the CPU's software-TLB hit path, which checks its own (per-task)
+// PKRU register against the handle's cached pkey without taking the
+// address-space lock.
+func PkeyAllows(pkru uint32, key uint8, write bool) bool {
+	return pkeyAllows(pkru, key, write)
 }
 
 // pkeyAllows checks a guest data access against the active PKRU.

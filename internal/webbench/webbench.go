@@ -199,6 +199,12 @@ type Config struct {
 	// instruction cache. Results are identical either way (the cache is
 	// semantically invisible); CI uses this to prove it.
 	DisableDecodeCache bool
+	// DisableTLB and DisableSuperblocks switch off the data-path fast
+	// path (the per-task software D-TLB and superblock execution). Like
+	// the decode cache, both are semantically invisible; CI uses these
+	// to prove it.
+	DisableTLB         bool
+	DisableSuperblocks bool
 	// ChaosSeed and ChaosRate configure deterministic fault injection
 	// (see internal/chaos). Rate 0 disables it entirely. The multi-task
 	// server makes scheduling mechanism-dependent, so chaos webbench runs
@@ -263,6 +269,8 @@ func Run(cfg Config) (Result, error) {
 	k := kernel.New(kernel.Config{
 		Costs:              cfg.Costs,
 		DisableDecodeCache: cfg.DisableDecodeCache,
+		DisableTLB:         cfg.DisableTLB,
+		DisableSuperblocks: cfg.DisableSuperblocks,
 		ChaosSeed:          cfg.ChaosSeed,
 		ChaosRate:          cfg.ChaosRate,
 		Telemetry:          cfg.Telemetry,

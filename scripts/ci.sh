@@ -10,11 +10,18 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# The data fast path's concurrency surface (lock-free TLB hits against
+# locked invalidation, the RLock'd read walk) gets an explicit -race
+# pass even though the full-suite run above covers these packages: a
+# future narrowing of the suite must not silently drop this gate.
+go test -race ./internal/cpu/... ./internal/mem/...
+
 # Benchmark smoke run: the interpreter benchmarks must still execute, and
-# cpubench must still clear its cache-speedup floor (written to a scratch
-# file; the checked-in BENCH_cpu.json snapshot is refreshed manually).
+# cpubench must still clear its cache-speedup and fast-path-speedup
+# floors (written to a scratch file; the checked-in BENCH_cpu.json
+# snapshot is refreshed manually).
 go test ./internal/cpu/ -run '^$' -bench 'BenchmarkCPUStep|BenchmarkDecodeCache' -benchtime 100ms
-go run ./cmd/cpubench -steps 1000000 -iters 20000 -repeat 2 -out /tmp/ci_BENCH_cpu.json
+go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -out /tmp/ci_BENCH_cpu.json
 
 # Decode-cache determinism: a small Figure 5 sweep must produce
 # byte-identical snapshots with the cache enabled and disabled —
@@ -26,6 +33,17 @@ strip_wall() { grep -v '"wall_seconds"' "$1"; }
 strip_wall /tmp/ci_fig5_cache_on.json > /tmp/ci_fig5_cache_on.stripped
 strip_wall /tmp/ci_fig5_cache_off.json > /tmp/ci_fig5_cache_off.stripped
 diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_cache_off.stripped
+
+# Data-fast-path determinism (DESIGN.md §10): the same sweep must be
+# byte-identical with the software D-TLB and with superblock execution
+# disabled — the fast path changes how fast points are produced, never
+# the points.
+go run ./cmd/macrobench $smoke -tlb=false -out /tmp/ci_fig5_tlb_off.json
+go run ./cmd/macrobench $smoke -superblock=false -out /tmp/ci_fig5_sb_off.json
+strip_wall /tmp/ci_fig5_tlb_off.json > /tmp/ci_fig5_tlb_off.stripped
+strip_wall /tmp/ci_fig5_sb_off.json > /tmp/ci_fig5_sb_off.stripped
+diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_tlb_off.stripped
+diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_sb_off.stripped
 
 # Chaos determinism (DESIGN.md §8): a fixed fault plan must be
 # mechanism-invariant on a single-task guest — identical strace log,
@@ -68,3 +86,7 @@ diff -u /tmp/ci_tel_trace.json /tmp/ci_tel_trace2.json
 
 # Decoder fuzz smoke: the isa decoder must survive arbitrary bytes.
 go test ./internal/isa/ -run '^$' -fuzz FuzzDecode -fuzztime 5s
+
+# Memory-access fuzz smoke: the single-walk ReadAt/WriteAt must match
+# the byte-at-a-time oracle on arbitrary spans and PKRU values.
+go test ./internal/mem/ -run '^$' -fuzz FuzzAccess -fuzztime 5s
