@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -33,6 +33,14 @@ tlb-smoke:
 	go test -race ./internal/cpu ./internal/mem -count 1
 	go test ./internal/experiments -run 'TestTLBInvariance(Microbench|SMC|Telemetry)' -count 1
 	go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -out /tmp/tlb_smoke_BENCH_cpu.json
+
+# Fast chaining/trace check: the chain and trace unit tests under -race,
+# the cheapest chain-invariance matrix, and a cpubench run that must
+# clear the 4.0x raw-loop floor the chained fast path sustains.
+chain-smoke:
+	go test -race ./internal/cpu -run 'TestChain|TestStepBlock|TestSMC|TestDecodeCache|TestFused' -count 1
+	go test ./internal/experiments -run 'TestChainInvariance(Microbench|SMC|Telemetry)' -count 1
+	go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -minrawloop 4.0 -out /tmp/chain_smoke_BENCH_cpu.json
 
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:

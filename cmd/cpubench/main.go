@@ -1,8 +1,11 @@
 // Command cpubench measures interpreter throughput — host nanoseconds per
 // simulated instruction and simulated MIPS — on four workloads:
 //
-//   - a raw register loop stepped directly on a CPU (the decode cache's
-//     best case, mirroring BenchmarkCPUStep),
+//   - a raw register loop driven through StepBlock with the whole
+//     execution fast path (decode cache, superblocks, block chaining,
+//     hot traces) against a no-fast-path baseline — the chained loop's
+//     best case, a self-looping block the fused-loop handler re-runs
+//     whole iterations at a time,
 //   - the paper's microbenchmark guest running under the full simulated
 //     kernel with syscall dispatch in the loop,
 //   - a raw load/store sweep driven through StepBlock (the data fast
@@ -10,19 +13,21 @@
 //   - the MemBench guest — a memory-heavy sweep with one syscall at exit
 //     — under the full kernel.
 //
-// The first two compare the decoded-instruction cache on/off; the last
-// two compare the data-path fast path (software D-TLB + superblock
-// execution, -tlb/-superblock) against decode-cache-only execution. The
-// run fails if the microbenchmark cache speedup falls below -minspeedup
-// or the MemBench fast-path speedup falls below -minfastpath, and writes
-// BENCH_cpu.json so performance is tracked across commits. The
-// simulation is deterministic, so all modes retire the same instructions
-// and cycles; cpubench verifies that as a side effect.
+// The microbenchmark compares the decoded-instruction cache on/off; the
+// other three compare the fast path (-tlb/-superblock/-chain/-traces)
+// against slower baselines. The run fails if the raw-loop fast-path
+// speedup falls below -minrawloop, the microbenchmark cache speedup
+// below -minspeedup, or the MemBench fast-path speedup below
+// -minfastpath, and writes BENCH_cpu.json so performance is tracked
+// across commits. The simulation is deterministic, so all modes retire
+// the same instructions and cycles; cpubench verifies that as a side
+// effect.
 //
 // Usage:
 //
 //	cpubench [-steps N] [-iters N] [-memsweeps N] [-repeat N]
-//	         [-tlb] [-superblock] [-minspeedup X] [-minfastpath X]
+//	         [-tlb] [-superblock] [-chain] [-traces]
+//	         [-minrawloop X] [-minspeedup X] [-minfastpath X]
 //	         [-out BENCH_cpu.json]
 package main
 
@@ -40,7 +45,7 @@ import (
 	"lazypoline/internal/mem"
 )
 
-// ModeResult is one (workload, cache mode) measurement.
+// ModeResult is one (workload, mode) measurement.
 type ModeResult struct {
 	// WallSeconds is the best-of-repeat wall time.
 	WallSeconds float64 `json:"wall_seconds"`
@@ -54,8 +59,7 @@ type ModeResult struct {
 type WorkloadResult struct {
 	// Instructions retired per run (identical in both modes).
 	Instructions uint64 `json:"instructions"`
-	// Cycles consumed per run (identical in both modes; 0 for the raw
-	// loop, which is not cycle-checked).
+	// Cycles consumed per run (identical in both modes).
 	Cycles   uint64     `json:"cycles,omitempty"`
 	CacheOn  ModeResult `json:"cache_on"`
 	CacheOff ModeResult `json:"cache_off"`
@@ -72,17 +76,23 @@ type config struct {
 	Repeat      int     `json:"repeat"`
 	TLB         bool    `json:"tlb"`
 	Superblock  bool    `json:"superblock"`
+	Chain       bool    `json:"chain"`
+	Traces      bool    `json:"traces"`
+	MinRawLoop  float64 `json:"min_rawloop_speedup"`
 	MinSpeedup  float64 `json:"min_speedup"`
 	MinFastpath float64 `json:"min_fastpath_speedup"`
 }
 
 func main() {
-	steps := flag.Int64("steps", 5_000_000, "instructions to step in the raw register loop")
+	steps := flag.Int64("steps", 5_000_000, "instructions to retire in the raw register loop")
 	iters := flag.Int64("iters", 100_000, "microbenchmark guest loop iterations")
 	memSweeps := flag.Int64("memsweeps", 500, "data-segment sweeps in the memory workloads")
 	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is kept)")
 	tlb := flag.Bool("tlb", true, "enable the software D-TLB in the fast-path modes")
 	superblock := flag.Bool("superblock", true, "enable superblock execution in the fast-path modes")
+	chain := flag.Bool("chain", true, "enable block chaining in the fast-path modes")
+	traces := flag.Bool("traces", true, "enable hot-trace compilation and fused handlers in the fast-path modes")
+	minRawLoop := flag.Float64("minrawloop", 4.0, "fail if the raw-loop fast-path speedup is below this (0 disables; only sensible with the full fast path on)")
 	minSpeedup := flag.Float64("minspeedup", 1.5, "fail if the microbenchmark cache speedup is below this (0 disables)")
 	minFastpath := flag.Float64("minfastpath", 2.0, "fail if the MemBench fast-path speedup is below this (0 disables; only sensible with -tlb and -superblock)")
 	out := flag.String("out", "BENCH_cpu.json", "machine-readable result file (empty disables)")
@@ -90,8 +100,8 @@ func main() {
 
 	cfg := config{
 		Steps: *steps, Iters: *iters, MemSweeps: *memSweeps, Repeat: *repeat,
-		TLB: *tlb, Superblock: *superblock,
-		MinSpeedup: *minSpeedup, MinFastpath: *minFastpath,
+		TLB: *tlb, Superblock: *superblock, Chain: *chain, Traces: *traces,
+		MinRawLoop: *minRawLoop, MinSpeedup: *minSpeedup, MinFastpath: *minFastpath,
 	}
 
 	begin := time.Now()
@@ -114,7 +124,7 @@ func main() {
 	wall := time.Since(begin)
 
 	fmt.Printf("CPU interpreter throughput (best of %d)\n\n", cfg.Repeat)
-	report("raw register loop", rawLoop)
+	reportFastpath("raw register loop", rawLoop)
 	report("microbench guest (full kernel)", micro)
 	reportFastpath("raw load/store sweep", memLoop)
 	reportFastpath("membench guest (full kernel)", memBench)
@@ -138,6 +148,10 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
+	if cfg.MinRawLoop > 0 && rawLoop.Speedup < cfg.MinRawLoop {
+		fatal(fmt.Errorf("raw-loop fast-path speedup %.2fx is below the %.2fx floor",
+			rawLoop.Speedup, cfg.MinRawLoop))
+	}
 	if cfg.MinSpeedup > 0 && micro.Speedup < cfg.MinSpeedup {
 		fatal(fmt.Errorf("microbench cache speedup %.2fx is below the %.2fx floor",
 			micro.Speedup, cfg.MinSpeedup))
@@ -158,50 +172,54 @@ func report(name string, w WorkloadResult) {
 		w.Speedup, w.DecodeCache.Hits, w.DecodeCache.Misses, w.DecodeCache.Builds)
 }
 
-// measureRawLoop steps the BenchmarkCPUStep register loop directly.
-func measureRawLoop(cfg config) (WorkloadResult, error) {
-	run := func(useCache bool) (float64, cpu.DecodeCacheStats, error) {
-		best := 0.0
-		var stats cpu.DecodeCacheStats
-		for r := 0; r < cfg.Repeat; r++ {
-			var e isa.Enc
-			e.MovImm64(isa.RCX, 1<<60)
-			loop := e.Len()
-			e.AddImm(isa.RCX, -1)
-			e.Jnz(int64(loop) - int64(e.Len()) - 5)
-			as := mem.NewAddressSpace()
-			if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRWX); err != nil {
-				return 0, stats, err
-			}
-			if err := as.WriteAt(0x1000, e.Buf); err != nil {
-				return 0, stats, err
-			}
-			c := cpu.New(as)
-			c.SetDecodeCache(useCache)
-			c.RIP = 0x1000
-			start := time.Now()
-			for i := int64(0); i < cfg.Steps; i++ {
-				if ev := c.Step(); ev != cpu.EvNone {
-					return 0, stats, fmt.Errorf("raw loop stopped with event %v", ev)
-				}
-			}
-			wall := time.Since(start).Seconds()
-			if best == 0 || wall < best {
-				best = wall
-			}
-			stats = c.DecodeCacheStats()
+// measureRawLoop drives the BenchmarkCPUStep register loop through
+// StepBlock — the whole execution fast path against a no-fast-path
+// baseline (decode cache, D-TLB, superblocks, chaining and traces all
+// off, i.e. per-instruction fetch+decode+dispatch). The loop body is a
+// two-instruction self-looping block, so with traces enabled it lands in
+// the fused-loop handler.
+func measureRawLoop(cfg config) (FastpathResult, error) {
+	run := func(fastpath, instrument bool) (s runSample, err error) {
+		var e isa.Enc
+		e.MovImm64(isa.RCX, 1<<60)
+		loop := e.Len()
+		e.AddImm(isa.RCX, -1)
+		e.Jnz(int64(loop) - int64(e.Len()) - 5)
+		as := mem.NewAddressSpace()
+		if err := as.MapFixed(0x1000, mem.PageSize, mem.ProtRWX); err != nil {
+			return s, err
 		}
-		return best, stats, nil
+		if err := as.WriteAt(0x1000, e.Buf); err != nil {
+			return s, err
+		}
+		c := cpu.New(as)
+		c.SetDecodeCache(fastpath)
+		c.SetTLB(fastpath && cfg.TLB)
+		c.SetSuperblocks(fastpath && cfg.Superblock)
+		c.SetChaining(fastpath && cfg.Chain)
+		c.SetTraces(fastpath && cfg.Traces)
+		c.RIP = 0x1000
+		if instrument {
+			c.Hook = func(uint64, isa.Inst) { s.insns++ }
+		}
+		budget := uint64(cfg.Steps)
+		start := time.Now()
+		for retired := uint64(0); retired < budget; {
+			ev, n, _ := c.StepBlock(budget - retired)
+			if ev != cpu.EvNone {
+				return s, fmt.Errorf("raw loop stopped with event %v (%v)", ev, c.FaultErr)
+			}
+			retired += n
+		}
+		s.wall = time.Since(start).Seconds()
+		s.cycles = c.Cycles
+		s.tlb = c.TLBStats()
+		s.sbInsts = c.SuperblockInsts
+		s.chain = c.ChainStats()
+		s.trace = c.TraceStats()
+		return s, nil
 	}
-	on, stats, err := run(true)
-	if err != nil {
-		return WorkloadResult{}, err
-	}
-	off, _, err := run(false)
-	if err != nil {
-		return WorkloadResult{}, err
-	}
-	return assemble(uint64(cfg.Steps), 0, on, off, stats), nil
+	return fastpathWorkload(cfg, run)
 }
 
 // measureMicrobench runs the paper's microbenchmark guest under the full
@@ -286,9 +304,8 @@ func assemble(insns, cycles uint64, on, off float64, stats cpu.DecodeCacheStats)
 	}
 }
 
-// FastpathResult compares fast-path-on (D-TLB + superblocks per the
-// -tlb/-superblock toggles) against decode-cache-only execution on one
-// memory-heavy workload.
+// FastpathResult compares fast-path-on (per the -tlb/-superblock/-chain/
+// -traces toggles) against baseline execution on one workload.
 type FastpathResult struct {
 	Instructions uint64     `json:"instructions"`
 	Cycles       uint64     `json:"cycles"`
@@ -301,6 +318,11 @@ type FastpathResult struct {
 	// SuperblockInsts is how many instructions the fast-path run retired
 	// inside superblock tight loops.
 	SuperblockInsts uint64 `json:"superblock_insts"`
+	// Chain reports the fast-path run's block-chaining counters and Trace
+	// the hot-trace/fused-handler counters (all zero with those layers
+	// off).
+	Chain cpu.ChainStats `json:"chain"`
+	Trace cpu.TraceStats `json:"trace"`
 }
 
 func reportFastpath(name string, w FastpathResult) {
@@ -309,12 +331,25 @@ func reportFastpath(name string, w FastpathResult) {
 		w.FastpathOn.NsPerInstruction, w.FastpathOn.SimulatedMIPS)
 	fmt.Printf("  fastpath off  %8.2f ns/insn  %8.1f simulated MIPS\n",
 		w.FastpathOff.NsPerInstruction, w.FastpathOff.SimulatedMIPS)
-	fmt.Printf("  speedup       %8.2fx   (tlb: %d hits, %d misses; superblock insts: %d)\n\n",
+	fmt.Printf("  speedup       %8.2fx   (tlb: %d hits, %d misses; superblock insts: %d)\n",
 		w.Speedup, w.TLB.Hits, w.TLB.Misses, w.SuperblockInsts)
+	fmt.Printf("                            (chain: %d links, %d transitions; trace insts: %d, fused loop iters: %d, fused nops: %d)\n\n",
+		w.Chain.Links, w.Chain.Transitions, w.Trace.Insts, w.Trace.FusedLoopIters, w.Trace.FusedNopInsts)
+}
+
+// runSample is one measured run of a fast-path workload.
+type runSample struct {
+	insns   uint64
+	cycles  uint64
+	wall    float64
+	tlb     cpu.TLBStats
+	sbInsts uint64
+	chain   cpu.ChainStats
+	trace   cpu.TraceStats
 }
 
 // assembleFastpath mirrors assemble for the fast-path comparison.
-func assembleFastpath(insns, cycles uint64, on, off float64, tlb cpu.TLBStats, sbInsts uint64) FastpathResult {
+func assembleFastpath(insns uint64, on, off runSample) FastpathResult {
 	mode := func(wall float64) ModeResult {
 		return ModeResult{
 			WallSeconds:      wall,
@@ -324,12 +359,14 @@ func assembleFastpath(insns, cycles uint64, on, off float64, tlb cpu.TLBStats, s
 	}
 	return FastpathResult{
 		Instructions:    insns,
-		Cycles:          cycles,
-		FastpathOn:      mode(on),
-		FastpathOff:     mode(off),
-		Speedup:         off / on,
-		TLB:             tlb,
-		SuperblockInsts: sbInsts,
+		Cycles:          on.cycles,
+		FastpathOn:      mode(on.wall),
+		FastpathOff:     mode(off.wall),
+		Speedup:         off.wall / on.wall,
+		TLB:             on.tlb,
+		SuperblockInsts: on.sbInsts,
+		Chain:           on.chain,
+		Trace:           on.trace,
 	}
 }
 
@@ -365,23 +402,25 @@ func measureMemLoop(cfg config) (FastpathResult, error) {
 		dataBase = 0x100000
 		pages    = 16
 	)
-	run := func(fastpath, instrument bool) (insns, cycles uint64, wall float64, tlb cpu.TLBStats, sbInsts uint64, err error) {
+	run := func(fastpath, instrument bool) (s runSample, err error) {
 		as := mem.NewAddressSpace()
 		if err := as.MapFixed(codeBase, mem.PageSize, mem.ProtRX); err != nil {
-			return 0, 0, 0, tlb, 0, err
+			return s, err
 		}
 		if err := as.WriteForce(codeBase, memLoopProgram(cfg.MemSweeps, pages, dataBase)); err != nil {
-			return 0, 0, 0, tlb, 0, err
+			return s, err
 		}
 		if err := as.MapFixed(dataBase, pages*mem.PageSize, mem.ProtRW); err != nil {
-			return 0, 0, 0, tlb, 0, err
+			return s, err
 		}
 		c := cpu.New(as)
 		c.SetTLB(fastpath && cfg.TLB)
 		c.SetSuperblocks(fastpath && cfg.Superblock)
+		c.SetChaining(fastpath && cfg.Chain)
+		c.SetTraces(fastpath && cfg.Traces)
 		c.RIP = codeBase
 		if instrument {
-			c.Hook = func(uint64, isa.Inst) { insns++ }
+			c.Hook = func(uint64, isa.Inst) { s.insns++ }
 		}
 		start := time.Now()
 		for {
@@ -390,82 +429,93 @@ func measureMemLoop(cfg config) (FastpathResult, error) {
 				break
 			}
 			if ev != cpu.EvNone {
-				return 0, 0, 0, tlb, 0, fmt.Errorf("mem loop stopped with event %v (%v)", ev, c.FaultErr)
+				return s, fmt.Errorf("mem loop stopped with event %v (%v)", ev, c.FaultErr)
 			}
 		}
-		wall = time.Since(start).Seconds()
-		return insns, c.Cycles, wall, c.TLBStats(), c.SuperblockInsts, nil
+		s.wall = time.Since(start).Seconds()
+		s.cycles = c.Cycles
+		s.tlb = c.TLBStats()
+		s.sbInsts = c.SuperblockInsts
+		s.chain = c.ChainStats()
+		s.trace = c.TraceStats()
+		return s, nil
 	}
 	return fastpathWorkload(cfg, run)
 }
 
 // measureMemBench runs the MemBench guest under the full kernel.
 func measureMemBench(cfg config) (FastpathResult, error) {
-	run := func(fastpath, instrument bool) (insns, cycles uint64, wall float64, tlb cpu.TLBStats, sbInsts uint64, err error) {
+	run := func(fastpath, instrument bool) (s runSample, err error) {
 		k := kernel.New(kernel.Config{
 			DisableTLB:         !(fastpath && cfg.TLB),
 			DisableSuperblocks: !(fastpath && cfg.Superblock),
+			DisableChaining:    !(fastpath && cfg.Chain),
+			DisableTraces:      !(fastpath && cfg.Traces),
 		})
 		prog, err := guest.MemBench(cfg.MemSweeps)
 		if err != nil {
-			return 0, 0, 0, tlb, 0, err
+			return s, err
 		}
 		task, err := prog.Spawn(k)
 		if err != nil {
-			return 0, 0, 0, tlb, 0, err
+			return s, err
 		}
 		if instrument {
-			task.CPU.Hook = func(uint64, isa.Inst) { insns++ }
+			task.CPU.Hook = func(uint64, isa.Inst) { s.insns++ }
 		}
 		start := time.Now()
 		if err := k.Run(-1); err != nil {
-			return 0, 0, 0, tlb, 0, err
+			return s, err
 		}
-		wall = time.Since(start).Seconds()
+		s.wall = time.Since(start).Seconds()
 		if task.ExitCode != 0 {
-			return 0, 0, 0, tlb, 0, fmt.Errorf("membench guest exited %d (self-check failed)", task.ExitCode)
+			return s, fmt.Errorf("membench guest exited %d (self-check failed)", task.ExitCode)
 		}
-		return insns, task.CPU.Cycles, wall, task.CPU.TLBStats(), task.CPU.SuperblockInsts, nil
+		s.cycles = task.CPU.Cycles
+		s.tlb = task.CPU.TLBStats()
+		s.sbInsts = task.CPU.SuperblockInsts
+		s.chain = task.CPU.ChainStats()
+		s.trace = task.CPU.TraceStats()
+		return s, nil
 	}
 	return fastpathWorkload(cfg, run)
 }
 
 // fastpathWorkload shares the instrument-once, best-of-repeat,
-// cycle-invariance structure between the two memory workloads.
-func fastpathWorkload(cfg config, run func(fastpath, instrument bool) (uint64, uint64, float64, cpu.TLBStats, uint64, error)) (FastpathResult, error) {
-	insns, cyclesRef, _, _, _, err := run(true, true)
+// cycle-invariance structure between the fast-path workloads.
+func fastpathWorkload(cfg config, run func(fastpath, instrument bool) (runSample, error)) (FastpathResult, error) {
+	ref, err := run(true, true)
 	if err != nil {
 		return FastpathResult{}, err
 	}
-	best := func(fastpath bool) (uint64, float64, cpu.TLBStats, uint64, error) {
-		bestWall := 0.0
-		var cycles, sbInsts uint64
-		var tlb cpu.TLBStats
+	best := func(fastpath bool) (runSample, error) {
+		var kept runSample
 		for r := 0; r < cfg.Repeat; r++ {
-			_, c, wall, t, sb, err := run(fastpath, false)
+			s, err := run(fastpath, false)
 			if err != nil {
-				return 0, 0, tlb, 0, err
+				return kept, err
 			}
-			if bestWall == 0 || wall < bestWall {
-				bestWall = wall
+			if kept.wall == 0 || s.wall < kept.wall {
+				wall := s.wall
+				kept = s
+				kept.wall = wall
 			}
-			cycles, tlb, sbInsts = c, t, sb
 		}
-		return cycles, bestWall, tlb, sbInsts, nil
+		return kept, nil
 	}
-	cyclesOn, on, tlb, sbInsts, err := best(true)
+	on, err := best(true)
 	if err != nil {
 		return FastpathResult{}, err
 	}
-	cyclesOff, off, _, _, err := best(false)
+	off, err := best(false)
 	if err != nil {
 		return FastpathResult{}, err
 	}
-	if cyclesRef != cyclesOn || cyclesOn != cyclesOff {
+	if ref.cycles != on.cycles || on.cycles != off.cycles {
 		return FastpathResult{}, fmt.Errorf("cycle counts diverged: instrumented=%d fastpath-on=%d fastpath-off=%d (the fast path must be semantically invisible)",
-			cyclesRef, cyclesOn, cyclesOff)
+			ref.cycles, on.cycles, off.cycles)
 	}
-	return assembleFastpath(insns, cyclesOn, on, off, tlb, sbInsts), nil
+	return assembleFastpath(ref.insns, on, off), nil
 }
 
 func fatal(err error) {

@@ -38,6 +38,8 @@ func main() {
 	decodeCache := flag.Bool("decodecache", true, "run the simulated CPUs with the decoded-instruction cache (results are identical either way; false re-measures without it)")
 	tlb := flag.Bool("tlb", true, "run the simulated CPUs with the software D-TLB (results are identical either way; false re-measures without it)")
 	superblock := flag.Bool("superblock", true, "run the simulated CPUs with superblock execution (results are identical either way; false re-measures without it)")
+	chain := flag.Bool("chain", true, "run the simulated CPUs with block chaining (results are identical either way; false re-measures without it)")
+	traces := flag.Bool("traces", true, "run the simulated CPUs with hot-trace compilation and fused handlers (results are identical either way; false re-measures without them)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
@@ -55,6 +57,8 @@ func main() {
 		DisableDecodeCache: !*decodeCache,
 		DisableTLB:         !*tlb,
 		DisableSuperblocks: !*superblock,
+		DisableChaining:    !*chain,
+		DisableTraces:      !*traces,
 		ChaosSeed:          *chaosSeed,
 		ChaosRate:          *chaosRate,
 	}

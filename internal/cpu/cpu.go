@@ -186,15 +186,33 @@ type CPU struct {
 	cache      *decodeCache
 	tlb        *dtlb
 	superblock bool
+	chaining   bool
+	traces     bool
+
+	// savedCacheStats/savedChainStats/savedTraceStats hold the cumulative
+	// counters across SetDecodeCache(false)/(true) toggles, so a mid-run
+	// toggle cannot silently zero a harness's per-cell stats.
+	savedCacheStats DecodeCacheStats
+	savedChainStats ChainStats
+	savedTraceStats TraceStats
 }
 
 // New returns a CPU bound to an address space with default costs. The
 // whole execution fast path is enabled — decoded-instruction cache,
-// software D-TLB and superblock execution; SetDecodeCache(false),
-// SetTLB(false) and SetSuperblocks(false) turn the layers off
+// software D-TLB, superblock execution, block chaining and hot traces;
+// SetDecodeCache(false), SetTLB(false), SetSuperblocks(false),
+// SetChaining(false) and SetTraces(false) turn the layers off
 // individually.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, Costs: DefaultCosts(), cache: newDecodeCache(as), tlb: newDTLB(as), superblock: true}
+	return &CPU{
+		AS:         as,
+		Costs:      DefaultCosts(),
+		cache:      newDecodeCache(as),
+		tlb:        newDTLB(as),
+		superblock: true,
+		chaining:   true,
+		traces:     true,
+	}
 }
 
 // CloneState copies the register state (not the address space binding or

@@ -8,9 +8,17 @@ import (
 // maxInsnLen is the longest instruction encoding (KindRegImm64).
 const maxInsnLen = 10
 
-// maxCacheBlocks bounds the per-CPU block map; overflow flushes the whole
-// cache rather than evicting piecemeal, keeping the bookkeeping trivial.
+// maxCacheBlocks bounds the per-CPU block map. Overflow evicts the
+// oldest-built blocks in deterministic FIFO order (evictBatch at a time)
+// instead of flushing the whole map — a full flush would sever every
+// chain link and re-decode the entire working set, a perf cliff large
+// guests hit repeatedly.
 const maxCacheBlocks = 4096
+
+// evictBatch is how many live blocks one overflow eviction removes.
+// Evicting in batches amortises the walk; 1/8 of the cache keeps the
+// newest 7/8 of the working set intact.
+const evictBatch = maxCacheBlocks / 8
 
 // cachedBlock is a predecoded straight-line run of instructions: it starts
 // at entry, never crosses into a second page except for a final straddling
@@ -19,6 +27,9 @@ const maxCacheBlocks = 4096
 // page boundary.
 type cachedBlock struct {
 	entry uint64
+	// end is the pc one past the final instruction — the fall-through
+	// successor's entry.
+	end   uint64
 	pcs   []uint64
 	insts []isa.Inst
 	// pages[:npages] are the generations of the page(s) the block was
@@ -29,10 +40,48 @@ type cachedBlock struct {
 	// validation. While CodeMutations() still returns mut, revalidation is
 	// a single lock-free load.
 	mut uint64
+
+	// succ holds the lazily chained successor blocks (DESIGN.md §11):
+	// slot 0 is the fall-through successor (entry == end), slot 1 a
+	// monomorphic slot for the most recent branch target. Links are
+	// shortcuts only — every use revalidates entry and generations — and
+	// are severed when either endpoint is dropped or evicted.
+	succ [2]*cachedBlock
+	// preds lists the (block, slot) pairs whose succ points here, so
+	// dropping this block can sever every incoming link.
+	preds []predLink
+	// execCount counts entries at the block head (control-transfer hits
+	// and chained transitions); crossing tracePromoteThreshold promotes
+	// the block into a trace head.
+	execCount uint64
+	// trace, if non-nil, is the live promoted trace starting here.
+	trace *traceRun
+	// traces lists every live trace this block is a constituent of, so
+	// dropping the block can invalidate them.
+	traces []*traceRun
+	// fused classifies the block as one of the specialized hot idioms
+	// (NOP sled, self-looping load/store loop); fusedNone otherwise.
+	// nopLen is the leading-NOP run length for fusedNopSled blocks.
+	fused  fusedKind
+	nopLen int
+	// dropped marks a block that left the map (invalidation or overflow
+	// eviction); a dropped block must never be linked to or executed
+	// through a chain.
+	dropped bool
+}
+
+// predLink is one incoming chain edge: from.succ[slot] == the block
+// holding this link in its preds list.
+type predLink struct {
+	from *cachedBlock
+	slot int
 }
 
 // DecodeCacheStats counts decode-cache activity, exposed for tests and the
-// cpubench tool.
+// cpubench tool. Counters are cumulative for the CPU's lifetime: toggling
+// the cache off and back on (SetDecodeCache) preserves them, so long-run
+// harnesses that re-measure cold-start behaviour mid-run cannot
+// under-report (the macrobench per-cell stats rely on this).
 type DecodeCacheStats struct {
 	// Hits are Steps served from a cached block.
 	Hits uint64
@@ -43,8 +92,14 @@ type DecodeCacheStats struct {
 	// Invalidations counts blocks dropped because a recorded page
 	// generation changed (self-modifying code, mprotect, unmap).
 	Invalidations uint64
-	// Flushes counts whole-cache resets (address-space switch, overflow).
-	Flushes uint64
+	// RebindFlushes counts whole-cache resets caused by an address-space
+	// rebind (execve swaps the CPU to a fresh AddressSpace).
+	RebindFlushes uint64
+	// OverflowEvictions counts blocks evicted by the FIFO overflow
+	// policy when the map reached maxCacheBlocks. Formerly overflow and
+	// rebind were conflated in one Flushes counter, which made cpubench
+	// flush numbers unattributable.
+	OverflowEvictions uint64
 }
 
 // decodeCache is the per-CPU decoded-block cache. It is private to its
@@ -52,11 +107,18 @@ type DecodeCacheStats struct {
 // two CPUs over one address space (CLONE_VM) each observe the other's
 // code writes.
 type decodeCache struct {
-	as       *mem.AddressSpace
-	blocks   map[uint64]*cachedBlock // keyed by block entry pc
-	cur      *cachedBlock            // block the previous Step executed from
-	curIdx   int                     // next sequential index into cur
-	stats    DecodeCacheStats
+	as     *mem.AddressSpace
+	blocks map[uint64]*cachedBlock // keyed by block entry pc
+	cur    *cachedBlock            // block the previous Step executed from
+	curIdx int                     // next sequential index into cur
+	stats  DecodeCacheStats
+	cstats ChainStats
+	tstats TraceStats
+	// fifo records blocks in build order for deterministic overflow
+	// eviction; fifoHead is the first not-yet-popped index. Dropped
+	// blocks linger until popped or compacted.
+	fifo     []*cachedBlock
+	fifoHead int
 	buildBuf [mem.PageSize + maxInsnLen]byte
 }
 
@@ -68,11 +130,23 @@ func newDecodeCache(as *mem.AddressSpace) *decodeCache {
 // cache is semantically invisible — events, traces, faults and cycle
 // counts are identical either way — so disabling it is only useful for
 // differential testing and for measuring the cache itself.
+//
+// Counter lifetimes: disabling stashes the cache's cumulative counters
+// and re-enabling restores them, so DecodeCacheStats / ChainStats /
+// TraceStats report per-CPU totals across toggles rather than silently
+// restarting from zero mid-run.
 func (c *CPU) SetDecodeCache(on bool) {
 	switch {
 	case on && c.cache == nil:
-		c.cache = newDecodeCache(c.AS)
-	case !on:
+		dc := newDecodeCache(c.AS)
+		dc.stats = c.savedCacheStats
+		dc.cstats = c.savedChainStats
+		dc.tstats = c.savedTraceStats
+		c.cache = dc
+	case !on && c.cache != nil:
+		c.savedCacheStats = c.cache.stats
+		c.savedChainStats = c.cache.cstats
+		c.savedTraceStats = c.cache.tstats
 		c.cache = nil
 	}
 }
@@ -89,10 +163,11 @@ func (c *CPU) InvalidateDecodeCache() {
 	}
 }
 
-// DecodeCacheStats returns a snapshot of the cache counters.
+// DecodeCacheStats returns a snapshot of the cache counters. With the
+// cache toggled off it returns the totals accumulated up to the toggle.
 func (c *CPU) DecodeCacheStats() DecodeCacheStats {
 	if c.cache == nil {
-		return DecodeCacheStats{}
+		return c.savedCacheStats
 	}
 	return c.cache.stats
 }
@@ -123,10 +198,23 @@ func (c *CPU) cachedInst(pc uint64) *isa.Inst {
 		}
 		dc.drop(b)
 	}
+	// prev is the chain-link source: the block whose final instruction
+	// just transferred control to pc (if the previous position was
+	// exactly a completed block).
+	var prev *cachedBlock
+	if c.chaining && c.superblock {
+		if p := dc.cur; p != nil && !p.dropped && dc.curIdx == len(p.pcs) {
+			prev = p
+		}
+	}
 	// Control-transfer hit: pc is the entry of a cached block.
 	if b := dc.blocks[pc]; b != nil {
 		if b.mut == mut || dc.revalidate(b) {
 			dc.stats.Hits++
+			if prev != nil {
+				dc.link(prev, b)
+			}
+			b.execCount++
 			dc.cur, dc.curIdx = b, 1
 			return &b.insts[0]
 		}
@@ -138,6 +226,11 @@ func (c *CPU) cachedInst(pc uint64) *isa.Inst {
 		dc.cur = nil
 		return nil
 	}
+	if prev != nil && !prev.dropped {
+		// build may have evicted prev for space; only link live blocks.
+		dc.link(prev, b)
+	}
+	b.execCount++
 	dc.cur, dc.curIdx = b, 1
 	return &b.insts[0]
 }
@@ -154,21 +247,78 @@ func (dc *decodeCache) revalidate(b *cachedBlock) bool {
 	return ok
 }
 
-// drop removes an invalidated block.
+// drop removes an invalidated block, severing every chain link and trace
+// that touches it.
 func (dc *decodeCache) drop(b *cachedBlock) {
+	dc.unlink(b)
 	delete(dc.blocks, b.entry)
+	b.dropped = true
 	if dc.cur == b {
 		dc.cur = nil
 	}
 	dc.stats.Invalidations++
 }
 
-// reset discards the whole cache and rebinds it to as.
+// evict removes a still-valid block to make room (overflow policy). Same
+// unlink discipline as drop, different counter.
+func (dc *decodeCache) evict(b *cachedBlock) {
+	dc.unlink(b)
+	delete(dc.blocks, b.entry)
+	b.dropped = true
+	if dc.cur == b {
+		dc.cur = nil
+	}
+	dc.stats.OverflowEvictions++
+}
+
+// reset discards the whole cache and rebinds it to as. Every block —
+// and with it every chain link and trace — is unreachable afterwards
+// (cur is nil and the map is empty), so stale structures cannot execute.
 func (dc *decodeCache) reset(as *mem.AddressSpace) {
 	dc.as = as
 	dc.blocks = make(map[uint64]*cachedBlock)
 	dc.cur = nil
-	dc.stats.Flushes++
+	dc.fifo = nil
+	dc.fifoHead = 0
+	dc.stats.RebindFlushes++
+}
+
+// evictForSpace pops the oldest live blocks from the build-order FIFO
+// until evictBatch have been evicted (or the FIFO is exhausted, which
+// cannot happen while the map is full). Deterministic: no map iteration.
+func (dc *decodeCache) evictForSpace() {
+	evicted := 0
+	for evicted < evictBatch && dc.fifoHead < len(dc.fifo) {
+		b := dc.fifo[dc.fifoHead]
+		dc.fifo[dc.fifoHead] = nil
+		dc.fifoHead++
+		if b.dropped {
+			continue
+		}
+		dc.evict(b)
+		evicted++
+	}
+	if dc.fifoHead > len(dc.fifo)/2 {
+		dc.compactFIFO()
+	}
+}
+
+// compactFIFO rewrites the FIFO to hold only live blocks, preserving
+// build order. Invalidation-dropped blocks stay in the slice until
+// popped or compacted, so a JIT-heavy guest could otherwise grow it
+// without limit; build triggers compaction whenever the slice doubles
+// past the map bound.
+func (dc *decodeCache) compactFIFO() {
+	live := dc.fifo[dc.fifoHead:]
+	out := dc.fifo[:0]
+	for _, b := range live {
+		if b != nil && !b.dropped {
+			out = append(out, b)
+		}
+	}
+	clear(dc.fifo[len(out):cap(dc.fifo)])
+	dc.fifo = out
+	dc.fifoHead = 0
 }
 
 // build predecodes a block starting at pc. The fetch covers pc through
@@ -201,17 +351,21 @@ func (dc *decodeCache) build(pc uint64) *cachedBlock {
 	if len(b.insts) == 0 {
 		return nil
 	}
+	b.end = pc + uint64(off)
 	if off <= limit && b.npages > 1 {
 		// No instruction straddled into the next page; do not tie the
 		// block's validity to it.
 		b.npages = 1
 	}
+	classifyFused(b)
 	if len(dc.blocks) >= maxCacheBlocks {
-		dc.blocks = make(map[uint64]*cachedBlock)
-		dc.cur = nil
-		dc.stats.Flushes++
+		dc.evictForSpace()
 	}
 	dc.blocks[pc] = b
+	dc.fifo = append(dc.fifo, b)
+	if len(dc.fifo) >= 2*maxCacheBlocks {
+		dc.compactFIFO()
+	}
 	dc.stats.Builds++
 	return b
 }

@@ -3,26 +3,30 @@ package cpu
 // Superblock execution: the scheduler hands the CPU a whole budget of
 // instructions (the rest of the quantum) and StepBlock retires the
 // straight-line body of each decoded block in a tight loop, re-entering
-// the per-instruction Step dispatch only at block boundaries. Events —
-// syscalls, faults, traps, hcalls, halt — end the batch immediately, so
-// the kernel observes exactly the same stopping points as per-Step
-// scheduling: signal checks, quantum expiry and chaos injection all
-// happen between the same instructions either way.
+// the per-instruction Step dispatch only at block boundaries that are
+// not chained. Events — syscalls, faults, traps, hcalls, halt — end the
+// batch immediately, so the kernel observes exactly the same stopping
+// points as per-Step scheduling: signal checks, quantum expiry and chaos
+// injection all happen between the same instructions either way.
 //
-// Self-modifying code stays exact because the tight loop re-checks the
-// address space's code-mutation counter before every instruction — the
-// same lock-free load the decode cache's sequential hit path performs —
-// and bails to the full lookup (which revalidates page generations under
-// the lock) the moment it changes.
+// Self-modifying code stays exact because the execution core re-checks
+// the address space's code-mutation counter before every instruction —
+// the same lock-free load the decode cache's sequential hit path
+// performs — and revalidates page generations under the lock the moment
+// it changes. Chained transitions and traces (chain.go, trace.go) add
+// no trust: they are routing shortcuts whose targets get the identical
+// validation.
 
 // SetSuperblocks enables or disables superblock execution. Like the
 // decode cache and the D-TLB it is semantically invisible, so turning it
 // off only exists for differential testing and measurement.
 func (c *CPU) SetSuperblocks(on bool) { c.superblock = on }
 
-// SuperblocksEnabled reports whether superblock execution is on. It only
-// takes effect while the decode cache is also enabled.
-func (c *CPU) SuperblocksEnabled() bool { return c.superblock }
+// SuperblocksEnabled reports whether superblock execution is effective.
+// The batching loop needs the decode cache's block bodies to run, so
+// with the cache off this reports false even when the superblock toggle
+// itself is on — reported config always reflects effective state.
+func (c *CPU) SuperblocksEnabled() bool { return c.superblock && c.cache != nil }
 
 // StepBlock executes up to max instructions, stopping early at the first
 // non-EvNone event. It returns the event (EvNone means the budget was
@@ -35,7 +39,10 @@ func (c *CPU) SuperblocksEnabled() bool { return c.superblock }
 // through the *previous* instruction. A batching scheduler replays that
 // exactly by folding in the pre-event value (when the batch retired more
 // than one instruction) before handling the event. Nothing else observes
-// the clock mid-batch, so batching stays semantically invisible.
+// the clock mid-batch, so batching stays semantically invisible — and
+// the contract holds across chained transitions and trace execution,
+// which thread the same pre pointer through every instruction they
+// retire.
 func (c *CPU) StepBlock(max uint64) (Event, uint64, uint64) {
 	if max == 0 {
 		return EvNone, 0, c.Cycles
@@ -47,46 +54,28 @@ func (c *CPU) StepBlock(max uint64) (Event, uint64, uint64) {
 	var steps uint64
 	pre := c.Cycles
 	for {
+		// Chained core first: it picks up from the decode cache's current
+		// position and runs block→block until an event, the budget, or a
+		// transition it cannot resolve (miss, invalidation, un-chained
+		// target).
+		if ev, done := c.runChained(max, &steps, &pre); done {
+			return ev, steps, pre
+		}
+		// The chained core can exhaust the budget on a block's last
+		// instruction and still report done=false (the next transition is
+		// unresolved); the budget is a hard ceiling, so stop before the
+		// dispatched Step rather than overshoot by one.
+		if steps >= max {
+			return EvNone, steps, pre
+		}
+		// One dispatched Step resolves the transition — full cachedInst
+		// lookup (planting a chain link if the previous block completed) or
+		// the uncached path.
+		pre = c.Cycles
 		ev := c.Step()
 		steps++
 		if ev != EvNone || steps >= max {
 			return ev, steps, pre
 		}
-		// Step left the decode cache positioned inside a block (cur/curIdx);
-		// retire the rest of its straight line here without re-dispatching.
-		// Blocks end at control transfers and kernel-entry instructions, so
-		// every instruction below falls through on EvNone.
-		if dc := c.cache; dc != nil && dc.cur != nil {
-			b := dc.cur
-			retired := false
-			for dc.curIdx < len(b.pcs) {
-				if b.mut != dc.as.CodeMutations() || b.pcs[dc.curIdx] != c.RIP {
-					// A code mutation (or an instrumentation-driven RIP
-					// change) invalidated the straight line: fall back to
-					// the full lookup, which revalidates under the lock.
-					break
-				}
-				pc := c.RIP
-				in := &b.insts[dc.curIdx]
-				dc.curIdx++
-				dc.stats.Hits++
-				retired = true
-				c.SuperblockInsts++
-				pre = c.Cycles
-				ev = c.execInst(pc, in)
-				steps++
-				if ev != EvNone || steps >= max {
-					c.SuperblockRuns++
-					return ev, steps, pre
-				}
-				if dc.cur != b {
-					break
-				}
-			}
-			if retired {
-				c.SuperblockRuns++
-			}
-		}
-		pre = c.Cycles
 	}
 }

@@ -1,0 +1,422 @@
+package cpu
+
+import "lazypoline/internal/isa"
+
+// Hot traces (DESIGN.md §11): once a block head has been entered through
+// the chain tracePromoteThreshold times, its hottest successor path is
+// flattened into a single instruction sequence (bounded at
+// maxTraceBlocks blocks) that executes without per-block transition
+// work. Traces are shortcuts with the same validation discipline as
+// chain links — every constituent block's page generations are checked
+// at entry and after any code mutation, and a per-instruction pc match
+// catches branches that leave the recorded path mid-trace. Two guest
+// idioms hot enough to show up in every macrobenchmark get fused
+// handlers instead: straight NOP runs (the zpoline sled) execute with
+// closed-form batch accounting, and self-looping load/store bodies
+// (memcpy-style) re-run whole iterations without re-entering the
+// dispatch machinery.
+
+// tracePromoteThreshold is the chained-entry count at which a block head
+// is promoted (and re-attempted on later multiples if promotion found
+// fewer than two linked blocks).
+const tracePromoteThreshold = 32
+
+// maxTraceBlocks bounds trace length so one promotion cannot flatten an
+// unbounded chain.
+const maxTraceBlocks = 8
+
+// minNopSled is the shortest leading NOP run worth fusing.
+const minNopSled = 4
+
+// fusedKind classifies a block for the idiom-specific handlers.
+type fusedKind uint8
+
+const (
+	fusedNone fusedKind = iota
+	// fusedNopSled: the block starts with >= minNopSled consecutive NOPs.
+	fusedNopSled
+	// fusedLoop: a self-looping block — an ALU/load/store body whose
+	// terminator is a Jnz straight back to the block entry.
+	fusedLoop
+)
+
+// TraceStats counts hot-trace and fused-handler activity.
+type TraceStats struct {
+	// Promotions counts traces built.
+	Promotions uint64
+	// Invalidations counts traces torn down because a constituent block
+	// was dropped or evicted.
+	Invalidations uint64
+	// Runs counts trace entries; Insts counts instructions retired inside
+	// traces.
+	Runs  uint64
+	Insts uint64
+	// FusedLoopIters counts whole loop iterations retired by the fused
+	// loop handler; FusedNopInsts counts NOPs retired by the fused sled
+	// handler.
+	FusedLoopIters uint64
+	FusedNopInsts  uint64
+}
+
+// SetTraces enables or disables hot-trace compilation and the fused
+// idiom handlers. Traces ride on chaining; see TracesEnabled.
+func (c *CPU) SetTraces(on bool) { c.traces = on }
+
+// TracesEnabled reports whether trace execution is effective — the
+// toggle is on AND chaining (and everything under it) is live.
+func (c *CPU) TracesEnabled() bool {
+	return c.traces && c.ChainingEnabled()
+}
+
+// TraceStats returns a snapshot of the trace counters, surviving
+// decode-cache toggles the same way DecodeCacheStats does.
+func (c *CPU) TraceStats() TraceStats {
+	if c.cache == nil {
+		return c.savedTraceStats
+	}
+	return c.cache.tstats
+}
+
+// traceRun is a promoted trace: the constituent blocks in execution
+// order, with their instructions flattened into one pcs/insts pair.
+// starts[j] is the flat index of blocks[j]'s first instruction, used to
+// map a flat position back to (block, offset) when the trace bails.
+type traceRun struct {
+	blocks []*cachedBlock
+	starts []int
+	pcs    []uint64
+	insts  []isa.Inst
+	dead   bool
+}
+
+// classifyFused inspects a freshly built block and records which fused
+// handler (if any) may execute it.
+func classifyFused(b *cachedBlock) {
+	n := len(b.insts)
+	run := 0
+	for run < n {
+		in := &b.insts[run]
+		if in.Mnem != isa.MOp || in.Op != isa.OpNop {
+			break
+		}
+		run++
+	}
+	if run >= minNopSled {
+		b.fused, b.nopLen = fusedNopSled, run
+		return
+	}
+	if n < 2 {
+		return
+	}
+	last := &b.insts[n-1]
+	if last.Mnem != isa.MOp || last.Op != isa.OpJnz {
+		return
+	}
+	if b.pcs[n-1]+uint64(last.Len)+uint64(last.Imm) != b.entry {
+		return
+	}
+	for i := 0; i < n-1; i++ {
+		in := &b.insts[i]
+		if in.Mnem != isa.MOp || !fusedLoopOp(in.Op) {
+			return
+		}
+	}
+	b.fused = fusedLoop
+}
+
+// fusedLoopOp reports whether op may appear in a fused loop body. The
+// set is restricted to operations whose only possible memory writes are
+// OpStore/OpStoreB — the handler re-checks the code-mutation counter
+// only after those, so admitting any other writing op (push, gs stores,
+// xchg) would let self-modifying code slip past validation.
+func fusedLoopOp(op isa.Op) bool {
+	switch op {
+	case isa.OpLoad, isa.OpStore, isa.OpLoadB, isa.OpStoreB, isa.OpLoad32,
+		isa.OpMovImm64, isa.OpMovImm32, isa.OpMovReg,
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpAddImm, isa.OpCmp, isa.OpCmpImm, isa.OpShlImm, isa.OpShrImm:
+		return true
+	}
+	return false
+}
+
+// kernelTerminator reports whether b's final instruction always hands
+// control to the kernel — a trace never extends past such a block
+// because the event ends trace execution anyway.
+func kernelTerminator(b *cachedBlock) bool {
+	in := &b.insts[len(b.insts)-1]
+	switch in.Mnem {
+	case isa.MSyscall, isa.MSysenter:
+		return true
+	case isa.MOp:
+		switch in.Op {
+		case isa.OpHlt, isa.OpTrap, isa.OpHcall:
+			return true
+		}
+	}
+	return false
+}
+
+// hotSucc picks the successor to extend a trace through: the hotter of
+// the two chained slots, fall-through winning ties for determinism.
+func hotSucc(b *cachedBlock) *cachedBlock {
+	f, t := b.succ[chainSlotFallthrough], b.succ[chainSlotBranch]
+	switch {
+	case f == nil:
+		return t
+	case t == nil:
+		return f
+	case t.execCount > f.execCount:
+		return t
+	default:
+		return f
+	}
+}
+
+// runSpecialized dispatches the head-of-block fast paths after a chained
+// transition landed on b (RIP == b.entry, curIdx == 0, b validated).
+// Returns done=true when an event fired or the step budget ran out
+// inside a handler; done=false means chained execution should continue
+// from wherever (cur, curIdx) now points.
+func (c *CPU) runSpecialized(b *cachedBlock, max uint64, steps *uint64, pre *uint64) (Event, bool) {
+	dc := c.cache
+	switch b.fused {
+	case fusedNopSled:
+		return c.runFusedNops(b, max, steps, pre)
+	case fusedLoop:
+		return c.runFusedLoop(b, max, steps, pre)
+	}
+	if tr := b.trace; tr != nil && !tr.dead {
+		return c.runTrace(tr, max, steps, pre)
+	}
+	if b.trace == nil && b.execCount >= tracePromoteThreshold && b.execCount%tracePromoteThreshold == 0 {
+		dc.buildTrace(b)
+	}
+	return EvNone, false
+}
+
+// buildTrace promotes head into a trace by walking its hottest chained
+// successors. Promotion requires at least two blocks; fused blocks and
+// revisits (other than closing back to head, which simply ends the walk)
+// stop the extension.
+func (dc *decodeCache) buildTrace(head *cachedBlock) {
+	blocks := []*cachedBlock{head}
+	seen := map[*cachedBlock]bool{head: true}
+	b := head
+	for len(blocks) < maxTraceBlocks {
+		if kernelTerminator(b) {
+			break
+		}
+		next := hotSucc(b)
+		if next == nil || next.dropped || seen[next] || next.fused != fusedNone {
+			break
+		}
+		blocks = append(blocks, next)
+		seen[next] = true
+		b = next
+	}
+	if len(blocks) < 2 {
+		return
+	}
+	tr := &traceRun{blocks: blocks}
+	for _, bb := range blocks {
+		tr.starts = append(tr.starts, len(tr.pcs))
+		tr.pcs = append(tr.pcs, bb.pcs...)
+		tr.insts = append(tr.insts, bb.insts...)
+		bb.traces = append(bb.traces, tr)
+	}
+	head.trace = tr
+	dc.tstats.Promotions++
+}
+
+// invalidateTrace tears a trace down: marks it dead, detaches it from
+// its head and every constituent block. Idempotent.
+func (dc *decodeCache) invalidateTrace(tr *traceRun) {
+	if tr.dead {
+		return
+	}
+	tr.dead = true
+	if h := tr.blocks[0]; h.trace == tr {
+		h.trace = nil
+	}
+	for _, b := range tr.blocks {
+		removeTrace(b, tr)
+	}
+	dc.tstats.Invalidations++
+}
+
+// removeTrace deletes tr from b's membership list (unordered).
+func removeTrace(b *cachedBlock, tr *traceRun) {
+	for i, t := range b.traces {
+		if t == tr {
+			b.traces[i] = b.traces[len(b.traces)-1]
+			b.traces = b.traces[:len(b.traces)-1]
+			return
+		}
+	}
+}
+
+// restore maps the flat trace position i (the next instruction index,
+// 0..len(pcs)) back onto the interpreter's (cur, curIdx) state. A
+// position exactly on a block boundary resolves to the *finished*
+// predecessor block, so the chain-link planting in cachedInst still sees
+// a completed block when the trace bails at a boundary.
+func (tr *traceRun) restore(dc *decodeCache, i int) {
+	j := 0
+	for j+1 < len(tr.starts) && tr.starts[j+1] < i {
+		j++
+	}
+	b := tr.blocks[j]
+	if b.dropped {
+		dc.cur = nil
+		return
+	}
+	dc.cur, dc.curIdx = b, i-tr.starts[j]
+}
+
+// runTrace executes a promoted trace. Entry contract mirrors
+// runSpecialized; the per-instruction pc check plus generation
+// revalidation after every code mutation make the trace semantically
+// identical to block-at-a-time execution.
+func (c *CPU) runTrace(tr *traceRun, max uint64, steps *uint64, pre *uint64) (Event, bool) {
+	dc := c.cache
+	mut := dc.as.CodeMutations()
+	for _, b := range tr.blocks {
+		if b.mut == mut || dc.revalidate(b) {
+			continue
+		}
+		// drop unlinks b, which tears this trace down too.
+		dc.drop(b)
+		tr.restore(dc, 0)
+		return EvNone, false
+	}
+	dc.tstats.Runs++
+	n := len(tr.pcs)
+	i := 0
+	for {
+		if i >= n {
+			// Clean completion: leave the interpreter at the end of the
+			// final block so chaining continues from there.
+			tr.restore(dc, i)
+			return EvNone, false
+		}
+		if *steps >= max {
+			tr.restore(dc, i)
+			return EvNone, true
+		}
+		if tr.pcs[i] != c.RIP {
+			// A branch left the recorded path.
+			tr.restore(dc, i)
+			return EvNone, false
+		}
+		*pre = c.Cycles
+		ev := c.execInst(tr.pcs[i], &tr.insts[i])
+		i++
+		*steps++
+		c.SuperblockInsts++
+		dc.stats.Hits++
+		dc.tstats.Insts++
+		if ev != EvNone {
+			tr.restore(dc, i)
+			return ev, true
+		}
+		if m := dc.as.CodeMutations(); m != mut {
+			mut = m
+			for _, b := range tr.blocks {
+				if b.mut == mut || dc.revalidate(b) {
+					continue
+				}
+				dc.drop(b)
+				tr.restore(dc, i)
+				return EvNone, false
+			}
+		}
+	}
+}
+
+// runFusedLoop re-runs a self-looping block whole iterations at a time.
+// Instructions still retire through execInst — semantics, cycle charges
+// and fault behaviour are exactly the interpreter's — but the per-
+// instruction pc match and mutation check are replaced by the loop
+// invariant (straight-line body, Jnz back to entry) and a recheck after
+// the only ops able to write code (OpStore/OpStoreB). Partial iterations
+// are never fused: if the remaining budget cannot fit a whole pass, the
+// caller's per-instruction path finishes the quantum.
+func (c *CPU) runFusedLoop(b *cachedBlock, max uint64, steps *uint64, pre *uint64) (Event, bool) {
+	dc := c.cache
+	n := len(b.insts)
+	mut := dc.as.CodeMutations()
+	if b.mut != mut && !dc.revalidate(b) {
+		dc.drop(b)
+		return EvNone, false
+	}
+	for c.RIP == b.entry && *steps+uint64(n) <= max {
+		for i := 0; i < n; i++ {
+			dc.curIdx = i + 1
+			*pre = c.Cycles
+			ev := c.execInst(b.pcs[i], &b.insts[i])
+			*steps++
+			c.SuperblockInsts++
+			dc.stats.Hits++
+			if ev != EvNone {
+				return ev, true
+			}
+			op := b.insts[i].Op
+			if op == isa.OpStore || op == isa.OpStoreB {
+				if m := dc.as.CodeMutations(); m != b.mut {
+					if !dc.revalidate(b) {
+						dc.drop(b)
+						return EvNone, false
+					}
+				}
+			}
+		}
+		dc.tstats.FusedLoopIters++
+	}
+	if *steps >= max {
+		return EvNone, true
+	}
+	return EvNone, false
+}
+
+// runFusedNops retires a leading NOP run with closed-form batch
+// accounting — one O(1) update replacing nopLen trips through execInst.
+// The arithmetic reproduces execInst's batching exactly: Cycles grows by
+// one Insn per completed NopsPerCycle-sized batch, the accumulator
+// carries the remainder, and *pre lands on the cycle count immediately
+// before the final NOP. Bails (done=false, nothing retired) when
+// batching is off — the interpreter path is then the exact semantics.
+func (c *CPU) runFusedNops(b *cachedBlock, max uint64, steps *uint64, pre *uint64) (Event, bool) {
+	npc := c.Costs.NopsPerCycle
+	if npc <= 1 {
+		return EvNone, false
+	}
+	dc := c.cache
+	k := uint64(b.nopLen)
+	if rem := max - *steps; k > rem {
+		k = rem
+	}
+	if k == 0 {
+		return EvNone, false
+	}
+	accum0 := c.nopAccum
+	full := (accum0 + k) / npc
+	*pre = c.Cycles + ((accum0+k-1)/npc)*c.Costs.Insn
+	c.Cycles += full * c.Costs.Insn
+	c.NopBatches += full
+	c.nopAccum = (accum0 + k) % npc
+	*steps += k
+	c.SuperblockInsts += k
+	dc.stats.Hits += k
+	dc.tstats.FusedNopInsts += k
+	if int(k) < len(b.pcs) {
+		c.RIP = b.pcs[k]
+	} else {
+		c.RIP = b.end
+	}
+	dc.curIdx = int(k)
+	if *steps >= max {
+		return EvNone, true
+	}
+	return EvNone, false
+}

@@ -74,6 +74,10 @@ type Figure5Config struct {
 	// from snapshots, and must not change a single point.
 	DisableTLB         bool `json:"-"`
 	DisableSuperblocks bool `json:"-"`
+	// DisableChaining and DisableTraces switch off the block-chaining and
+	// hot-trace layers; excluded from the snapshot for the same reason.
+	DisableChaining bool `json:"-"`
+	DisableTraces   bool `json:"-"`
 	// ChaosSeed and ChaosRate enable deterministic fault injection in
 	// every cell (see internal/chaos). Unlike DisableDecodeCache these
 	// ARE experiment parameters — injected faults change throughput — so
@@ -190,6 +194,8 @@ func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5C
 			DisableDecodeCache: cfg.DisableDecodeCache,
 			DisableTLB:         cfg.DisableTLB,
 			DisableSuperblocks: cfg.DisableSuperblocks,
+			DisableChaining:    cfg.DisableChaining,
+			DisableTraces:      cfg.DisableTraces,
 			ChaosSeed:          cfg.ChaosSeed,
 			ChaosRate:          cfg.ChaosRate,
 			Telemetry:          sink,

@@ -100,6 +100,12 @@ type Config struct {
 	// differential tests and for measuring each layer in isolation.
 	DisableTLB         bool
 	DisableSuperblocks bool
+	// DisableChaining turns off block→block chaining inside superblock
+	// execution, and DisableTraces turns off hot-trace promotion and the
+	// fused idiom handlers built on top of chaining. Semantically
+	// invisible like every other fast-path layer.
+	DisableChaining bool
+	DisableTraces   bool
 	// ChaosSeed / ChaosRate configure the deterministic fault-injection
 	// engine (see internal/chaos). A rate of 0 constructs no engine at
 	// all, so a zero-rate run is byte-identical to a chaos-disabled run:
@@ -134,6 +140,8 @@ type Kernel struct {
 	noDecodeCache bool
 	noTLB         bool
 	noSuperblocks bool
+	noChaining    bool
+	noTraces      bool
 
 	// chaos is the fault-injection engine; nil means disabled. current
 	// is the task whose quantum is executing — the mem.AllocGate closures
@@ -183,6 +191,8 @@ func New(cfg Config) *Kernel {
 		noDecodeCache: cfg.DisableDecodeCache,
 		noTLB:         cfg.DisableTLB,
 		noSuperblocks: cfg.DisableSuperblocks,
+		noChaining:    cfg.DisableChaining,
+		noTraces:      cfg.DisableTraces,
 		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
 		tel:           cfg.Telemetry,
 	}
@@ -299,6 +309,12 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 	}
 	if k.noSuperblocks {
 		t.CPU.SetSuperblocks(false)
+	}
+	if k.noChaining {
+		t.CPU.SetChaining(false)
+	}
+	if k.noTraces {
+		t.CPU.SetTraces(false)
 	}
 	k.installAllocGate(as)
 	k.tasks[t.ID] = t

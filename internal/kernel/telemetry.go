@@ -242,6 +242,8 @@ func (k *Kernel) telSigreturn(t *Task, sig int) {
 // spaces through a seen-set is deterministic.
 func (k *Kernel) telCollect(r *telemetry.Registry) {
 	var cs cpuCacheTotals
+	var chs cpuChainTotals
+	var tts cpuTraceTotals
 	var ts cpuTLBTotals
 	var fetchWalks, nopBatches, cycles, sbRuns, sbInsts uint64
 	seen := make(map[*mem.AddressSpace]bool)
@@ -252,7 +254,19 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 		cs.misses += s.Misses
 		cs.builds += s.Builds
 		cs.invalidations += s.Invalidations
-		cs.flushes += s.Flushes
+		cs.rebindFlushes += s.RebindFlushes
+		cs.overflowEvictions += s.OverflowEvictions
+		hs := t.CPU.ChainStats()
+		chs.links += hs.Links
+		chs.unlinks += hs.Unlinks
+		chs.transitions += hs.Transitions
+		trs := t.CPU.TraceStats()
+		tts.promotions += trs.Promotions
+		tts.invalidations += trs.Invalidations
+		tts.runs += trs.Runs
+		tts.insts += trs.Insts
+		tts.fusedLoopIters += trs.FusedLoopIters
+		tts.fusedNopInsts += trs.FusedNopInsts
 		ls := t.CPU.TLBStats()
 		ts.hits += ls.Hits
 		ts.misses += ls.Misses
@@ -275,7 +289,17 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 	r.Counter("cpu.decode_cache.misses").Set(cs.misses)
 	r.Counter("cpu.decode_cache.builds").Set(cs.builds)
 	r.Counter("cpu.decode_cache.invalidations").Set(cs.invalidations)
-	r.Counter("cpu.decode_cache.flushes").Set(cs.flushes)
+	r.Counter("cpu.decode_cache.rebind_flushes").Set(cs.rebindFlushes)
+	r.Counter("cpu.decode_cache.overflow_evictions").Set(cs.overflowEvictions)
+	r.Counter("cpu.chain.links").Set(chs.links)
+	r.Counter("cpu.chain.unlinks").Set(chs.unlinks)
+	r.Counter("cpu.chain.transitions").Set(chs.transitions)
+	r.Counter("cpu.trace.promotions").Set(tts.promotions)
+	r.Counter("cpu.trace.invalidations").Set(tts.invalidations)
+	r.Counter("cpu.trace.runs").Set(tts.runs)
+	r.Counter("cpu.trace.insts").Set(tts.insts)
+	r.Counter("cpu.trace.fused_loop_iters").Set(tts.fusedLoopIters)
+	r.Counter("cpu.trace.fused_nop_insts").Set(tts.fusedNopInsts)
 	r.Counter("cpu.tlb.hits").Set(ts.hits)
 	r.Counter("cpu.tlb.misses").Set(ts.misses)
 	r.Counter("cpu.tlb.evictions").Set(ts.evictions)
@@ -310,7 +334,17 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 }
 
 type cpuCacheTotals struct {
-	hits, misses, builds, invalidations, flushes uint64
+	hits, misses, builds, invalidations uint64
+	rebindFlushes, overflowEvictions    uint64
+}
+
+type cpuChainTotals struct {
+	links, unlinks, transitions uint64
+}
+
+type cpuTraceTotals struct {
+	promotions, invalidations, runs, insts uint64
+	fusedLoopIters, fusedNopInsts          uint64
 }
 
 type cpuTLBTotals struct {

@@ -205,6 +205,10 @@ type Config struct {
 	// to prove it.
 	DisableTLB         bool
 	DisableSuperblocks bool
+	// DisableChaining and DisableTraces switch off the block-chaining and
+	// hot-trace layers, with the same invisibility contract.
+	DisableChaining bool
+	DisableTraces   bool
 	// ChaosSeed and ChaosRate configure deterministic fault injection
 	// (see internal/chaos). Rate 0 disables it entirely. The multi-task
 	// server makes scheduling mechanism-dependent, so chaos webbench runs
@@ -271,6 +275,8 @@ func Run(cfg Config) (Result, error) {
 		DisableDecodeCache: cfg.DisableDecodeCache,
 		DisableTLB:         cfg.DisableTLB,
 		DisableSuperblocks: cfg.DisableSuperblocks,
+		DisableChaining:    cfg.DisableChaining,
+		DisableTraces:      cfg.DisableTraces,
 		ChaosSeed:          cfg.ChaosSeed,
 		ChaosRate:          cfg.ChaosRate,
 		Telemetry:          cfg.Telemetry,

@@ -18,10 +18,11 @@ go test -race ./internal/cpu/... ./internal/mem/...
 
 # Benchmark smoke run: the interpreter benchmarks must still execute, and
 # cpubench must still clear its cache-speedup and fast-path-speedup
-# floors (written to a scratch file; the checked-in BENCH_cpu.json
-# snapshot is refreshed manually).
+# floors — the raw-loop floor is pinned explicitly at 4.0x, the ratchet
+# block chaining + fused handlers must sustain (written to a scratch
+# file; the checked-in BENCH_cpu.json snapshot is refreshed manually).
 go test ./internal/cpu/ -run '^$' -bench 'BenchmarkCPUStep|BenchmarkDecodeCache' -benchtime 100ms
-go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -out /tmp/ci_BENCH_cpu.json
+go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -minrawloop 4.0 -out /tmp/ci_BENCH_cpu.json
 
 # Decode-cache determinism: a small Figure 5 sweep must produce
 # byte-identical snapshots with the cache enabled and disabled —
@@ -44,6 +45,16 @@ strip_wall /tmp/ci_fig5_tlb_off.json > /tmp/ci_fig5_tlb_off.stripped
 strip_wall /tmp/ci_fig5_sb_off.json > /tmp/ci_fig5_sb_off.stripped
 diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_tlb_off.stripped
 diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_sb_off.stripped
+
+# Chaining/trace determinism (DESIGN.md §11): block chaining and
+# hot-trace compilation are routing shortcuts over the superblock layer
+# and must not move a single point either.
+go run ./cmd/macrobench $smoke -chain=false -out /tmp/ci_fig5_chain_off.json
+go run ./cmd/macrobench $smoke -traces=false -out /tmp/ci_fig5_traces_off.json
+strip_wall /tmp/ci_fig5_chain_off.json > /tmp/ci_fig5_chain_off.stripped
+strip_wall /tmp/ci_fig5_traces_off.json > /tmp/ci_fig5_traces_off.stripped
+diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_chain_off.stripped
+diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_traces_off.stripped
 
 # Chaos determinism (DESIGN.md §8): a fixed fault plan must be
 # mechanism-invariant on a single-task guest — identical strace log,
