@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -42,6 +42,15 @@ chain-smoke:
 	go test ./internal/experiments -run 'TestChainInvariance(Microbench|SMC|Telemetry)' -count 1
 	go run ./cmd/cpubench -steps 1000000 -iters 20000 -memsweeps 200 -repeat 2 -minrawloop 4.0 -out /tmp/chain_smoke_BENCH_cpu.json
 
+# Fast syscall-policy check: the kernel policy and seccomp-hardening
+# tests, the invariance matrix, and one attack demo per layer
+# (scripts/ci.sh runs the full cross-mechanism diffs).
+policy-smoke:
+	go test ./internal/kernel -run 'TestPolicy|TestSeccompUnknown|TestSeccompFaulting|TestSeccompPrecedence|TestChaosRetryInjection' -count 1
+	go test ./internal/experiments -run 'TestPolicyInvariance' -count 1
+	go run ./cmd/runsim -builtin attack-jit -mech lazypoline -policy regions -trace=false -stats=false
+	go run ./cmd/runsim -builtin attack-seq -mech sud -policy sfip -trace=false -stats=false
+
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
@@ -56,3 +65,4 @@ snapshots:
 	go run ./cmd/microbench -out BENCH_table2.json
 	go run ./cmd/exhaustive -out BENCH_exhaustive.json
 	go run ./cmd/cpubench -out BENCH_cpu.json
+	go run ./cmd/policybench -out BENCH_policy.json

@@ -42,6 +42,8 @@ func main() {
 	traces := flag.Bool("traces", true, "run the simulated CPUs with hot-trace compilation and fused handlers (results are identical either way; false re-measures without them)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
+	policyRegions := flag.Bool("policy-regions", false, "enforce the privilege-region syscall policy in every cell")
+	policySFIP := flag.Bool("policy-sfip", false, "enforce a per-cell learned SFIP syscall policy (learn-then-enforce double run)")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
 	metricsOut := flag.String("metrics-out", "", "record per-dispatch-path cycle breakdowns for every cell into this benchfmt file")
 	traceOut := flag.String("trace-out", "", "write a timeline trace of one instrumented webserver run (.jsonl = compact lines, else Chrome/Perfetto JSON)")
@@ -61,6 +63,8 @@ func main() {
 		DisableTraces:      !*traces,
 		ChaosSeed:          *chaosSeed,
 		ChaosRate:          *chaosRate,
+		PolicyRegions:      *policyRegions,
+		PolicySFIP:         *policySFIP,
 	}
 	var err error
 	if cfg.FileSizes, err = parseInts(*sizes); err != nil {

@@ -1,0 +1,139 @@
+// Command policybench measures the syscall-policy enforcement layers'
+// overhead (DESIGN.md §12): the Table II microbenchmark and a Figure 5
+// subset, each run policy-off and with the privilege-region layer, the
+// SFIP layer, and both. SFIP cells learn their transition profile on a
+// first run and enforce it on the measured one.
+//
+// Usage:
+//
+//	policybench [-iters N] [-requests N] [-conns N] [-sizes 1024,65536] [-servers nginx] [-mechs baseline,zpoline,...] [-j N] [-out BENCH_policy.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lazypoline/internal/benchfmt"
+	"lazypoline/internal/experiments"
+	"lazypoline/internal/guest"
+)
+
+func main() {
+	def := experiments.DefaultPolicyBenchConfig()
+	iters := flag.Int64("iters", def.MicroIters, "microbenchmark loop iterations per cell")
+	requests := flag.Int("requests", def.Requests, "requests per web-server cell")
+	conns := flag.Int("conns", def.Connections, "keep-alive client connections")
+	sizes := flag.String("sizes", joinInts(def.FileSizes), "file sizes in bytes")
+	servers := flag.String("servers", "nginx", "server styles (nginx,lighttpd)")
+	mechs := flag.String("mechs", strings.Join(def.Mechanisms, ","), "mechanisms to measure")
+	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
+	out := flag.String("out", "BENCH_policy.json", "machine-readable result file (empty disables)")
+	flag.Parse()
+
+	cfg := experiments.PolicyBenchConfig{
+		MicroIters:  *iters,
+		Requests:    *requests,
+		Connections: *conns,
+		Mechanisms:  splitList(*mechs),
+		Parallelism: *parallel,
+	}
+	var err error
+	if cfg.FileSizes, err = parseInts(*sizes); err != nil {
+		fatal(err)
+	}
+	for _, s := range splitList(*servers) {
+		switch s {
+		case "nginx":
+			cfg.Servers = append(cfg.Servers, guest.StyleNginx)
+		case "lighttpd":
+			cfg.Servers = append(cfg.Servers, guest.StyleLighttpd)
+		default:
+			fatal(fmt.Errorf("unknown server style %q", s))
+		}
+	}
+
+	fmt.Printf("Syscall-policy overhead — privilege regions and SFIP\n")
+	fmt.Printf("(micro: %d iterations; macro: %d requests, %d connections, 1 worker)\n",
+		cfg.MicroIters, cfg.Requests, cfg.Connections)
+
+	begin := time.Now()
+	res, err := experiments.PolicyBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(begin)
+
+	fmt.Printf("\nTable II subset — cycles per intercepted syscall\n")
+	lastMech := ""
+	for _, row := range res.Micro {
+		if row.Mechanism != lastMech {
+			fmt.Printf("\n%s\n", row.Mechanism)
+			lastMech = row.Mechanism
+		}
+		fmt.Printf("  %-8s %10.1f cycles/call   %5.2fx\n", row.Policy, row.CyclesPerCall, row.Overhead)
+	}
+	fmt.Printf("\nFigure 5 subset — throughput (relative = vs same cell policy-off)\n")
+	lastKey := ""
+	for _, row := range res.Macro {
+		key := fmt.Sprintf("%s, %dB files, %s", row.Server, row.FileSize, row.Mechanism)
+		if key != lastKey {
+			fmt.Printf("\n%s\n", key)
+			lastKey = key
+		}
+		fmt.Printf("  %-8s %12.0f req/s   %6.1f%%\n", row.Policy, row.Throughput, 100*row.Relative)
+	}
+	fmt.Printf("\n%d cells in %.1fs (-j %d)\n", len(res.Micro)+len(res.Macro), wall.Seconds(), *parallel)
+
+	if *out != "" {
+		err := benchfmt.Write(*out, benchfmt.File{
+			Name:        "policy",
+			Parallelism: *parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results:     res,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func joinInts(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "policybench:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 //
 //	runsim [-mech lazypoline|zpoline|sud|seccomp-user|ptrace|none] [-trace] program.s
 //	runsim -builtin jit -mech zpoline -trace
+//	runsim -builtin attack-jit -mech lazypoline -policy regions
 package main
 
 import (
@@ -18,11 +19,13 @@ import (
 	"strings"
 
 	"lazypoline/internal/core"
+	"lazypoline/internal/experiments"
 	"lazypoline/internal/guest"
 	"lazypoline/internal/interpose"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/ldpreload"
 	"lazypoline/internal/loader"
+	"lazypoline/internal/policy"
 	"lazypoline/internal/ptracer"
 	"lazypoline/internal/seccomputil"
 	"lazypoline/internal/sud"
@@ -105,8 +108,9 @@ func (o telemetryOuts) write(s *telemetry.Sink, symbols map[string]uint64) error
 func main() {
 	mech := flag.String("mech", "lazypoline", "interposition mechanism: lazypoline, lazypoline-noxstate, zpoline, sud, seccomp-user, ptrace, ldpreload, none")
 	doTrace := flag.Bool("trace", true, "print an strace-style syscall log")
-	builtin := flag.String("builtin", "", "run a built-in demo guest: jit, microbench, cat")
+	builtin := flag.String("builtin", "", "run a built-in demo guest: jit, microbench, cat, attack-jit, attack-seq")
 	stats := flag.Bool("stats", true, "print cycle and mechanism statistics")
+	policyMode := flag.String("policy", "", "syscall policy enforcement: regions, sfip, both (empty = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "deterministic fault-injection seed (see internal/chaos)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	var outs telemetryOuts
@@ -115,15 +119,19 @@ func main() {
 	flag.StringVar(&outs.profile, "profile-out", "", "write folded flamegraph stacks of the virtual-cycle profile to this file")
 	flag.Parse()
 
-	if err := run(*mech, *doTrace, *builtin, *stats, *chaosSeed, *chaosRate, outs, flag.Args()); err != nil {
+	if err := run(*mech, *doTrace, *builtin, *stats, *policyMode, *chaosSeed, *chaosRate, outs, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "runsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64, chaosRate float64, outs telemetryOuts, args []string) error {
+func run(mech string, doTrace bool, builtin string, stats bool, policyMode string, chaosSeed uint64, chaosRate float64, outs telemetryOuts, args []string) error {
+	pol, err := buildPolicy(policyMode, builtin, args)
+	if err != nil {
+		return err
+	}
 	sink := outs.sink()
-	k := kernel.New(kernel.Config{ChaosSeed: chaosSeed, ChaosRate: chaosRate, Telemetry: sink})
+	k := kernel.New(kernel.Config{ChaosSeed: chaosSeed, ChaosRate: chaosRate, Telemetry: sink, Policy: pol})
 	prog, err := loadProgram(k, builtin, args)
 	if err != nil {
 		return err
@@ -201,6 +209,9 @@ func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64
 			fmt.Println()
 		}
 	}
+	if task.PolicyViolation != "" {
+		fmt.Printf("--- policy violation: %s ---\n", task.PolicyViolation)
+	}
 	fmt.Printf("--- exit code %d ---\n", task.ExitCode)
 	if stats {
 		fmt.Printf("cycles: %d\n", task.CPU.Cycles)
@@ -217,9 +228,66 @@ func run(mech string, doTrace bool, builtin string, stats bool, chaosSeed uint64
 	return nil
 }
 
+// buildPolicy assembles the kernel's PolicyConfig for -policy. SFIP
+// modes need a transition profile: the attack-seq builtin enforces its
+// canonical benign profile (the demo is precisely that the attack's
+// transition is not in it), while every other guest learns its own
+// profile on a plain, uninterposed kernel first — single-task syscall
+// transitions over the tracked alphabet are mechanism-invariant, so a
+// profile learned under no mechanism is valid under all of them.
+func buildPolicy(mode, builtin string, args []string) (*kernel.PolicyConfig, error) {
+	if mode == "" {
+		return nil, nil
+	}
+	pol := &kernel.PolicyConfig{}
+	var sfip bool
+	switch mode {
+	case "regions":
+		pol.Regions = true
+	case "sfip":
+		sfip = true
+	case "both":
+		pol.Regions, sfip = true, true
+	default:
+		return nil, fmt.Errorf("unknown -policy mode %q (try: regions, sfip, both)", mode)
+	}
+	if !sfip {
+		return pol, nil
+	}
+	if builtin == "attack-seq" {
+		pol.SFIP = guest.AttackSeqProfile()
+		return pol, nil
+	}
+	prof := policy.NewProfile(experiments.SFIPAlphabet()...)
+	if builtin == "microbench" {
+		prof.Track(kernel.NonexistentSyscall)
+	}
+	lk := kernel.New(kernel.Config{Policy: &kernel.PolicyConfig{SFIPLearn: prof}})
+	prog, err := loadProgram(lk, builtin, args)
+	if err != nil {
+		return nil, err
+	}
+	task, err := lk.SpawnImage(prog.Image, kernel.SpawnOpts{Name: prog.Name})
+	if err != nil {
+		return nil, err
+	}
+	if err := lk.Run(500_000_000); err != nil {
+		return nil, err
+	}
+	if task.ExitCode != 0 {
+		fmt.Fprintf(os.Stderr, "runsim: warning: SFIP learning run exited %d; the enforced run may differ\n", task.ExitCode)
+	}
+	pol.SFIP = prof
+	return pol, nil
+}
+
 // loadProgram resolves the guest: a builtin, a .s source, or a SELF image.
 func loadProgram(k *kernel.Kernel, builtin string, args []string) (*guest.Program, error) {
 	switch builtin {
+	case "attack-jit":
+		return guest.AttackJIT()
+	case "attack-seq":
+		return guest.AttackSeq()
 	case "jit":
 		if err := k.FS.MkdirAll("/src", 0o755); err != nil {
 			return nil, err
@@ -240,7 +308,7 @@ func loadProgram(k *kernel.Kernel, builtin string, args []string) (*guest.Progra
 		return guest.Coreutil("cat", guest.LibcUbuntu2004(false))
 	case "":
 	default:
-		return nil, fmt.Errorf("unknown builtin %q (try: jit, microbench, cat)", builtin)
+		return nil, fmt.Errorf("unknown builtin %q (try: jit, microbench, cat, attack-jit, attack-seq)", builtin)
 	}
 
 	if len(args) != 1 {

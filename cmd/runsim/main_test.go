@@ -7,10 +7,10 @@ import (
 )
 
 func TestRunBuiltins(t *testing.T) {
-	for _, builtin := range []string{"jit", "microbench", "cat"} {
+	for _, builtin := range []string{"jit", "microbench", "cat", "attack-jit", "attack-seq"} {
 		for _, mech := range []string{"lazypoline", "zpoline", "sud", "ldpreload", "none"} {
 			t.Run(builtin+"/"+mech, func(t *testing.T) {
-				if err := run(mech, false, builtin, false, 0, 0, telemetryOuts{}, nil); err != nil {
+				if err := run(mech, false, builtin, false, "", 0, 0, telemetryOuts{}, nil); err != nil {
 					t.Errorf("run(%s under %s): %v", builtin, mech, err)
 				}
 			})
@@ -36,19 +36,19 @@ msg:
 `), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("lazypoline", false, "", false, 0, 0, telemetryOuts{}, []string{src}); err != nil {
+	if err := run("lazypoline", false, "", false, "", 0, 0, telemetryOuts{}, []string{src}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run("bogus-mech", false, "jit", false, 0, 0, telemetryOuts{}, nil); err == nil {
+	if err := run("bogus-mech", false, "jit", false, "", 0, 0, telemetryOuts{}, nil); err == nil {
 		t.Error("unknown mechanism accepted")
 	}
-	if err := run("none", false, "bogus-builtin", false, 0, 0, telemetryOuts{}, nil); err == nil {
+	if err := run("none", false, "bogus-builtin", false, "", 0, 0, telemetryOuts{}, nil); err == nil {
 		t.Error("unknown builtin accepted")
 	}
-	if err := run("none", false, "", false, 0, 0, telemetryOuts{}, nil); err == nil {
+	if err := run("none", false, "", false, "", 0, 0, telemetryOuts{}, nil); err == nil {
 		t.Error("missing program accepted")
 	}
 }

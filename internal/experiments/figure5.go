@@ -84,6 +84,16 @@ type Figure5Config struct {
 	// they stay JSON-visible and land in benchmark snapshots.
 	ChaosSeed uint64  `json:"chaos_seed,omitempty"`
 	ChaosRate float64 `json:"chaos_rate,omitempty"`
+	// PolicyRegions and PolicySFIP enable the syscall-policy layers in
+	// every cell (DESIGN.md §12). Like chaos they are experiment
+	// parameters — the checks cost cycles — but the omitempty tags keep
+	// a policy-off sweep's snapshot byte-identical to one from a build
+	// without the fields. PolicySFIP runs each cell twice: a learning
+	// pass populates the cell's transition profile, then the measured
+	// pass enforces it (the learning pass charges identical cycles, so
+	// its schedule is the enforce run's schedule).
+	PolicyRegions bool `json:"policy_regions,omitempty"`
+	PolicySFIP    bool `json:"policy_sfip,omitempty"`
 }
 
 // DefaultFigure5Config mirrors the paper's sweep at simulation-friendly
@@ -183,7 +193,7 @@ func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5C
 		if withMetrics {
 			sink = &telemetry.Sink{Metrics: telemetry.NewRegistry()}
 		}
-		res, err := webbench.Run(webbench.Config{
+		wcfg := webbench.Config{
 			Style:              c.server,
 			Workers:            c.workers,
 			FileSize:           c.fileSize,
@@ -199,7 +209,20 @@ func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5C
 			ChaosSeed:          cfg.ChaosSeed,
 			ChaosRate:          cfg.ChaosRate,
 			Telemetry:          sink,
+		}
+		pol, err := cellPolicy(cfg.PolicyRegions, cfg.PolicySFIP, func(learn *kernel.PolicyConfig) error {
+			lcfg := wcfg
+			lcfg.Policy = learn
+			lcfg.Telemetry = nil // the learning pass is never measured
+			_, lerr := webbench.Run(lcfg)
+			return lerr
 		})
+		if err != nil {
+			return fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: learn: %w",
+				c.server, c.workers, c.fileSize, c.mech, err)
+		}
+		wcfg.Policy = pol
+		res, err := webbench.Run(wcfg)
 		if err != nil {
 			return fmt.Errorf("experiments: figure5 %s/%dw/%dB/%s: %w",
 				c.server, c.workers, c.fileSize, c.mech, err)

@@ -90,6 +90,7 @@ const Header = `
 	.equ SYS_bind 49
 	.equ SYS_listen 50
 	.equ SYS_fork 57
+	.equ SYS_execve 59
 	.equ SYS_exit 60
 	.equ SYS_wait4 61
 	.equ SYS_kill 62
@@ -98,6 +99,7 @@ const Header = `
 	.equ SYS_mkdir 83
 	.equ SYS_unlink 87
 	.equ SYS_chmod 90
+	.equ SYS_prctl 157
 	.equ SYS_gettid 186
 	.equ SYS_getdents64 217
 	.equ SYS_set_tid_address 218

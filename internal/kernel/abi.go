@@ -5,6 +5,8 @@
 // interposition mechanism in this repository is measured against.
 package kernel
 
+import "sort"
+
 // Syscall numbers follow the Linux x86-64 ABI so that guest programs and
 // traces read like the real thing.
 const (
@@ -84,6 +86,17 @@ func SyscallName(nr int64) string {
 		return n
 	}
 	return "unknown"
+}
+
+// SyscallNumbers returns every named syscall number, sorted — the
+// universe policy profiles draw their alphabets from.
+func SyscallNumbers() []int64 {
+	out := make([]int64, 0, len(sysNames))
+	for nr := range sysNames {
+		out = append(out, nr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 var sysNames = map[int64]string{
@@ -217,6 +230,20 @@ const (
 	// PrSysDispatchOff / PrSysDispatchOn are the prctl arg2 values.
 	PrSysDispatchOff = 0
 	PrSysDispatchOn  = 1
+
+	// PrSetSyscallPrivilege configures the privilege-region policy layer
+	// (this simulator's analogue of the "syscall as a privilege" prctl
+	// API; not a Linux number). arg2 selects the operation below. With
+	// the policy layer off the whole operation is -EINVAL, exactly like
+	// any other unknown prctl.
+	PrSetSyscallPrivilege = 71
+	// PrPrivilegeAdd registers [arg3, arg3+arg4) as syscall-privileged.
+	// Fails with -EPERM once the task's region set has sealed.
+	PrPrivilegeAdd = 1
+	// PrPrivilegeSeal seals the region set immediately (snapshotting the
+	// currently executable mappings), instead of waiting for the lazy
+	// seal at the next non-policy syscall.
+	PrPrivilegeSeal = 2
 )
 
 // SUD selector byte values (from the Linux uapi).

@@ -66,6 +66,16 @@ type CostModel struct {
 	// SchedQuantum is the number of CPU steps a task runs before the
 	// round-robin scheduler rotates.
 	SchedQuantum uint64
+	// PolicyRegionCheck is the per-syscall cost of the privilege-region
+	// policy check (a sorted-range lookup against the sealed set).
+	// Charged only while the region layer is enabled, so policy-off runs
+	// are cycle-identical to a kernel without the layer.
+	PolicyRegionCheck uint64
+	// PolicySFIPCheck is the per-syscall cost of advancing the SFIP
+	// transition automaton. Charged identically in learning and
+	// enforcement mode, which is what makes a learn run's schedule
+	// cycle-identical to the enforce run it feeds.
+	PolicySFIPCheck uint64
 }
 
 // DefaultCostModel returns the calibrated constants (see the type doc).
@@ -87,6 +97,11 @@ func DefaultCostModel() CostModel {
 		CopyPer64B:      20,
 		NopsPerCycle:    8,
 		SchedQuantum:    20000,
+		// The policy layers are kernel-side table lookups: the region
+		// check is a binary search over a handful of ranges, the SFIP
+		// advance a hash probe — roughly a cache hit vs a cache miss.
+		PolicyRegionCheck: 6,
+		PolicySFIPCheck:   24,
 	}
 }
 

@@ -42,6 +42,15 @@ func (k *Kernel) syscallEntry(t *Task) {
 	t.telBegin(insnAddr)
 	t.CPU.Cycles += c.SyscallEntry
 
+	// Privilege-region policy checkpoint — before the ptrace stop, so
+	// the original SYSCALL is judged at its own address under every
+	// mechanism. Host-synthesised calls are trusted infrastructure.
+	if t.policyRegions != nil && !t.hostSyscall {
+		if k.policyCheckRegion(t, insnAddr) {
+			return
+		}
+	}
+
 	// The mere presence of any interception interface slows down the
 	// entry path for ALL syscalls — the paper's "enabling SUD" overhead
 	// (Table II row "baseline with SUD enabled").
@@ -91,6 +100,10 @@ func (k *Kernel) syscallEntry(t *Task) {
 		case bpf.RetTrace:
 			// No tracer protocol beyond our Tracer hooks; treat as allow.
 		default: // RetKillThread / RetKillProcess
+			// A seccomp kill is an abort like any other: the open
+			// telemetry measurement must close on the seccomp path, not
+			// leak into the next task's first syscall.
+			k.telAbort(t, PathSeccomp, nr)
 			if action&bpf.RetActionMask == bpf.RetKillProcess {
 				k.exitGroup(t, 128+SIGSYS)
 			} else {
@@ -135,6 +148,14 @@ func (k *Kernel) syscallEntry(t *Task) {
 		}
 	}
 
+	// SFIP policy checkpoint — the call has cleared every interception
+	// layer and is about to execute, the one point all mechanisms share.
+	if k.policy != nil && !t.hostSyscall {
+		if k.policyAdvanceSFIP(t, nr) {
+			return
+		}
+	}
+
 	if k.OnDispatch != nil {
 		k.OnDispatch(t, nr, args)
 	}
@@ -163,13 +184,33 @@ func (k *Kernel) runSeccomp(t *Task, nr int64, args [6]uint64, insnAddr uint64) 
 		res, steps, err := f.Run(data)
 		t.CPU.Cycles += uint64(steps) * k.Costs.BPFInsn
 		if err != nil {
-			return bpf.RetKillProcess
+			// A filter that faults at runtime (bad jump, division by
+			// zero) acts as RET_KILL_PROCESS, but does NOT short-circuit
+			// the walk: Linux runs every attached filter regardless, so
+			// the remaining programs' BPF cycles are still charged and
+			// the entry path's cost stays independent of filter order.
+			res = bpf.RetKillProcess
 		}
+		res = knownAction(res)
 		if actionPrecedence(res) < actionPrecedence(best) {
 			best = res
 		}
 	}
 	return best
+}
+
+// knownAction normalizes an action word the kernel does not recognise
+// to RET_KILL_PROCESS — the most restrictive interpretation, matching
+// Linux (seccomp(2): "an unknown action value ... is treated as
+// SECCOMP_RET_KILL_PROCESS"). Note RET_KILL_THREAD is the all-zero
+// action, so a masked-to-zero word is a known kill-thread, not unknown.
+func knownAction(action uint32) uint32 {
+	switch action & bpf.RetActionMask {
+	case bpf.RetKillProcess, bpf.RetKillThread, bpf.RetTrap, bpf.RetErrno,
+		bpf.RetUserNotif, bpf.RetTrace, bpf.RetLog, bpf.RetAllow:
+		return action
+	}
+	return bpf.RetKillProcess
 }
 
 // actionPrecedence orders seccomp actions from most to least restrictive.
@@ -189,9 +230,12 @@ func actionPrecedence(action uint32) int {
 		return 5
 	case bpf.RetLog:
 		return 6
-	default: // RetAllow
+	case bpf.RetAllow:
 		return 7
 	}
+	// Unknown action words rank as kill-process: allow-by-default would
+	// turn a filter author's typo into a policy bypass.
+	return 0
 }
 
 // finishSyscall completes a dispatched syscall according to its result.
@@ -215,6 +259,17 @@ func (k *Kernel) finishSyscall(t *Task, nr int64, args [6]uint64, res sysResult)
 		t.blocked = blockedState{
 			poll: res.poll,
 			retry: func() {
+				// A retried syscall is a fresh dispatch as far as the
+				// fault model is concerned: it consults the chaos engine
+				// again, exactly like the first attempt did on its way
+				// through syscallEntry. Skipping the injection point
+				// here would make any syscall that once blocked immune
+				// to faults for the rest of its life
+				// (TestChaosRetryInjection pins this contract).
+				if cres, injected := k.chaosSyscall(t, nr); injected {
+					k.finishSyscall(t, nr, args, cres)
+					return
+				}
 				k.finishSyscall(t, nr, args, k.dispatch(t, nr, args))
 			},
 		}

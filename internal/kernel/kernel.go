@@ -118,6 +118,13 @@ type Config struct {
 	// byte-identical in guest-visible behaviour — console, exit codes,
 	// cycle counts, interposer traces — to one without (DESIGN.md §9).
 	Telemetry *telemetry.Sink
+	// Policy, if non-nil, configures the syscall-policy enforcement
+	// layers (privilege regions and/or SFIP; see kernel/policy.go). A
+	// nil Policy — or a PolicyConfig with both layers off — charges no
+	// cycles and takes no branches beyond one nil check, so policy-off
+	// runs are byte-identical to a kernel without the layer
+	// (TestPolicyInvarianceOff).
+	Policy *PolicyConfig
 }
 
 // Kernel is the simulated operating system.
@@ -154,6 +161,11 @@ type Kernel struct {
 	// completed scheduler quanta for its collector.
 	tel    *telemetry.Sink
 	quanta uint64
+
+	// policy is the syscall-policy configuration (nil when disabled);
+	// pstats accumulates the policy.* telemetry counters.
+	policy *PolicyConfig
+	pstats policyStats
 
 	// OnDispatch, if set, observes every syscall that actually reaches
 	// the dispatch table (the kernel's ground-truth trace, used by the
@@ -195,6 +207,7 @@ func New(cfg Config) *Kernel {
 		noTraces:      cfg.DisableTraces,
 		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
 		tel:           cfg.Telemetry,
+		policy:        cfg.Policy.normalize(),
 	}
 	if k.Costs == (CostModel{}) {
 		k.Costs = DefaultCostModel()
@@ -284,6 +297,7 @@ func (k *Kernel) SpawnImage(img *loader.Image, opts SpawnOpts) (*Task, error) {
 	t := k.newTask(opts.Name, as)
 	t.CPU.RIP = img.Entry
 	t.CPU.Regs[isa.RSP] = stackTop - 64 // a little headroom, 16-aligned
+	k.policyRegisterImage(t, img)
 	return t, nil
 }
 
@@ -316,6 +330,7 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 	if k.noTraces {
 		t.CPU.SetTraces(false)
 	}
+	k.initTaskPolicy(t)
 	k.installAllocGate(as)
 	k.tasks[t.ID] = t
 	k.order = append(k.order, t)

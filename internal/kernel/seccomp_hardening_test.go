@@ -1,0 +1,180 @@
+package kernel
+
+import (
+	"testing"
+
+	"lazypoline/internal/bpf"
+	"lazypoline/internal/telemetry"
+)
+
+// Hardening regressions for the seccomp evaluation in runSeccomp: how
+// unknown action words rank, how faulting filters behave, and the
+// most-restrictive-wins precedence walk itself.
+
+// TestSeccompUnknownActionKillsProcess: an action word outside the
+// defined set must be treated as RET_KILL_PROCESS (seccomp(2)), not
+// fall through to the allow rank. Regression: the precedence switch's
+// default branch used to rank unknown words alongside RET_ALLOW, so a
+// filter author's typo became a policy bypass.
+func TestSeccompUnknownActionKillsProcess(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		mov64 rax, SYS_getpid
+		syscall
+		hlt
+	`)
+	prog, err := bpf.New([]bpf.Instruction{bpf.Ret(0x12340099)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AttachSeccomp(task, prog)
+	mustRun(t, k)
+	if task.ExitCode != 128+SIGSYS {
+		t.Errorf("exit = %d, want %d (unknown action must kill)", task.ExitCode, 128+SIGSYS)
+	}
+}
+
+// TestSeccompUnknownActionBeatsAllow drives the precedence comparison
+// directly: an unknown word from one filter must win over an explicit
+// allow from another, in both install orders.
+func TestSeccompUnknownActionBeatsAllow(t *testing.T) {
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		hlt
+	`)
+	mk := func(action uint32) *bpf.Program {
+		p, err := bpf.New([]bpf.Instruction{bpf.Ret(action)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, order := range [][2]uint32{{0x12340099, bpf.RetAllow}, {bpf.RetAllow, 0x12340099}} {
+		task.Seccomp = nil
+		k.AttachSeccomp(task, mk(order[0]))
+		k.AttachSeccomp(task, mk(order[1]))
+		got := k.runSeccomp(task, SysGetpid, [6]uint64{}, 0)
+		if got != bpf.RetKillProcess {
+			t.Errorf("order %x: runSeccomp = %#x, want RET_KILL_PROCESS", order, got)
+		}
+	}
+	if knownAction(0x12340099) != bpf.RetKillProcess {
+		t.Errorf("knownAction(unknown) = %#x, want RET_KILL_PROCESS", knownAction(0x12340099))
+	}
+	// RET_KILL_THREAD is the all-zero action: a masked-to-zero word is a
+	// KNOWN action, and must survive normalization unchanged.
+	if knownAction(bpf.RetKillThread) != bpf.RetKillThread {
+		t.Error("knownAction treated RET_KILL_THREAD (the zero word) as unknown")
+	}
+}
+
+// TestSeccompFaultingFilterChargesRemainingFilters: a filter that
+// faults at runtime acts as RET_KILL_PROCESS but must not short-circuit
+// the walk — Linux runs every attached filter, so the remaining
+// programs' BPF cycles are still charged and the seccomp abort is
+// recorded in telemetry. Regression: the walk used to return early,
+// skipping both.
+func TestSeccompFaultingFilterChargesRemainingFilters(t *testing.T) {
+	// The first instruction divides by a zero constant: passes program
+	// validation, faults on the first executed step.
+	badProg := func() *bpf.Program {
+		p, err := bpf.New([]bpf.Instruction{
+			bpf.Stmt(bpf.ClassAlu|bpf.AluDiv|bpf.SrcK, 0),
+			bpf.Ret(bpf.RetAllow),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	allowProg := func() *bpf.Program {
+		p, err := bpf.New([]bpf.Instruction{bpf.Ret(bpf.RetAllow)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	run := func(withSecond bool) (uint64, int, uint64) {
+		sink := telemetry.NewSink()
+		k := New(Config{Telemetry: sink})
+		task := buildTask(t, k, `
+		_start:
+			mov64 rax, SYS_getpid
+			syscall
+			hlt
+		`)
+		k.AttachSeccomp(task, badProg())
+		if withSecond {
+			k.AttachSeccomp(task, allowProg())
+		}
+		mustRun(t, k)
+		snap := sink.Metrics.Snapshot()
+		return task.CPU.Cycles, task.ExitCode, snap.Counters["kernel.abort.seccomp"]
+	}
+
+	oneCycles, oneExit, oneAborts := run(false)
+	twoCycles, twoExit, twoAborts := run(true)
+	if oneExit != 128+SIGSYS || twoExit != 128+SIGSYS {
+		t.Fatalf("exits = %d, %d; want %d (faulting filter kills the process)",
+			oneExit, twoExit, 128+SIGSYS)
+	}
+	if oneAborts != 1 || twoAborts != 1 {
+		t.Errorf("kernel.abort.seccomp = %d, %d; want 1, 1 (kill recorded as abort)",
+			oneAborts, twoAborts)
+	}
+	// The second (never-decisive) filter is one Ret instruction: its
+	// single BPF step must still be charged after the first faulted.
+	wantExtra := DefaultCostModel().BPFInsn
+	if twoCycles-oneCycles != wantExtra {
+		t.Errorf("second filter charged %d cycles, want %d (walk must not short-circuit)",
+			twoCycles-oneCycles, wantExtra)
+	}
+}
+
+// TestSeccompPrecedenceTable: every pair of defined actions through a
+// two-filter walk, in both orders — the more restrictive action wins
+// and the result is order-independent (Linux's most-restrictive-wins
+// rule, which the dispatch entry relies on).
+func TestSeccompPrecedenceTable(t *testing.T) {
+	// Most to least restrictive; errno carries a data value to check
+	// that precedence masks data bits without losing them.
+	ordered := []uint32{
+		bpf.RetKillProcess,
+		bpf.RetKillThread,
+		bpf.RetTrap,
+		bpf.RetErrno | uint32(EPERM),
+		bpf.RetUserNotif,
+		bpf.RetTrace,
+		bpf.RetLog,
+		bpf.RetAllow,
+	}
+	k := New(Config{})
+	task := buildTask(t, k, `
+	_start:
+		hlt
+	`)
+	mk := func(action uint32) *bpf.Program {
+		p, err := bpf.New([]bpf.Instruction{bpf.Ret(action)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for i, a := range ordered {
+		for j, b := range ordered {
+			want := ordered[i]
+			if j < i {
+				want = ordered[j]
+			}
+			task.Seccomp = nil
+			k.AttachSeccomp(task, mk(a))
+			k.AttachSeccomp(task, mk(b))
+			got := k.runSeccomp(task, SysGetpid, [6]uint64{}, 0)
+			if got != want {
+				t.Errorf("filters (%#x, %#x): runSeccomp = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}

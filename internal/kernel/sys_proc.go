@@ -58,6 +58,12 @@ func (k *Kernel) sysClone(t *Task, args [6]uint64) sysResult {
 	child.SUD = SUDConfig{}
 	// seccomp: inherited (and irrevocable).
 	child.Seccomp = t.Seccomp
+	// Policy: the privilege-region set is shared with the parent (like
+	// seccomp, a child cannot escape it by forking) and the SFIP
+	// automaton state carries over — the child continues the parent's
+	// syscall sequence from the clone.
+	child.policyRegions = t.policyRegions
+	child.sfipLast = t.sfipLast
 
 	child.parent = t
 	t.children = append(t.children, child)
@@ -117,6 +123,11 @@ func (k *Kernel) sysExecve(t *Task, args [6]uint64) sysResult {
 	t.frames = nil
 	t.SUD = SUDConfig{} // execve disables SUD
 	t.Name = path
+	// Policy: execve resets to a fresh, unsealed region set seeded from
+	// the NEW image's executable segments (the old image's privileges
+	// must not outlive it); the SFIP automaton restarts from Start.
+	k.initTaskPolicy(t)
+	k.policyRegisterImage(t, img)
 
 	if k.ExecveHook != nil {
 		if err := k.ExecveHook(t); err != nil {

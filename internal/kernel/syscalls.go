@@ -669,6 +669,9 @@ func (k *Kernel) sysKill(t *Task, nr int64, args [6]uint64) sysResult {
 }
 
 func (k *Kernel) sysPrctl(t *Task, args [6]uint64) sysResult {
+	if args[0] == PrSetSyscallPrivilege {
+		return k.sysPrivilege(t, args)
+	}
 	if args[0] != PrSetSyscallUserDispatch {
 		return sysErr(EINVAL)
 	}

@@ -9,6 +9,7 @@ import (
 	"lazypoline/internal/fs"
 	"lazypoline/internal/mem"
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/policy"
 )
 
 // TaskState is a task's scheduler state.
@@ -340,6 +341,16 @@ type Task struct {
 
 	// ConsoleOut accumulates console writes (fd 1/2).
 	ConsoleOut []byte
+
+	// policyRegions is the task's privileged-code-range set (nil when the
+	// region layer is off); sfipLast is the SFIP automaton state (the
+	// previous tracked syscall number, or policy.Start).
+	policyRegions *policy.RegionSet
+	sfipLast      int64
+	// PolicyViolation records why the policy layer killed this task
+	// ("" = it didn't). The string is mechanism-invariant: it names the
+	// violated rule in application-level terms only.
+	PolicyViolation string
 
 	// Telemetry bookkeeping for the in-flight syscall (see
 	// kernel/telemetry.go). Plain fields updated identically whether or

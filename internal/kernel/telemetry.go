@@ -46,6 +46,12 @@ const (
 	// PathHost: synthesised by host-side interposer code via
 	// Kernel.Syscall (e.g. lazypoline's rewrite mprotects).
 	PathHost
+	// PathPolicyRegion: aborted by the privilege-region policy — the
+	// issuing instruction pointer fell outside the task's sealed set.
+	PathPolicyRegion
+	// PathPolicySFIP: aborted by the SFIP policy — the syscall-transition
+	// automaton had no edge for the attempted transition.
+	PathPolicySFIP
 )
 
 func (p DispatchPath) String() string {
@@ -68,6 +74,10 @@ func (p DispatchPath) String() string {
 		return "ptrace"
 	case PathHost:
 		return "host"
+	case PathPolicyRegion:
+		return "policy-region"
+	case PathPolicySFIP:
+		return "policy-sfip"
 	}
 	return "unknown"
 }
@@ -76,7 +86,8 @@ func (p DispatchPath) String() string {
 // iteration order over per-path metrics.
 func DispatchPaths() []string {
 	ps := []DispatchPath{PathDirect, PathTrampoline, PathSUDAllow, PathSUDRange,
-		PathSigsys, PathSeccomp, PathSeccompNotify, PathPtrace, PathHost}
+		PathSigsys, PathSeccomp, PathSeccompNotify, PathPtrace, PathHost,
+		PathPolicyRegion, PathPolicySFIP}
 	names := make([]string, len(ps))
 	for i, p := range ps {
 		names[i] = p.String()
@@ -330,6 +341,17 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 				r.Counter("chaos.injections." + chaos.SiteName(site)).Set(n)
 			}
 		}
+	}
+
+	// Policy counters appear only when a policy layer is configured, so
+	// policy-off metric snapshots stay byte-identical to a kernel built
+	// without the layer.
+	if k.policy != nil {
+		r.Counter("policy.region.checks").Set(k.pstats.regionChecks)
+		r.Counter("policy.region.seals").Set(k.pstats.regionSeals)
+		r.Counter("policy.region.violations").Set(k.pstats.regionViolations)
+		r.Counter("policy.sfip.checks").Set(k.pstats.sfipChecks)
+		r.Counter("policy.sfip.violations").Set(k.pstats.sfipViolations)
 	}
 }
 

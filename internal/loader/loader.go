@@ -98,6 +98,30 @@ func (img *Image) Symbol(name string) (uint64, bool) {
 	return v, ok
 }
 
+// ExecRange is one executable span of a loaded image, page-rounded
+// exactly as Load maps it.
+type ExecRange struct {
+	Addr, Length uint64
+}
+
+// ExecRanges returns the page-rounded spans of every executable segment
+// — the code the image itself ships, which the kernel's privilege-region
+// policy registers as syscall-privileged at load time.
+func (img *Image) ExecRanges() []ExecRange {
+	var out []ExecRange
+	for _, seg := range img.Segments {
+		if seg.Prot&mem.ProtExec == 0 {
+			continue
+		}
+		size := (uint64(len(seg.Data)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		if size == 0 {
+			size = mem.PageSize
+		}
+		out = append(out, ExecRange{Addr: seg.Addr, Length: size})
+	}
+	return out
+}
+
 // Marshal serializes the image.
 //
 // Layout (all little-endian):

@@ -1,0 +1,131 @@
+package policy
+
+import "testing"
+
+func TestRegionSetSealAndContains(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.Add(0x10000, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(0x11000, 0x3000); err != nil { // overlaps the first
+		t.Fatal(err)
+	}
+	if err := s.Add(0x50000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(0x90000, 0); err != nil { // zero-length: ignored
+		t.Fatal(err)
+	}
+	if s.Sealed() {
+		t.Fatal("sealed before Seal")
+	}
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("not sealed after Seal")
+	}
+	if got := s.Ranges(); len(got) != 2 {
+		t.Fatalf("normalize: got %v, want 2 merged ranges", got)
+	}
+	cases := []struct {
+		addr uint64
+		want bool
+	}{
+		{0x0FFFF, false},
+		{0x10000, true},
+		{0x13FFF, true}, // merged overlap extends to 0x14000
+		{0x14000, false},
+		{0x4FFFF, false},
+		{0x50000, true},
+		{0x50FFF, true},
+		{0x51000, false},
+		{0x90000, false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.addr); got != c.want {
+			t.Errorf("Contains(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRegionSetAddAfterSealFails(t *testing.T) {
+	s := NewRegionSet()
+	s.Seal()
+	if err := s.Add(0x1000, 0x1000); err != ErrSealed {
+		t.Fatalf("Add after seal: err = %v, want ErrSealed", err)
+	}
+	s.Seal() // idempotent
+	if s.Contains(0x1000) {
+		t.Error("rejected range must not be contained")
+	}
+}
+
+func TestRegionSetPreSealContains(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.Add(0x2000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(0x2800) || s.Contains(0x3000) {
+		t.Error("pre-seal Contains must still answer correctly")
+	}
+}
+
+func TestProfileEdgesAndAlphabet(t *testing.T) {
+	p := NewProfile(0, 1) // read, write
+	p.AllowStart(1)
+	p.Allow(1, 1)
+	p.Allow(1, 60) // exit joins the alphabet via Allow
+	if !p.Tracks(0) || !p.Tracks(1) || !p.Tracks(60) {
+		t.Error("alphabet membership wrong")
+	}
+	if p.Tracks(59) {
+		t.Error("untracked nr reported tracked")
+	}
+	cases := []struct {
+		from, to int64
+		want     bool
+	}{
+		{Start, 1, true},
+		{1, 1, true},
+		{1, 60, true},
+		{Start, 0, false},
+		{1, 59, false},
+		{60, 1, false},
+	}
+	for _, c := range cases {
+		if got := p.Allowed(c.from, c.to); got != c.want {
+			t.Errorf("Allowed(%d, %d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	if p.Edges() != 3 {
+		t.Errorf("Edges = %d, want 3", p.Edges())
+	}
+	if got := p.Alphabet(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 60 {
+		t.Errorf("Alphabet = %v, want [0 1 60]", got)
+	}
+}
+
+func TestProfileObserveLearnsEdges(t *testing.T) {
+	p := NewProfile(1, 59)
+	p.Observe(Start, 1)
+	p.Observe(1, 59)
+	if !p.Allowed(Start, 1) || !p.Allowed(1, 59) {
+		t.Error("observed transitions must become legal")
+	}
+	if p.Allowed(59, 1) {
+		t.Error("unobserved transition must stay illegal")
+	}
+}
+
+// The edge key must keep Start distinct from every real syscall number,
+// including large ones near the packing boundary.
+func TestProfileStartDistinctFromNumbers(t *testing.T) {
+	p := NewProfile()
+	p.Allow(Start, 7)
+	if p.Allowed(0xFFFFFFFF, 7) {
+		t.Error("Start edge collided with a 32-bit from value")
+	}
+	p.Allow(511, 511)
+	if !p.Allowed(511, 511) || p.Allowed(Start, 511) {
+		t.Error("large syscall numbers must pack without collisions")
+	}
+}

@@ -220,6 +220,10 @@ type Config struct {
 	// It is strictly observational (DESIGN.md §9): Result is identical
 	// with or without it.
 	Telemetry *telemetry.Sink
+	// Policy configures the syscall-policy enforcement layers
+	// (DESIGN.md §12). nil — or a config with both layers off — is
+	// byte-identical to a kernel without the layer.
+	Policy *kernel.PolicyConfig
 }
 
 // Result is one run's outcome.
@@ -280,6 +284,7 @@ func Run(cfg Config) (Result, error) {
 		ChaosSeed:          cfg.ChaosSeed,
 		ChaosRate:          cfg.ChaosRate,
 		Telemetry:          cfg.Telemetry,
+		Policy:             cfg.Policy,
 	})
 
 	// Static content.

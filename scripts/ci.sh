@@ -101,3 +101,38 @@ go test ./internal/isa/ -run '^$' -fuzz FuzzDecode -fuzztime 5s
 # Memory-access fuzz smoke: the single-walk ReadAt/WriteAt must match
 # the byte-at-a-time oracle on arbitrary spans and PKRU values.
 go test ./internal/mem/ -run '^$' -fuzz FuzzAccess -fuzztime 5s
+
+# Syscall-policy layer (DESIGN.md §12). A Figure 5 sweep with the policy
+# flags explicitly off must be byte-identical to one that never mentions
+# them — an all-off PolicyConfig normalizes to a policy-free kernel — and
+# the invariance gate (off-inertness, mechanism-invariant violation
+# records, benign enforcement) must pass.
+go run ./cmd/macrobench $smoke -policy-regions=false -policy-sfip=false -out /tmp/ci_fig5_policy_off.json
+strip_wall /tmp/ci_fig5_policy_off.json > /tmp/ci_fig5_policy_off.stripped
+diff -u /tmp/ci_fig5_cache_on.stripped /tmp/ci_fig5_policy_off.stripped
+go test ./internal/experiments -run 'TestPolicyInvariance' -count 1
+
+# Attack-guest smoke: with the matching layer on, both attacks die with
+# 128+SIGSYS and a violation record that is byte-identical across
+# mechanisms; with the policy off they escape to their benign exits.
+pol="-trace=false -stats=false"
+go run ./cmd/runsim -builtin attack-jit -mech none $pol -policy regions > /tmp/ci_policy_jit_ref.txt
+grep -q 'policy violation: policy: getpid issued from unprivileged address' /tmp/ci_policy_jit_ref.txt
+grep -q 'exit code 159' /tmp/ci_policy_jit_ref.txt
+go run ./cmd/runsim -builtin attack-seq -mech none $pol -policy sfip > /tmp/ci_policy_seq_ref.txt
+grep -q 'policy violation: policy: transition write -> execve not in profile' /tmp/ci_policy_seq_ref.txt
+grep -q 'exit code 159' /tmp/ci_policy_seq_ref.txt
+for m in lazypoline zpoline sud seccomp-user ptrace; do
+    go run ./cmd/runsim -builtin attack-jit -mech $m $pol -policy regions > /tmp/ci_policy_jit_$m.txt
+    diff -u /tmp/ci_policy_jit_ref.txt /tmp/ci_policy_jit_$m.txt
+    go run ./cmd/runsim -builtin attack-seq -mech $m $pol -policy sfip > /tmp/ci_policy_seq_$m.txt
+    diff -u /tmp/ci_policy_seq_ref.txt /tmp/ci_policy_seq_$m.txt
+done
+go run ./cmd/runsim -builtin attack-jit -mech lazypoline $pol | grep -q 'exit code 42'
+go run ./cmd/runsim -builtin attack-seq -mech lazypoline $pol | grep -q 'exit code 43'
+
+# Policy overhead bench must still run end to end (small configuration;
+# the checked-in BENCH_policy.json snapshot is refreshed manually).
+go run ./cmd/policybench -iters 2000 -requests 40 -conns 4 -sizes 1024 \
+    -mechs baseline,lazypoline -out /tmp/ci_BENCH_policy.json
+grep -q '"policy": "both"' /tmp/ci_BENCH_policy.json
