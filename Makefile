@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fleet-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -51,6 +51,15 @@ policy-smoke:
 	go run ./cmd/runsim -builtin attack-jit -mech lazypoline -policy regions -trace=false -stats=false
 	go run ./cmd/runsim -builtin attack-seq -mech sud -policy sfip -trace=false -stats=false
 
+# Fast fleet-robustness check: the balancer/generator/drill suite, the
+# kill-drill acceptance gate at sweep scale, and a two-drill fleetbench
+# run (scripts/ci.sh adds the same-seed snapshot diff).
+fleet-smoke:
+	go test ./internal/fleet -count 1
+	go test ./internal/experiments -run 'TestFleetBench' -count 1
+	go run ./cmd/fleetbench -requests 80 -drills none,kill -mechs baseline,lazypoline \
+		-out /tmp/fleet_smoke_BENCH_fleet.json
+
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
@@ -66,3 +75,4 @@ snapshots:
 	go run ./cmd/exhaustive -out BENCH_exhaustive.json
 	go run ./cmd/cpubench -out BENCH_cpu.json
 	go run ./cmd/policybench -out BENCH_policy.json
+	go run ./cmd/fleetbench -out BENCH_fleet.json

@@ -1,0 +1,121 @@
+// Command fleetbench runs the fleet-scale robustness sweep: a farm of
+// backend web servers behind a simulated L4 balancer, measured under
+// scripted chaos drills (backend kill, RST storm, slow backend, drain)
+// for every interposition mechanism, with an open-loop arrival-driven
+// client. Each cell reports completion/loss, health-check churn, and the
+// pre/mid/post-drill latency tail — the recovery curve.
+//
+// Usage:
+//
+//	fleetbench [-backends N] [-workers N] [-requests N] [-rate R] [-seed S] [-drills none,kill,...] [-mechs baseline,...] [-j N] [-out BENCH_fleet.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lazypoline/internal/benchfmt"
+	"lazypoline/internal/experiments"
+	"lazypoline/internal/fleet"
+)
+
+func main() {
+	def := experiments.DefaultFleetBenchConfig()
+	backends := flag.Int("backends", def.Backends, "backend server processes behind the balancer")
+	workers := flag.Int("workers", def.Workers, "pre-forked workers per backend")
+	fileSize := flag.Int("size", def.FileSize, "static file size in bytes")
+	requests := flag.Int("requests", def.Requests, "offered requests per cell")
+	rate := flag.Float64("rate", def.Rate, "offered load in requests per Mcycle")
+	seed := flag.Uint64("seed", def.Seed, "arrival-schedule seed")
+	drills := flag.String("drills", joinDrills(def.Drills), "chaos drills to run")
+	mechs := flag.String("mechs", strings.Join(def.Mechanisms, ","), "mechanisms to measure")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos engine seed (0 disables)")
+	chaosRate := flag.Float64("chaos-rate", 0, "chaos engine per-site fault probability")
+	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
+	out := flag.String("out", "BENCH_fleet.json", "machine-readable result file (empty disables)")
+	flag.Parse()
+
+	cfg := def
+	cfg.Backends = *backends
+	cfg.Workers = *workers
+	cfg.FileSize = *fileSize
+	cfg.Requests = *requests
+	cfg.Rate = *rate
+	cfg.Seed = *seed
+	cfg.Mechanisms = splitList(*mechs)
+	cfg.ChaosSeed = *chaosSeed
+	cfg.ChaosRate = *chaosRate
+	cfg.Parallelism = *parallel
+	cfg.Drills = nil
+	for _, s := range splitList(*drills) {
+		d, err := fleet.ParseDrill(s)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Drills = append(cfg.Drills, d)
+	}
+
+	fmt.Printf("Fleet robustness — %d backends x %d workers, %d requests at %.0f req/Mcycle, seed %d\n",
+		cfg.Backends, cfg.Workers, cfg.Requests, cfg.Rate, cfg.Seed)
+
+	begin := time.Now()
+	rows, err := experiments.FleetBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(begin)
+
+	lastDrill := ""
+	for _, r := range rows {
+		if r.Drill != lastDrill {
+			fmt.Printf("\ndrill: %s\n", r.Drill)
+			fmt.Printf("  %-22s %9s %5s %7s %6s %7s %12s %12s %30s\n",
+				"mechanism", "completed", "lost", "retries", "eject", "readmit", "p50", "p99", "p99 pre/mid/post (cycles)")
+			lastDrill = r.Drill
+		}
+		fmt.Printf("  %-22s %5d/%-3d %5d %7d %6d %7d %9.3fms %9.3fms %10d/%d/%d\n",
+			r.Mechanism, r.Completed, r.Requests, r.Lost, r.Retries,
+			r.Ejections, r.Readmissions, r.P50Ms, r.P99Ms, r.P99Pre, r.P99Mid, r.P99Post)
+	}
+	fmt.Printf("\n%d cells in %.1fs (-j %d)\n", len(rows), wall.Seconds(), *parallel)
+
+	if *out != "" {
+		err := benchfmt.Write(*out, benchfmt.File{
+			Name:        "fleet",
+			Parallelism: *parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results:     rows,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func joinDrills(ds []fleet.DrillKind) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = string(d)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+
+	"lazypoline/internal/netstack"
+)
+
+// DrillKind names a chaos drill: a scripted mid-run failure whose
+// trigger points are fractions of the nominal run duration, so the same
+// drill scales with offered load and replays identically from the seed.
+type DrillKind string
+
+const (
+	// DrillNone runs the farm with no injected failure (the control).
+	DrillNone DrillKind = "none"
+	// DrillKill SIGKILLs one backend's whole process tree at the start
+	// fraction. The backend never returns: the run must converge on the
+	// survivors with zero lost responses (the acceptance gate).
+	DrillKill DrillKind = "kill"
+	// DrillRST injects an RST storm at the start fraction: every live
+	// client↔balancer session is hard-reset at once.
+	DrillRST DrillKind = "rst"
+	// DrillSlow degrades one backend between the start and stop
+	// fractions: every segment on its connections is dropped and
+	// retransmitted (a two-reader-poll hold, with later segments
+	// staging cumulatively behind it), so responses crawl and health
+	// probes time out until the window closes.
+	DrillSlow DrillKind = "slow"
+	// DrillDrain marks one backend draining at the start fraction and
+	// readmits it at the stop fraction — a rolling restart. Sessions
+	// close only at response boundaries, so a clean drain retries
+	// nothing.
+	DrillDrain DrillKind = "drain"
+)
+
+// ParseDrill validates a drill name.
+func ParseDrill(s string) (DrillKind, error) {
+	switch DrillKind(s) {
+	case DrillNone, DrillKill, DrillRST, DrillSlow, DrillDrain:
+		return DrillKind(s), nil
+	}
+	return "", fmt.Errorf("fleet: unknown drill %q", s)
+}
+
+// Drill scripts one failure injection.
+type Drill struct {
+	Kind DrillKind
+	// Backend is the target backend index (kill/slow/drain).
+	Backend int
+	// StartFrac and StopFrac place the trigger points as fractions of
+	// the nominal run duration (requests/rate). Zero values default to
+	// 0.33 and 0.66.
+	StartFrac float64
+	StopFrac  float64
+}
+
+func (d Drill) withDefaults() Drill {
+	if d.Kind == "" {
+		d.Kind = DrillNone
+	}
+	if d.StartFrac == 0 {
+		d.StartFrac = 0.33
+	}
+	if d.StopFrac == 0 {
+		d.StopFrac = 0.66
+	}
+	if d.StopFrac < d.StartFrac {
+		d.StopFrac = d.StartFrac
+	}
+	return d
+}
+
+// drillState is the runtime form: absolute trigger times plus fired
+// flags, advanced by the driver loop each step.
+type drillState struct {
+	drill   Drill
+	startAt uint64
+	stopAt  uint64
+	started bool
+	stopped bool
+}
+
+func newDrillState(d Drill, base, duration uint64) *drillState {
+	return &drillState{
+		drill:   d,
+		startAt: base + uint64(d.StartFrac*float64(duration)),
+		stopAt:  base + uint64(d.StopFrac*float64(duration)),
+	}
+}
+
+// step fires the drill's start/stop actions when their times arrive.
+func (ds *drillState) step(now uint64, f *run) {
+	if !ds.started && now >= ds.startAt {
+		ds.started = true
+		switch ds.drill.Kind {
+		case DrillKill:
+			f.k.KillTree(f.masters[ds.drill.Backend])
+		case DrillRST:
+			for _, s := range f.lb.ActiveSessions() {
+				s.client.InjectRST()
+			}
+		case DrillSlow:
+			f.faults.windowOpen = true
+		case DrillDrain:
+			f.lb.SetDraining(ds.drill.Backend, true)
+		}
+	}
+	if ds.started && !ds.stopped && now >= ds.stopAt {
+		ds.stopped = true
+		switch ds.drill.Kind {
+		case DrillSlow:
+			f.faults.windowOpen = false
+		case DrillDrain:
+			f.lb.SetDraining(ds.drill.Backend, false)
+		}
+	}
+}
+
+// drillFaults is the fault plan for DrillSlow: while the window is open,
+// every segment on the target backend's connections is dropped — staged
+// for retransmit with a two-reader-poll hold, later segments queueing
+// cumulatively behind it — so a multi-segment response takes several
+// driver iterations instead of one. It wraps whatever plan was already
+// installed (the kernel's chaos engine, or nil) and delegates every
+// query to it exactly once, so enabling a drill never shifts the chaos
+// streams — the same layering contract as the chaos engine itself.
+//
+// Plain fields are safe: the fleet driver is single-goroutine.
+type drillFaults struct {
+	inner      netstack.FaultPlan
+	target     map[uint64]bool // conn ids dialed to the slow backend
+	windowOpen bool
+}
+
+func (d *drillFaults) slow(id uint64) bool { return d.windowOpen && d.target[id] }
+
+func (d *drillFaults) Drop(id uint64) bool {
+	v := false
+	if d.inner != nil {
+		v = d.inner.Drop(id)
+	}
+	return v || d.slow(id)
+}
+
+func (d *drillFaults) Delay(id uint64) bool {
+	v := false
+	if d.inner != nil {
+		v = d.inner.Delay(id)
+	}
+	return v || d.slow(id)
+}
+
+func (d *drillFaults) Reset(id uint64) bool {
+	if d.inner != nil {
+		return d.inner.Reset(id)
+	}
+	return false
+}

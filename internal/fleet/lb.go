@@ -1,0 +1,414 @@
+package fleet
+
+import (
+	"errors"
+
+	"lazypoline/internal/netstack"
+)
+
+// LB is a simulated L4 load balancer: it accepts client connections on a
+// frontend port and splices each one onto a fresh connection to a backend
+// server, byte-pumping both directions. Routing is round-robin over
+// healthy, non-draining backends, with synchronous dial-failure fallback
+// to the next candidate. Health is tracked by virtual-time probes —
+// periodic full request/response exchanges against each backend — with
+// consecutive-failure ejection and consecutive-success readmission.
+//
+// The LB is host-side code (like the webbench client): it lives outside
+// the measured guests, is driven by the single fleet driver goroutine,
+// and every decision is a pure function of (virtual time, byte streams),
+// so farm runs replay byte-identically from their seed.
+type LB struct {
+	net       *netstack.Stack
+	listener  *netstack.Listener
+	reqSize   int
+	respSize  int
+	backends  []*lbBackend
+	sessions  []*session
+	rr        int
+	buf       []byte
+	probeReq  []byte
+	stats     LBStats
+
+	probeInterval  uint64
+	probeTimeout   uint64
+	unhealthyAfter int
+	healthyAfter   int
+
+	// OnBackendDial, when set, observes every LB→backend connection
+	// (splice or probe) with its netstack conn id. Drills use it to
+	// target fault plans at one backend's connections.
+	OnBackendDial func(backend int, connID uint64)
+}
+
+// LBStats counts the LB's routing and health decisions.
+type LBStats struct {
+	Routed       int // client connections spliced to a backend
+	Refused      int // client connections dropped: no routable backend
+	Ejections    int // healthy→unhealthy transitions
+	Readmissions int // unhealthy→healthy transitions
+	DrainClosed  int // sessions closed at a response boundary by draining
+	EjectClosed  int // sessions closed at a response boundary by ejection
+	ProbesSent   int
+	ProbesOK     int
+	ProbesFailed int
+}
+
+type lbBackend struct {
+	idx      int
+	port     uint16
+	healthy  bool
+	draining bool
+
+	consecFail  int
+	consecOK    int
+	nextProbeAt uint64
+	probe       *probeConn
+}
+
+type probeConn struct {
+	ep       *netstack.Endpoint
+	got      int
+	deadline uint64
+}
+
+// session is one spliced client↔backend connection pair plus the pending
+// bytes each side accepted but the other has not yet taken.
+type session struct {
+	backend   *lbBackend
+	client    *netstack.Endpoint
+	upstream  *netstack.Endpoint
+	toBackend []byte
+	toClient  []byte
+	reqBytes  uint64
+	respBytes uint64
+	closed    bool
+}
+
+type lbConfig struct {
+	frontPort      uint16
+	backendPorts   []uint16
+	backlog        int
+	reqSize        int
+	respSize       int
+	probeInterval  uint64
+	probeTimeout   uint64
+	unhealthyAfter int
+	healthyAfter   int
+	probeRequest   []byte
+}
+
+func newLB(net *netstack.Stack, cfg lbConfig) (*LB, error) {
+	l, err := net.Listen(cfg.frontPort, cfg.backlog)
+	if err != nil {
+		return nil, err
+	}
+	lb := &LB{
+		net:            net,
+		listener:       l,
+		reqSize:        cfg.reqSize,
+		respSize:       cfg.respSize,
+		buf:            make([]byte, 64*1024),
+		probeReq:       cfg.probeRequest,
+		probeInterval:  cfg.probeInterval,
+		probeTimeout:   cfg.probeTimeout,
+		unhealthyAfter: cfg.unhealthyAfter,
+		healthyAfter:   cfg.healthyAfter,
+	}
+	for i, p := range cfg.backendPorts {
+		lb.backends = append(lb.backends, &lbBackend{idx: i, port: p, healthy: true})
+	}
+	return lb, nil
+}
+
+// Stats returns a copy of the LB counters.
+func (l *LB) Stats() LBStats { return l.stats }
+
+// Backend health/drain introspection for drills and tests.
+func (l *LB) Healthy(i int) bool  { return l.backends[i].healthy }
+func (l *LB) Draining(i int) bool { return l.backends[i].draining }
+
+// SetDraining marks a backend for planned removal (true) or returns it
+// to rotation (false). A draining backend gets no new sessions; existing
+// sessions are closed at their next response boundary, never mid-message.
+func (l *LB) SetDraining(i int, draining bool) { l.backends[i].draining = draining }
+
+// ActiveSessions returns the live spliced sessions (drills inject RSTs
+// through it; tests inspect it).
+func (l *LB) ActiveSessions() []*session {
+	out := make([]*session, 0, len(l.sessions))
+	for _, s := range l.sessions {
+		if !s.closed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Step advances the LB at virtual time now: probe backends, accept and
+// route new client connections, pump every session. All iteration is in
+// stable index order — the LB is part of the determinism contract.
+func (l *LB) Step(now uint64) {
+	l.stepProbes(now)
+	for {
+		client, err := l.listener.Accept()
+		if err != nil {
+			break
+		}
+		l.route(client)
+	}
+	live := l.sessions[:0]
+	for _, s := range l.sessions {
+		l.pump(s)
+		if !s.closed {
+			live = append(live, s)
+		}
+	}
+	l.sessions = live
+}
+
+// route splices a freshly accepted client connection onto a backend.
+// Round-robin over healthy non-draining backends; a backend whose dial
+// fails (killed mid-restart, backlog full) is skipped synchronously. If
+// no backend is routable the client is dropped — the client's retry
+// budget, not the LB, owns recovery.
+func (l *LB) route(client *netstack.Endpoint) {
+	n := len(l.backends)
+	for t := 0; t < n; t++ {
+		b := l.backends[(l.rr+t)%n]
+		if !b.healthy || b.draining {
+			continue
+		}
+		up, err := l.net.Connect(b.port)
+		if err != nil {
+			continue
+		}
+		l.rr = (l.rr + t + 1) % n
+		if l.OnBackendDial != nil {
+			l.OnBackendDial(b.idx, up.ConnID())
+		}
+		l.sessions = append(l.sessions, &session{backend: b, client: client, upstream: up})
+		l.stats.Routed++
+		return
+	}
+	client.Close()
+	l.stats.Refused++
+}
+
+// pump moves bytes both ways through a session and applies teardown and
+// draining rules.
+func (l *LB) pump(s *session) {
+	if s.closed {
+		return
+	}
+	// Flush pending first so backpressure releases before new reads.
+	if dead := flushPending(s.upstream, &s.toBackend); dead {
+		l.closeSession(s)
+		return
+	}
+	if dead := flushPending(s.client, &s.toClient); dead {
+		l.closeSession(s)
+		return
+	}
+	if done := l.copyDir(s, s.client, s.upstream, &s.toBackend, &s.reqBytes); done {
+		return
+	}
+	if done := l.copyDir(s, s.upstream, s.client, &s.toClient, &s.respBytes); done {
+		return
+	}
+	// Draining and ejection both evict sessions, but only at a response
+	// boundary — every forwarded request answered, no half-spliced
+	// bytes — so planned removal never truncates a response, and an
+	// ejected backend's keep-alive sessions migrate (the client's next
+	// dial lands on a healthy backend) instead of pinning traffic to a
+	// sick server forever.
+	if (s.backend.draining || !s.backend.healthy) && l.atBoundary(s) {
+		l.closeSession(s)
+		if s.backend.draining {
+			l.stats.DrainClosed++
+		} else {
+			l.stats.EjectClosed++
+		}
+	}
+}
+
+// copyDir reads from src and forwards to dst, accumulating overflow in
+// pending. Returns true when it tore the session down.
+func (l *LB) copyDir(s *session, src, dst *netstack.Endpoint, pending *[]byte, total *uint64) bool {
+	for len(*pending) == 0 {
+		n, err := src.Read(l.buf)
+		if n > 0 {
+			*total += uint64(n)
+			chunk := l.buf[:n]
+			w, werr := dst.Write(chunk)
+			if w < len(chunk) {
+				*pending = append(*pending, chunk[w:]...)
+			}
+			if werr != nil && !errors.Is(werr, netstack.ErrWouldBlock) {
+				l.closeSession(s)
+				return true
+			}
+		}
+		if err != nil {
+			if errors.Is(err, netstack.ErrWouldBlock) {
+				return false
+			}
+			l.closeSession(s) // reset or closed underneath us
+			return true
+		}
+		if n == 0 {
+			// Clean EOF from src: the session is over. An L4 splice
+			// cannot half-close, so both sides go down together.
+			l.closeSession(s)
+			return true
+		}
+	}
+	return false
+}
+
+// atBoundary reports whether a session sits exactly between exchanges:
+// no half-spliced bytes pending, every forwarded request bytes-complete,
+// and a full response returned for each. The request/response sizes are
+// the protocol's fixed framing (guest.RequestSize / header+file), the
+// L4 stand-in for an L7 balancer ending a kept-alive connection after a
+// complete exchange.
+func (l *LB) atBoundary(s *session) bool {
+	if len(s.toBackend) > 0 || len(s.toClient) > 0 {
+		return false
+	}
+	if s.client.Ready()&netstack.ReadyIn != 0 {
+		return false // a new request is already in the client's buffer
+	}
+	rq, rs := uint64(l.reqSize), uint64(l.respSize)
+	if s.reqBytes%rq != 0 || s.respBytes%rs != 0 {
+		return false
+	}
+	return s.reqBytes/rq == s.respBytes/rs
+}
+
+func (l *LB) closeSession(s *session) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.client.Close()
+	s.upstream.Close()
+}
+
+// stepProbes advances every backend's health probe: a full request/
+// response exchange, in virtual time, against the backend's real port.
+// A refused dial fails immediately (the crashed-backend signal); a
+// response slower than probeTimeout fails too (the overloaded/slowed
+// signal). unhealthyAfter consecutive failures eject; healthyAfter
+// consecutive successes readmit.
+func (l *LB) stepProbes(now uint64) {
+	for _, b := range l.backends {
+		if b.probe != nil {
+			l.pollProbe(b, now)
+			continue
+		}
+		if now < b.nextProbeAt {
+			continue
+		}
+		l.stats.ProbesSent++
+		ep, err := l.net.Connect(b.port)
+		if err != nil {
+			l.probeResult(b, false, now)
+			continue
+		}
+		if l.OnBackendDial != nil {
+			l.OnBackendDial(b.idx, ep.ConnID())
+		}
+		if _, werr := ep.Write(l.probeReq); werr != nil {
+			ep.Close()
+			l.probeResult(b, false, now)
+			continue
+		}
+		b.probe = &probeConn{ep: ep, deadline: now + l.probeTimeout}
+	}
+}
+
+func (l *LB) pollProbe(b *lbBackend, now uint64) {
+	p := b.probe
+	for {
+		n, err := p.ep.Read(l.buf)
+		if err != nil {
+			if errors.Is(err, netstack.ErrWouldBlock) {
+				if now >= p.deadline {
+					p.ep.Close()
+					l.probeResult(b, false, now)
+				}
+				return
+			}
+			p.ep.Close()
+			l.probeResult(b, false, now)
+			return
+		}
+		if n == 0 { // EOF before the full response
+			p.ep.Close()
+			l.probeResult(b, false, now)
+			return
+		}
+		p.got += n
+		if p.got >= l.respSize {
+			p.ep.Close()
+			l.probeResult(b, true, now)
+			return
+		}
+	}
+}
+
+func (l *LB) probeResult(b *lbBackend, ok bool, now uint64) {
+	b.probe = nil
+	b.nextProbeAt = now + l.probeInterval
+	if ok {
+		l.stats.ProbesOK++
+		b.consecOK++
+		b.consecFail = 0
+		if !b.healthy && b.consecOK >= l.healthyAfter {
+			b.healthy = true
+			l.stats.Readmissions++
+		}
+		return
+	}
+	l.stats.ProbesFailed++
+	b.consecFail++
+	b.consecOK = 0
+	if b.healthy && b.consecFail >= l.unhealthyAfter {
+		b.healthy = false
+		l.stats.Ejections++
+	}
+}
+
+// flushPending writes as much buffered data as the destination accepts.
+// Returns true when the destination is dead (pipe/closed/reset).
+func flushPending(dst *netstack.Endpoint, pending *[]byte) bool {
+	for len(*pending) > 0 {
+		n, err := dst.Write(*pending)
+		if n > 0 {
+			*pending = (*pending)[n:]
+		}
+		if err != nil {
+			return !errors.Is(err, netstack.ErrWouldBlock)
+		}
+		if n == 0 {
+			return false
+		}
+	}
+	*pending = nil
+	return false
+}
+
+// Close shuts the frontend listener and every live session.
+func (l *LB) Close() {
+	l.listener.Close()
+	for _, s := range l.sessions {
+		l.closeSession(s)
+	}
+	for _, b := range l.backends {
+		if b.probe != nil {
+			b.probe.ep.Close()
+			b.probe = nil
+		}
+	}
+}

@@ -520,6 +520,54 @@ func (k *Kernel) KillAll() {
 	}
 }
 
+// KillTree force-terminates root's entire process tree — root's thread
+// group plus every descendant process — and closes each victim
+// process's file table, modelling SIGKILL of a process group: the
+// kernel reaps the files, so listeners unbind (later dials get
+// ECONNREFUSED) and peers of open connections see EOF. Victims are
+// visited in spawn order and each distinct file table is closed once,
+// in ascending-fd order, so kill drills replay identically.
+func (k *Kernel) KillTree(root *Task) {
+	if root == nil {
+		return
+	}
+	seen := make(map[*Task]bool)
+	tgids := make(map[int]bool)
+	var mark func(t *Task)
+	mark = func(t *Task) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		tgids[t.Tgid] = true
+		for _, c := range t.children {
+			mark(c)
+		}
+	}
+	mark(root)
+	closed := make(map[*FDTable]bool)
+	for _, t := range k.order {
+		if !tgids[t.Tgid] {
+			continue
+		}
+		if t.Alive() {
+			k.exitTask(t, 128+SIGKILL)
+		}
+		if t.Files != nil && !closed[t.Files] {
+			closed[t.Files] = true
+			t.Files.CloseAll()
+		}
+	}
+}
+
+// AdvanceClock advances virtual time by n cycles without running any
+// task: an idle tick. Open-loop drivers need it — when every guest task
+// is blocked waiting for input, RunSlice returns without moving the
+// clock, and arrival-timed events (offered traffic, health probes,
+// retry backoffs) would never fire. On hardware this is the interval
+// timer ticking while the CPUs sit in the idle loop.
+func (k *Kernel) AdvanceClock(n uint64) { k.maxCycles += n }
+
 // runQuantum runs one scheduling quantum of t and returns the number of
 // CPU steps executed.
 func (k *Kernel) runQuantum(t *Task) int64 {

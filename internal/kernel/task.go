@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"lazypoline/internal/bpf"
@@ -214,6 +215,24 @@ func (t *FDTable) Close(fd int) bool {
 		f.Listener.Close()
 	}
 	return true
+}
+
+// CloseAll closes every descriptor, in ascending-fd order so the
+// release sequence (listener unbind, socket teardown wakeups) is
+// deterministic. KillTree uses it to model the Linux kernel reaping a
+// SIGKILLed process's files: its listeners unbind, so later dials see
+// ECONNREFUSED instead of hanging in an accept queue nobody drains.
+func (t *FDTable) CloseAll() {
+	t.mu.Lock()
+	fds := make([]int, 0, len(t.fds))
+	for fd := range t.fds {
+		fds = append(fds, fd)
+	}
+	t.mu.Unlock()
+	sort.Ints(fds)
+	for _, fd := range fds {
+		t.Close(fd)
+	}
 }
 
 // clone duplicates the table (fork without CLONE_FILES), bumping the

@@ -13,7 +13,6 @@ package netstack
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -72,45 +71,55 @@ type Pollable interface {
 }
 
 // notifier implements Subscribe/wakeup bookkeeping.
+//
+// Subscriptions live in an append-ordered slice rather than a map:
+// wake() fires in subscription order (ids are handed out increasing, so
+// slice order IS ascending-id order — the same deterministic order the
+// old sorted-map implementation produced), and the hot wake path takes
+// only a read lock and one allocation instead of building and sorting an
+// id list per event. With a fleet of servers sharing one stack, many
+// endpoints wake concurrently; wakers only ever serialise against
+// subscribe/cancel on the same object, never against each other.
 type notifier struct {
-	mu   sync.Mutex
-	subs map[int]func()
+	mu   sync.RWMutex
+	subs []notifSub
 	next int
+}
+
+type notifSub struct {
+	id int
+	fn func()
 }
 
 func (n *notifier) Subscribe(fn func()) func() {
 	n.mu.Lock()
-	if n.subs == nil {
-		n.subs = make(map[int]func())
-	}
 	id := n.next
 	n.next++
-	n.subs[id] = fn
+	n.subs = append(n.subs, notifSub{id: id, fn: fn})
 	n.mu.Unlock()
 	return func() {
 		n.mu.Lock()
-		delete(n.subs, id)
+		for i, s := range n.subs {
+			if s.id == id {
+				n.subs = append(n.subs[:i:i], n.subs[i+1:]...)
+				break
+			}
+		}
 		n.mu.Unlock()
 	}
 }
 
 func (n *notifier) wake() {
-	// Fire in subscription order, not map order: with several epoll
-	// instances subscribed to one object (pre-forked workers sharing a
-	// listener), randomized map iteration would make wake order — and
-	// therefore measured cycle counts on heavily loaded cells —
-	// nondeterministic across runs.
-	n.mu.Lock()
-	ids := make([]int, 0, len(n.subs))
-	for id := range n.subs {
-		ids = append(ids, id)
+	// Fire in subscription order: with several epoll instances subscribed
+	// to one object (pre-forked workers sharing a listener), any other
+	// order would make wake order — and therefore measured cycle counts
+	// on heavily loaded cells — nondeterministic across runs.
+	n.mu.RLock()
+	fns := make([]func(), len(n.subs))
+	for i, s := range n.subs {
+		fns[i] = s.fn
 	}
-	sort.Ints(ids)
-	fns := make([]func(), 0, len(ids))
-	for _, id := range ids {
-		fns = append(fns, n.subs[id])
-	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	for _, fn := range fns {
 		fn()
 	}
@@ -145,13 +154,35 @@ func (s *StackStats) setMax(g *atomic.Uint64, v uint64) {
 	}
 }
 
-// Stack is one loopback network namespace.
-type Stack struct {
+// stackShards is the number of independent locks the listener table is
+// striped across (by port). A fleet of backend servers plus a load
+// balancer and health probes all dial one stack; per-port-shard state
+// keeps those paths from serialising on a single stack-wide mutex.
+const stackShards = 16
+
+// stackShard is one stripe of the listener table.
+type stackShard struct {
 	mu        sync.Mutex
 	listeners map[uint16]*Listener
-	faults    FaultPlan
-	nextConn  uint64
-	stats     StackStats
+}
+
+// Stack is one loopback network namespace.
+type Stack struct {
+	shards [stackShards]stackShard
+
+	// nextConn allocates connection ids. Ids are assigned only when a
+	// connection is actually established (inside Listener.enqueue, under
+	// the listener lock): a refused or backlog-dropped dial must not
+	// consume an id, or it would shift the per-connection fault-plan
+	// streams of every later connection — a restart drill that provokes
+	// refused dials would perturb the fault schedule of unrelated
+	// connections.
+	nextConn atomic.Uint64
+
+	faultsMu sync.RWMutex
+	faults   FaultPlan
+
+	stats StackStats
 }
 
 // Stats exposes the stack's counters. The pointer stays valid for the
@@ -160,16 +191,33 @@ func (s *Stack) Stats() *StackStats { return &s.stats }
 
 // NewStack returns an empty stack.
 func NewStack() *Stack {
-	return &Stack{listeners: make(map[uint16]*Listener)}
+	s := &Stack{}
+	for i := range s.shards {
+		s.shards[i].listeners = make(map[uint16]*Listener)
+	}
+	return s
+}
+
+func (s *Stack) shard(port uint16) *stackShard {
+	return &s.shards[int(port)%stackShards]
 }
 
 // SetFaults installs a fault plan on the stack. Connections established
 // after the call carry it; pipes (NewPipe) never do — packet faults are
 // a network phenomenon.
 func (s *Stack) SetFaults(f FaultPlan) {
-	s.mu.Lock()
+	s.faultsMu.Lock()
 	s.faults = f
-	s.mu.Unlock()
+	s.faultsMu.Unlock()
+}
+
+// Faults returns the installed fault plan (nil if none). Layers that
+// stack their own plan on top — the fleet drill injector wrapping the
+// chaos engine's plan — use it to capture the inner plan.
+func (s *Stack) Faults() FaultPlan {
+	s.faultsMu.RLock()
+	defer s.faultsMu.RUnlock()
+	return s.faults
 }
 
 // Listen binds a listener to port.
@@ -177,31 +225,33 @@ func (s *Stack) Listen(port uint16, backlog int) (*Listener, error) {
 	if backlog <= 0 {
 		backlog = 128
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.listeners[port]; ok {
+	sh := s.shard(port)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.listeners[port]; ok {
 		return nil, fmt.Errorf("%w: port %d", ErrAddrInUse, port)
 	}
 	l := &Listener{stack: s, port: port, backlog: backlog, refs: 1}
-	s.listeners[port] = l
+	sh.listeners[port] = l
 	return l, nil
 }
 
 // Connect opens a client connection to port, returning the client-side
-// endpoint. The server side lands in the listener's accept queue.
+// endpoint. The server side lands in the listener's accept queue. The
+// connection id (which keys the fault plan's per-connection streams) is
+// assigned inside enqueue, so refused and backlog-dropped dials never
+// consume one.
 func (s *Stack) Connect(port uint16) (*Endpoint, error) {
-	s.mu.Lock()
-	l, ok := s.listeners[port]
-	faults := s.faults
-	s.nextConn++
-	connID := s.nextConn
-	s.mu.Unlock()
+	sh := s.shard(port)
+	sh.mu.Lock()
+	l, ok := sh.listeners[port]
+	sh.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: port %d", ErrConnRefused, port)
 	}
+	faults := s.Faults()
 	client, server := newPair()
 	client.faults, server.faults = faults, faults
-	client.connID, server.connID = connID, connID
 	client.stats, server.stats = &s.stats, &s.stats
 	if err := l.enqueue(server); err != nil {
 		return nil, err
@@ -234,6 +284,15 @@ func (l *Listener) enqueue(e *Endpoint) error {
 		l.mu.Unlock()
 		stats.BacklogDrops.Add(1)
 		return ErrBacklogFull
+	}
+	// The connection is established: assign its id now, before either
+	// side becomes visible to anyone else (the client endpoint has not
+	// been returned to the dialer yet, and the server side only becomes
+	// reachable through the queue append below, ordered by l.mu).
+	connID := l.stack.nextConn.Add(1)
+	e.connID = connID
+	if e.peer != nil {
+		e.peer.connID = connID
 	}
 	l.queue = append(l.queue, e)
 	depth := uint64(len(l.queue))
@@ -284,9 +343,10 @@ func (l *Listener) Close() {
 	l.queue = nil
 	l.mu.Unlock()
 
-	l.stack.mu.Lock()
-	delete(l.stack.listeners, l.port)
-	l.stack.mu.Unlock()
+	sh := l.stack.shard(l.port)
+	sh.mu.Lock()
+	delete(sh.listeners, l.port)
+	sh.mu.Unlock()
 	for _, e := range pending {
 		e.Close()
 	}
@@ -538,6 +598,26 @@ func (e *Endpoint) injectReset() {
 	if peer != nil {
 		peer.notif.wake()
 	}
+}
+
+// ConnID returns the connection id assigned when the connection was
+// established (0 for pipes). Fault plans key their per-connection streams
+// on it, and the fleet layer uses it to target drill faults at the
+// connections of one backend.
+func (e *Endpoint) ConnID() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.connID
+}
+
+// InjectRST hard-closes the connection as if an RST arrived from the
+// network: both sides close immediately and all buffered and in-flight
+// data is discarded. The fleet chaos drills use it to mount RST storms.
+func (e *Endpoint) InjectRST() {
+	if e.stats != nil {
+		e.stats.Resets.Add(1)
+	}
+	e.injectReset()
 }
 
 // Close drops one reference; the endpoint shuts down (waking both

@@ -96,18 +96,30 @@ func (c *Client) Step() {
 			if err == nil {
 				c.sent++
 				cc.awaiting = c.respSize
-			} else if errors.Is(err, netstack.ErrReset) {
+			} else if errors.Is(err, netstack.ErrReset) ||
+				errors.Is(err, netstack.ErrPipe) ||
+				errors.Is(err, netstack.ErrClosed) {
+				// The endpoint is dead — injected RST, server-side close
+				// of a keep-alive connection, or a killed backend. The
+				// write can never succeed; re-dial with backoff.
 				c.dropConn(cc)
 				continue
 			}
-			// EAGAIN/EPIPE: retry on a later step.
+			// EAGAIN: the peer's buffer is full, retry on a later step.
 		}
 		for cc.awaiting > 0 {
 			n, err := cc.ep.Read(cc.buf)
-			if errors.Is(err, netstack.ErrWouldBlock) || (n == 0 && err == nil) {
+			if errors.Is(err, netstack.ErrWouldBlock) {
 				break
 			}
-			if errors.Is(err, netstack.ErrReset) {
+			if (n == 0 && err == nil) ||
+				errors.Is(err, netstack.ErrReset) ||
+				errors.Is(err, netstack.ErrClosed) {
+				// EOF mid-response (the server closed or crashed before
+				// finishing) or a reset: the remaining bytes will never
+				// arrive. Treat like an injected RST — drop the
+				// connection, return the request to the send budget,
+				// and reconnect after backoff.
 				c.dropConn(cc)
 				break
 			}
@@ -162,6 +174,25 @@ func (c *Client) stepReconnect(cc *clientConn) {
 
 // Done reports whether all requested responses have been received.
 func (c *Client) Done() bool { return c.completed >= c.target }
+
+// AllDead reports whether no connection can ever make progress again:
+// every endpoint is down and none is still inside its reconnect budget.
+// Meaningful once Connect has succeeded; callers use it to fail fast
+// instead of spinning a dead client to the stall guard.
+func (c *Client) AllDead() bool {
+	if len(c.conns) == 0 {
+		return true
+	}
+	for _, cc := range c.conns {
+		if cc.ep != nil {
+			return false
+		}
+		if cc.retries >= 1 && cc.retries <= maxReconnects {
+			return false // in backoff; will re-dial
+		}
+	}
+	return true
+}
 
 // Completed returns the number of completed requests.
 func (c *Client) Completed() int { return c.completed }
@@ -351,6 +382,10 @@ func Run(cfg Config) (Result, error) {
 		client.Step()
 		if client.Done() {
 			break
+		}
+		if client.AllDead() {
+			return Result{}, fmt.Errorf("webbench: all %d connections permanently failed (reconnect budget %d exhausted) at %d/%d requests",
+				cfg.Connections, maxReconnects, client.Completed(), cfg.Requests)
 		}
 		if !k.RunSlice(500_000) {
 			return Result{}, errors.New("webbench: all server tasks exited")

@@ -136,3 +136,20 @@ go run ./cmd/runsim -builtin attack-seq -mech lazypoline $pol | grep -q 'exit co
 go run ./cmd/policybench -iters 2000 -requests 40 -conns 4 -sizes 1024 \
     -mechs baseline,lazypoline -out /tmp/ci_BENCH_policy.json
 grep -q '"policy": "both"' /tmp/ci_BENCH_policy.json
+
+# Fleet robustness (DESIGN.md §13): a farm run is a pure function of
+# its config — two same-seed fleetbench sweeps must produce
+# byte-identical snapshots (wall_seconds aside) — and the kill drill at
+# N-1-sustainable load must lose nothing while ejecting the dead
+# backend. The checked-in BENCH_fleet.json is refreshed manually.
+fsmoke="-requests 60 -drills none,kill -mechs baseline,lazypoline"
+go run ./cmd/fleetbench $fsmoke -out /tmp/ci_fleet_a.json
+go run ./cmd/fleetbench $fsmoke -out /tmp/ci_fleet_b.json
+strip_wall /tmp/ci_fleet_a.json > /tmp/ci_fleet_a.stripped
+strip_wall /tmp/ci_fleet_b.json > /tmp/ci_fleet_b.stripped
+diff -u /tmp/ci_fleet_a.stripped /tmp/ci_fleet_b.stripped
+if grep -E '"lost": [1-9]' /tmp/ci_fleet_a.json; then
+    echo "fleet: kill drill lost responses" >&2; exit 1
+fi
+grep -q '"drill": "kill"' /tmp/ci_fleet_a.json
+grep -q '"ejections": 1' /tmp/ci_fleet_a.json
