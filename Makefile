@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fleet-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fleet-smoke obs-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -59,6 +59,20 @@ fleet-smoke:
 	go test ./internal/experiments -run 'TestFleetBench' -count 1
 	go run ./cmd/fleetbench -requests 80 -drills none,kill -mechs baseline,lazypoline \
 		-out /tmp/fleet_smoke_BENCH_fleet.json
+
+# Fast observability check: the tracer / SLO / exemplar unit suites
+# under -race, the fleet trace acceptance gate (inertness, determinism,
+# kill-drill exemplar), and one traced fleetbench cell rendered through
+# tracecat's request-tree view (scripts/ci.sh adds the inertness diffs).
+obs-smoke:
+	go test -race ./internal/otrace -count 1
+	go test -race ./internal/telemetry -run 'TestHistogramExemplar' -count 1
+	go test ./internal/fleet -run 'TestFleetTrace' -count 1
+	go run ./cmd/fleetbench -requests 60 -rate 200 -drills kill -mechs lazypoline \
+		-out /tmp/obs_smoke_BENCH_fleet.json -trace-out /tmp/obs_smoke_trace.jsonl \
+		-slo-out /tmp/obs_smoke_slo.txt
+	go run ./cmd/tracecat -requests -o /tmp/obs_smoke_trees.txt /tmp/obs_smoke_trace.jsonl
+	head -25 /tmp/obs_smoke_trees.txt
 
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:

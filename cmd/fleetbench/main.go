@@ -8,18 +8,28 @@
 // Usage:
 //
 //	fleetbench [-backends N] [-workers N] [-requests N] [-rate R] [-seed S] [-drills none,kill,...] [-mechs baseline,...] [-j N] [-out BENCH_fleet.json]
+//	fleetbench -drills kill -mechs lazypoline -trace-out fleet_trace.json -slo-out fleet_slo.json
+//
+// -trace-out attaches a request tracer to every cell (DESIGN.md §14) and
+// writes each cell's retained span trees; with more than one cell the
+// drill/mechanism is inserted into the file name. -slo-out writes the
+// per-cell SLO burn-rate reports, which are computed on every run —
+// neither flag changes a byte of the -out snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"lazypoline/internal/benchfmt"
 	"lazypoline/internal/experiments"
 	"lazypoline/internal/fleet"
+	"lazypoline/internal/otrace"
+	"lazypoline/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +46,8 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "chaos engine per-site fault probability")
 	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
 	out := flag.String("out", "BENCH_fleet.json", "machine-readable result file (empty disables)")
+	traceOut := flag.String("trace-out", "", "write per-cell request span trees (.jsonl = compact lines, else Chrome/Perfetto JSON)")
+	sloOut := flag.String("slo-out", "", "write per-cell SLO burn-rate reports to this benchfmt file")
 	flag.Parse()
 
 	cfg := def
@@ -56,6 +68,24 @@ func main() {
 			fatal(err)
 		}
 		cfg.Drills = append(cfg.Drills, d)
+	}
+
+	// With -trace-out, every cell gets a tracer built up front; the sweep
+	// callback only looks one up, so parallel cells never race.
+	type cellKey struct {
+		drill fleet.DrillKind
+		mech  string
+	}
+	tracers := map[cellKey]*otrace.Tracer{}
+	if *traceOut != "" {
+		for _, d := range cfg.Drills {
+			for _, m := range cfg.Mechanisms {
+				tracers[cellKey{d, m}] = otrace.New(otrace.Config{})
+			}
+		}
+		cfg.Trace = func(d fleet.DrillKind, m string) *otrace.Tracer {
+			return tracers[cellKey{d, m}]
+		}
 	}
 
 	fmt.Printf("Fleet robustness — %d backends x %d workers, %d requests at %.0f req/Mcycle, seed %d\n",
@@ -79,6 +109,18 @@ func main() {
 		fmt.Printf("  %-22s %5d/%-3d %5d %7d %6d %7d %9.3fms %9.3fms %10d/%d/%d\n",
 			r.Mechanism, r.Completed, r.Requests, r.Lost, r.Retries,
 			r.Ejections, r.Readmissions, r.P50Ms, r.P99Ms, r.P99Pre, r.P99Mid, r.P99Post)
+		if r.SLO.Bad > 0 || len(r.SLO.Alerts) > 0 {
+			fmt.Printf("    slo: %d/%d over the %d-cycle objective", r.SLO.Bad,
+				r.SLO.Good+r.SLO.Bad, r.SLO.Objective)
+			for _, a := range r.SLO.Alerts {
+				res := "unresolved"
+				if a.ResolvedAt != 0 {
+					res = fmt.Sprintf("resolved @%d", a.ResolvedAt)
+				}
+				fmt.Printf("; %s fired @%d burn %.1fx (%s)", a.Rule, a.FiredAt, a.Burn, res)
+			}
+			fmt.Println()
+		}
 	}
 	fmt.Printf("\n%d cells in %.1fs (-j %d)\n", len(rows), wall.Seconds(), *parallel)
 
@@ -95,6 +137,69 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+
+	if *traceOut != "" {
+		for _, d := range cfg.Drills {
+			for _, m := range cfg.Mechanisms {
+				path := *traceOut
+				if len(tracers) > 1 {
+					path = cellPath(*traceOut, string(d), m)
+				}
+				if err := writeTrace(path, tracers[cellKey{d, m}].Export()); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+
+	if *sloOut != "" {
+		type sloRow struct {
+			Drill     string           `json:"drill"`
+			Mechanism string           `json:"mechanism"`
+			SLO       otrace.SLOReport `json:"slo"`
+		}
+		srows := make([]sloRow, len(rows))
+		for i, r := range rows {
+			srows[i] = sloRow{Drill: r.Drill, Mechanism: r.Mechanism, SLO: r.SLO}
+		}
+		err := benchfmt.Write(*sloOut, benchfmt.File{
+			Name:        "fleet-slo",
+			Parallelism: *parallel,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results:     srows,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *sloOut)
+	}
+}
+
+// cellPath inserts the cell's drill/mechanism before the extension:
+// fleet_trace.json -> fleet_trace_kill_lazypoline.json.
+func cellPath(base, drill, mech string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "_" + drill + "_" + mech + ext
+}
+
+// writeTrace writes one cell's otrace export, compact JSONL for .jsonl
+// paths and the Chrome/Perfetto envelope otherwise.
+func writeTrace(path string, evs []telemetry.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = telemetry.EncodeJSONL(f, evs)
+	} else {
+		err = telemetry.EncodeChrome(f, evs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func splitList(s string) []string {

@@ -23,6 +23,7 @@ import (
 	"lazypoline/internal/benchfmt"
 	"lazypoline/internal/experiments"
 	"lazypoline/internal/guest"
+	"lazypoline/internal/otrace"
 	"lazypoline/internal/telemetry"
 	"lazypoline/internal/webbench"
 )
@@ -44,6 +45,7 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1]; 0 disables chaos entirely")
 	policyRegions := flag.Bool("policy-regions", false, "enforce the privilege-region syscall policy in every cell")
 	policySFIP := flag.Bool("policy-sfip", false, "enforce a per-cell learned SFIP syscall policy (learn-then-enforce double run)")
+	reqTrace := flag.Bool("reqtrace", false, "attach a request tracer to every cell (results are identical either way; the instrumented -trace-out run gains request span trees)")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
 	metricsOut := flag.String("metrics-out", "", "record per-dispatch-path cycle breakdowns for every cell into this benchfmt file")
 	traceOut := flag.String("trace-out", "", "write a timeline trace of one instrumented webserver run (.jsonl = compact lines, else Chrome/Perfetto JSON)")
@@ -65,6 +67,7 @@ func main() {
 		ChaosRate:          *chaosRate,
 		PolicyRegions:      *policyRegions,
 		PolicySFIP:         *policySFIP,
+		RequestTraces:      *reqTrace,
 	}
 	var err error
 	if cfg.FileSizes, err = parseInts(*sizes); err != nil {
@@ -146,7 +149,7 @@ func main() {
 		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 	if *traceOut != "" || *profileOut != "" {
-		if err := instrumentedRun(cfg, *traceOut, *profileOut); err != nil {
+		if err := instrumentedRun(cfg, *traceOut, *profileOut, *reqTrace); err != nil {
 			fatal(err)
 		}
 	}
@@ -155,8 +158,11 @@ func main() {
 // instrumentedRun re-runs one representative cell — lazypoline, one
 // worker, the smallest swept file size — with a timeline and profiler
 // attached, and writes the requested outputs. It runs after the sweep so
-// the measured points are never from an instrumented kernel.
-func instrumentedRun(cfg experiments.Figure5Config, traceOut, profileOut string) error {
+// the measured points are never from an instrumented kernel. With
+// reqTrace the run also carries a request tracer, and its retained span
+// trees are appended to the timeline trace (tracecat -requests reads
+// them back out).
+func instrumentedRun(cfg experiments.Figure5Config, traceOut, profileOut string, reqTrace bool) error {
 	sink := &telemetry.Sink{}
 	if traceOut != "" {
 		sink.Timeline = telemetry.NewTimeline()
@@ -174,6 +180,17 @@ func instrumentedRun(cfg experiments.Figure5Config, traceOut, profileOut string)
 		Costs:       cfg.Costs,
 		Telemetry:   sink,
 	}
+	var tracer *otrace.Tracer
+	if reqTrace {
+		tracer = otrace.New(otrace.Config{
+			// The closed-loop client re-issues dropped requests rather
+			// than losing them, so retain a tree per latency exemplar:
+			// a drill-free webbench run still yields inspectable trees.
+			LatencyThreshold: 1,
+		})
+		wcfg.Trace = tracer
+		wcfg.TraceSeed = 1
+	}
 	if _, err := webbench.Run(wcfg); err != nil {
 		return fmt.Errorf("instrumented run: %w", err)
 	}
@@ -183,6 +200,9 @@ func instrumentedRun(cfg experiments.Figure5Config, traceOut, profileOut string)
 			return err
 		}
 		evs := sink.Timeline.Events()
+		if tracer != nil {
+			evs = append(evs, tracer.Export()...)
+		}
 		if strings.HasSuffix(traceOut, ".jsonl") {
 			err = telemetry.EncodeJSONL(f, evs)
 		} else {

@@ -5,6 +5,7 @@ import (
 
 	"lazypoline/internal/guest"
 	"lazypoline/internal/kernel"
+	"lazypoline/internal/otrace"
 	"lazypoline/internal/telemetry"
 	"lazypoline/internal/webbench"
 )
@@ -84,6 +85,13 @@ type Figure5Config struct {
 	// they stay JSON-visible and land in benchmark snapshots.
 	ChaosSeed uint64  `json:"chaos_seed,omitempty"`
 	ChaosRate float64 `json:"chaos_rate,omitempty"`
+	// RequestTraces attaches a private request tracer (internal/otrace)
+	// to every cell, exercising the full request-tracing plane: ID
+	// stamping, kernel span attribution, tail sampling. The collected
+	// trees are discarded — the field exists to prove the plane is inert
+	// (DESIGN.md §14). Execution machinery, excluded from snapshots: the
+	// CI gate diffs a -reqtrace sweep against a plain one.
+	RequestTraces bool `json:"-"`
 	// PolicyRegions and PolicySFIP enable the syscall-policy layers in
 	// every cell (DESIGN.md §12). Like chaos they are experiment
 	// parameters — the checks cost cycles — but the omitempty tags keep
@@ -209,6 +217,10 @@ func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5C
 			ChaosSeed:          cfg.ChaosSeed,
 			ChaosRate:          cfg.ChaosRate,
 			Telemetry:          sink,
+		}
+		if cfg.RequestTraces {
+			wcfg.Trace = otrace.New(otrace.Config{})
+			wcfg.TraceSeed = uint64(i) + 1
 		}
 		pol, err := cellPolicy(cfg.PolicyRegions, cfg.PolicySFIP, func(learn *kernel.PolicyConfig) error {
 			lcfg := wcfg

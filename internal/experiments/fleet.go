@@ -5,6 +5,8 @@ import (
 
 	"lazypoline/internal/fleet"
 	"lazypoline/internal/guest"
+	"lazypoline/internal/otrace"
+	"lazypoline/internal/telemetry"
 )
 
 // FleetBench is the robustness macrobenchmark: a (drill × mechanism)
@@ -57,6 +59,11 @@ type FleetBenchConfig struct {
 	// Parallelism is execution machinery (results are byte-identical at
 	// any width), so it stays out of the snapshot.
 	Parallelism int `json:"-"`
+	// Trace, when non-nil, supplies a request tracer per cell (nil
+	// return = that cell untraced). Observability machinery, excluded
+	// from the snapshot: rows are byte-identical with tracing on or off
+	// (DESIGN.md §14), and CI diffs the two to prove it.
+	Trace func(drill fleet.DrillKind, mech string) *otrace.Tracer `json:"-"`
 }
 
 // DefaultFleetBenchConfig returns the snapshot configuration.
@@ -104,6 +111,13 @@ type FleetBenchRow struct {
 
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
+
+	// Observability blocks (DESIGN.md §14), appended after the original
+	// points so existing fields stay byte-identical. Both are computed
+	// host-side on every run — attaching a tracer changes neither.
+	SLO           otrace.SLOReport           `json:"slo"`
+	ExemplarCount int                        `json:"exemplar_count"`
+	Exemplars     []telemetry.BucketExemplar `json:"exemplars,omitempty"`
 }
 
 // fleetCell identifies one sweep cell.
@@ -131,6 +145,10 @@ func FleetBench(cfg FleetBenchConfig) ([]FleetBenchRow, error) {
 	rows := make([]FleetBenchRow, len(cells))
 	err := runSweep(len(cells), cfg.Parallelism, func(i int) error {
 		c := cells[i]
+		var tracer *otrace.Tracer
+		if cfg.Trace != nil {
+			tracer = cfg.Trace(c.drill, c.mech)
+		}
 		res, err := fleet.Run(fleet.Config{
 			Backends:      cfg.Backends,
 			Workers:       cfg.Workers,
@@ -146,6 +164,7 @@ func FleetBench(cfg FleetBenchConfig) ([]FleetBenchRow, error) {
 			Attach:        fleetAttach(c.mech),
 			ChaosSeed:     cfg.ChaosSeed,
 			ChaosRate:     cfg.ChaosRate,
+			Trace:         tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: fleetbench %s/%s: %w", c.drill, c.mech, err)
@@ -170,6 +189,10 @@ func FleetBench(cfg FleetBenchConfig) ([]FleetBenchRow, error) {
 			P99Post:      res.P99Post,
 			P50Ms:        fleet.CyclesToMs(res.P50),
 			P99Ms:        fleet.CyclesToMs(res.P99),
+
+			SLO:           res.SLO,
+			ExemplarCount: len(res.ExemplarBuckets),
+			Exemplars:     res.ExemplarBuckets,
 		}
 		return nil
 	})

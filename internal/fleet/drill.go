@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/otrace"
 )
 
 // DrillKind names a chaos drill: a scripted mid-run failure whose
@@ -93,27 +94,46 @@ func newDrillState(d Drill, base, duration uint64) *drillState {
 func (ds *drillState) step(now uint64, f *run) {
 	if !ds.started && now >= ds.startAt {
 		ds.started = true
+		ds.note(f, "fire", now)
 		switch ds.drill.Kind {
 		case DrillKill:
+			// KillTree dumps the flight ring itself, capturing the
+			// spans in progress on the dying backend.
 			f.k.KillTree(f.masters[ds.drill.Backend])
 		case DrillRST:
+			f.k.Trace().DumpFlight("drill:rst", now)
 			for _, s := range f.lb.ActiveSessions() {
 				s.client.InjectRST()
 			}
 		case DrillSlow:
+			f.k.Trace().DumpFlight("drill:slow", now)
 			f.faults.windowOpen = true
 		case DrillDrain:
+			f.k.Trace().DumpFlight("drill:drain", now)
 			f.lb.SetDraining(ds.drill.Backend, true)
 		}
 	}
 	if ds.started && !ds.stopped && now >= ds.stopAt {
 		ds.stopped = true
+		if ds.drill.Kind != DrillNone {
+			ds.note(f, "stop", now)
+		}
 		switch ds.drill.Kind {
 		case DrillSlow:
 			f.faults.windowOpen = false
 		case DrillDrain:
 			f.lb.SetDraining(ds.drill.Backend, false)
 		}
+	}
+}
+
+// note records a drill trigger point as a global trace event.
+func (ds *drillState) note(f *run, what string, now uint64) {
+	if tr := f.k.Trace(); tr != nil && ds.drill.Kind != DrillNone {
+		tr.Span(otrace.Span{
+			Kind: otrace.KindDrill, Name: string(ds.drill.Kind) + "-" + what,
+			Start: now, Note: fmt.Sprintf("backend %d", ds.drill.Backend),
+		})
 	}
 }
 

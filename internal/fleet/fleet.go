@@ -18,6 +18,7 @@ import (
 
 	"lazypoline/internal/guest"
 	"lazypoline/internal/kernel"
+	"lazypoline/internal/otrace"
 	"lazypoline/internal/telemetry"
 )
 
@@ -91,7 +92,24 @@ type Config struct {
 	// Telemetry, when non-nil, attaches a sink; fleet publishes its
 	// counters into the metrics registry. Strictly observational.
 	Telemetry *telemetry.Sink
+	// Trace, when non-nil, collects request-scoped span trees: the
+	// generator opens one per request, the LB and kernel attribute
+	// their work to it, and the tracer's tail sampler decides which
+	// trees survive. Same inertness contract as Telemetry.
+	Trace *otrace.Tracer
+	// SLOObjective is the latency objective in cycles for the SLO
+	// burn-rate engine (0 = DefaultSLOObjective); SLOTarget is the
+	// availability goal (0 = 0.99). The engine itself always runs —
+	// it is host-side arithmetic over request outcomes, so the report
+	// is identical with or without a tracer attached.
+	SLOObjective uint64
+	SLOTarget    float64
 }
+
+// DefaultSLOObjective is the default latency objective: ~1ms at the
+// modelled clock, comfortably above a healthy exchange and comfortably
+// below a backoff-inflated retry.
+const DefaultSLOObjective = 2_000_000
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Backends <= 0 {
@@ -136,6 +154,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.HealthyAfter <= 0 {
 		cfg.HealthyAfter = 2
 	}
+	if cfg.SLOObjective == 0 {
+		cfg.SLOObjective = DefaultSLOObjective
+	}
+	if cfg.SLOTarget == 0 {
+		cfg.SLOTarget = 0.99
+	}
 	cfg.Drill = cfg.Drill.withDefaults()
 	return cfg
 }
@@ -171,6 +195,17 @@ type Result struct {
 	P50Pre, P99Pre   uint64
 	P50Mid, P99Mid   uint64
 	P50Post, P99Post uint64
+
+	// SLO is the burn-rate engine's report (always computed — pure
+	// host-side arithmetic over the same outcomes the percentiles use).
+	SLO otrace.SLOReport
+	// ExemplarBuckets is the end-to-end latency histogram's per-bucket
+	// trace-ID exemplars: any percentile above maps into one of these
+	// buckets, whose exemplar names a concrete request.
+	ExemplarBuckets []telemetry.BucketExemplar
+	// TraceStats reports the tail sampler's decisions when a tracer
+	// was attached (zero value otherwise).
+	TraceStats otrace.Stats
 }
 
 // run bundles the live pieces the drill state machine acts on.
@@ -197,6 +232,7 @@ func Run(cfg Config) (Result, error) {
 		ChaosSeed: cfg.ChaosSeed,
 		ChaosRate: cfg.ChaosRate,
 		Telemetry: cfg.Telemetry,
+		Trace:     cfg.Trace,
 	})
 
 	content := make([]byte, cfg.FileSize)
@@ -274,6 +310,7 @@ func Run(cfg Config) (Result, error) {
 		unhealthyAfter: cfg.UnhealthyAfter,
 		healthyAfter:   cfg.HealthyAfter,
 		probeRequest:   []byte(requestLine),
+		trace:          cfg.Trace,
 	})
 	if err != nil {
 		return Result{}, err
@@ -298,11 +335,39 @@ func Run(cfg Config) (Result, error) {
 		retryBudget: cfg.RetryBudget,
 		backoffBase: cfg.BackoffBase,
 		timeout:     cfg.RequestTimeout,
+		trace:       cfg.Trace,
 	})
 
 	base := k.Now()
 	duration := uint64(float64(cfg.Requests) / cfg.Rate * 1e6)
 	ds := newDrillState(cfg.Drill, base, duration)
+	if cfg.Trace != nil && cfg.Drill.Kind != DrillNone {
+		cfg.Trace.SetDrillWindow(ds.startAt, ds.stopAt)
+	}
+
+	// The SLO engine and the exemplar-bearing end-to-end latency
+	// histogram always run: both are host-side arithmetic over request
+	// outcomes, so their outputs are identical whether or not a tracer
+	// is attached — which is what lets BENCH_fleet.json carry their
+	// blocks without breaking the trace-off inertness gate.
+	sloEng := otrace.NewSLOEngine(otrace.SLOConfig{
+		LatencyObjective: cfg.SLOObjective,
+		Target:           cfg.SLOTarget,
+		Rules:            otrace.DefaultBurnRules(duration),
+	})
+	latHist := &telemetry.Histogram{}
+	gen.OnFinish = func(idx int, now, latency uint64, lost bool, attempts int, trace uint64) {
+		sloEng.Record(now, latency, lost)
+		var exemplar bool
+		if !lost {
+			exemplar = latHist.ObserveEx(latency, trace)
+		}
+		cfg.Trace.EndRequest(trace, otrace.Outcome{
+			End: now, Latency: latency, Attempts: attempts,
+			Lost: lost, Exemplar: exemplar,
+		})
+	}
+
 	gen.Start(base)
 	r := &run{k: k, masters: masters, lb: lb, faults: faults}
 
@@ -331,7 +396,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	res := collect(cfg, gen, lb, ds, duration)
+	res := collect(cfg, gen, lb, ds, duration, sloEng, latHist)
 	lb.Close()
 	gen.Close()
 	k.KillAll()
@@ -343,7 +408,8 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-func collect(cfg Config, gen *Generator, lb *LB, ds *drillState, duration uint64) Result {
+func collect(cfg Config, gen *Generator, lb *LB, ds *drillState, duration uint64,
+	sloEng *otrace.SLOEngine, latHist *telemetry.Histogram) Result {
 	const maxTime = ^uint64(0)
 	// Recovery margin after the drill's stop point: requests arriving
 	// inside it still feel the disruption (queued retries, probes not
@@ -363,36 +429,43 @@ func collect(cfg Config, gen *Generator, lb *LB, ds *drillState, duration uint64
 		}
 	}
 	st := lb.Stats()
+	var traceStats otrace.Stats
+	if cfg.Trace != nil {
+		traceStats = cfg.Trace.Stats()
+	}
 	return Result{
-		Requests:     len(gen.reqs),
-		Completed:    gen.completed,
-		Lost:         gen.lost,
-		Retries:      gen.retries,
-		Timeouts:     gen.timeouts,
-		GenRefused:   gen.refused,
-		LBRefused:    st.Refused,
-		Routed:       st.Routed,
-		Ejections:    st.Ejections,
-		Readmissions: st.Readmissions,
-		DrainClosed:  st.DrainClosed,
-		EjectClosed:  st.EjectClosed,
-		ProbesSent:   st.ProbesSent,
-		ProbesFailed: st.ProbesFailed,
-		P50:          percentile(all, 0.50),
-		P99:          percentile(all, 0.99),
-		Max:          max,
-		P50Pre:       percentile(pre, 0.50),
-		P99Pre:       percentile(pre, 0.99),
-		P50Mid:       percentile(mid, 0.50),
-		P99Mid:       percentile(mid, 0.99),
-		P50Post:      percentile(post, 0.50),
-		P99Post:      percentile(post, 0.99),
+		SLO:             sloEng.Report(ds.startAt, midEnd),
+		ExemplarBuckets: latHist.Exemplars(),
+		TraceStats:      traceStats,
+		Requests:        len(gen.reqs),
+		Completed:       gen.completed,
+		Lost:            gen.lost,
+		Retries:         gen.retries,
+		Timeouts:        gen.timeouts,
+		GenRefused:      gen.refused,
+		LBRefused:       st.Refused,
+		Routed:          st.Routed,
+		Ejections:       st.Ejections,
+		Readmissions:    st.Readmissions,
+		DrainClosed:     st.DrainClosed,
+		EjectClosed:     st.EjectClosed,
+		ProbesSent:      st.ProbesSent,
+		ProbesFailed:    st.ProbesFailed,
+		P50:             percentile(all, 0.50),
+		P99:             percentile(all, 0.99),
+		Max:             max,
+		P50Pre:          percentile(pre, 0.50),
+		P99Pre:          percentile(pre, 0.99),
+		P50Mid:          percentile(mid, 0.50),
+		P99Mid:          percentile(mid, 0.99),
+		P50Post:         percentile(post, 0.50),
+		P99Post:         percentile(post, 0.99),
 	}
 }
 
 // publish mirrors the result into the telemetry metrics registry.
 func publish(m *telemetry.Registry, r Result) {
-	set := func(name string, v uint64) { m.Counter("fleet."+name).Set(v) }
+	set := func(name string, v uint64) { m.Counter("fleet." + name).Set(v) }
 	set("requests", uint64(r.Requests))
 	set("completed", uint64(r.Completed))
 	set("lost", uint64(r.Lost))

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/otrace"
 )
 
 // Generator is the open-loop traffic source for farm runs. Unlike
@@ -47,6 +48,14 @@ type Generator struct {
 	retries   int
 	timeouts  int
 	refused   int // dials to the frontend refused (listener backlog)
+
+	// trace receives request/attempt spans (nil = request plane off).
+	trace *otrace.Tracer
+	// OnFinish, when set, observes every request outcome in completion
+	// order: the SLO engine and exemplar histogram hang off it.
+	// attempts is the total attempts consumed; latency is 0 for lost
+	// requests.
+	OnFinish func(idx int, now, latency uint64, lost bool, attempts int, trace uint64)
 }
 
 type genRequest struct {
@@ -56,6 +65,7 @@ type genRequest struct {
 	done     bool
 	lost     bool
 	latency  uint64 // completion - arrival, in cycles
+	trace    uint64 // deterministic otrace ID (seed, index)
 }
 
 type genConn struct {
@@ -76,6 +86,7 @@ type genConfig struct {
 	retryBudget int
 	backoffBase uint64
 	timeout     uint64
+	trace       *otrace.Tracer
 }
 
 // splitmix64 is the same tiny PRNG the chaos engine uses for its
@@ -104,6 +115,7 @@ func newGenerator(net *netstack.Stack, cfg genConfig) *Generator {
 		retryBudget: cfg.retryBudget,
 		backoffBase: cfg.backoffBase,
 		timeout:     cfg.timeout,
+		trace:       cfg.trace,
 		buf:         make([]byte, 64*1024),
 		reqs:        make([]genRequest, cfg.requests),
 	}
@@ -118,6 +130,10 @@ func newGenerator(net *netstack.Stack, cfg genConfig) *Generator {
 		}
 		t += gap
 		g.reqs[i].arrival = t // relative; Start() rebases
+		// Trace IDs are assigned unconditionally: the stamp writes they
+		// drive are inert, and histogram exemplars reference them even
+		// when no tracer collects trees.
+		g.reqs[i].trace = otrace.ID(cfg.seed, i)
 	}
 	return g
 }
@@ -138,6 +154,8 @@ func (g *Generator) Done() bool { return g.completed+g.lost == len(g.reqs) }
 func (g *Generator) Step(now uint64) {
 	g.poll(now)
 	for g.nextArr < len(g.reqs) && g.reqs[g.nextArr].arrival <= now {
+		r := &g.reqs[g.nextArr]
+		g.trace.StartRequest(r.trace, r.arrival)
 		g.ready = append(g.ready, g.nextArr)
 		g.nextArr++
 	}
@@ -170,31 +188,46 @@ func (g *Generator) pollConn(c *genConn, now uint64) bool {
 					// the framing), so it dies with the attempt.
 					g.timeouts++
 					c.ep.Close()
-					g.fail(c.req, now)
+					g.fail(c.req, now, "timeout")
 					return false
 				}
 				return true
 			}
 			c.ep.Close()
-			g.fail(c.req, now)
+			g.fail(c.req, now, "reset")
 			return false
 		}
 		if n == 0 { // EOF mid-response (killed backend, drained session)
 			c.ep.Close()
-			g.fail(c.req, now)
+			g.fail(c.req, now, "eof")
 			return false
 		}
 		c.got += n
 		if c.got >= g.respSize {
-			r := &g.reqs[c.req]
+			idx := c.req
+			r := &g.reqs[idx]
 			r.done = true
 			r.latency = now - r.arrival
 			g.completed++
 			c.req = -1
 			c.got = 0
+			g.finish(idx, now, r.latency, false)
 			return true
 		}
 	}
+}
+
+// finish reports one settled request (completed or lost) to OnFinish.
+func (g *Generator) finish(idx int, now, latency uint64, lost bool) {
+	if g.OnFinish == nil {
+		return
+	}
+	r := &g.reqs[idx]
+	attempts := r.attempts // lost: every attempt failed
+	if !lost {
+		attempts++ // completed: the last attempt succeeded
+	}
+	g.OnFinish(idx, now, latency, lost, attempts, r.trace)
 }
 
 // dispatch issues every ready request whose backoff has expired, in
@@ -237,6 +270,11 @@ const (
 // charging the budget; a failure with the request on the wire — or no
 // way to reach the balancer at all — charges it.
 func (g *Generator) send(idx int, now uint64) sendResult {
+	r := &g.reqs[idx]
+	// The context for this attempt rides the connection to the serving
+	// side. Stamped unconditionally — a pair of atomic word writes —
+	// so enabling a tracer changes nothing about the run.
+	ctx := otrace.Ctx(r.trace, r.attempts+1)
 	for tries := 0; tries <= len(g.conns)+1; tries++ {
 		c := g.takeIdle()
 		fresh := false
@@ -248,17 +286,26 @@ func (g *Generator) send(idx int, now uint64) sendResult {
 			if err != nil {
 				// The balancer itself is unreachable (backlog full).
 				g.refused++
-				g.fail(idx, now)
+				g.fail(idx, now, "refused")
 				return sendFailed
 			}
 			c = &genConn{ep: ep, req: -1}
 			g.conns = append(g.conns, c)
 			fresh = true
 		}
+		c.ep.StampPeerTraceCtx(ctx)
 		if g.writeAll(c, g.request) {
 			c.req = idx
 			c.got = 0
 			c.deadline = now + g.timeout
+			name := "attempt"
+			if r.attempts > 0 {
+				name = "retry"
+			}
+			g.trace.Span(otrace.Span{
+				Trace: r.trace, Ctx: ctx, Kind: otrace.KindAttempt,
+				Name: name, Start: now,
+			})
 			return sendOK
 		}
 		// Write failed: drop the connection.
@@ -267,12 +314,12 @@ func (g *Generator) send(idx int, now uint64) sendResult {
 		if fresh {
 			// A *fresh* connection the balancer killed immediately
 			// (routing refused, RST): the request burned an attempt.
-			g.fail(idx, now)
+			g.fail(idx, now, "write")
 			return sendFailed
 		}
 		// Stale pooled connection: retry with another, free of charge.
 	}
-	g.fail(idx, now)
+	g.fail(idx, now, "noconn")
 	return sendFailed
 }
 
@@ -304,14 +351,20 @@ func (g *Generator) removeConn(dead *genConn) {
 }
 
 // fail charges one attempt against idx's retry budget: requeue with
-// exponential backoff, or mark lost when the budget is gone.
-func (g *Generator) fail(idx int, now uint64) {
+// exponential backoff, or mark lost when the budget is gone. reason
+// labels the failure span ("timeout", "reset", "eof", ...).
+func (g *Generator) fail(idx int, now uint64, reason string) {
 	r := &g.reqs[idx]
 	r.attempts++
 	g.retries++
+	g.trace.Span(otrace.Span{
+		Trace: r.trace, Ctx: otrace.Ctx(r.trace, r.attempts),
+		Kind: otrace.KindAttempt, Name: "fail", Start: now, Note: reason,
+	})
 	if r.attempts > g.retryBudget {
 		r.lost = true
 		g.lost++
+		g.finish(idx, now, 0, true)
 		return
 	}
 	r.readyAt = now + g.backoffBase<<uint(r.attempts-1)

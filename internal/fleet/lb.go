@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/otrace"
 )
 
 // LB is a simulated L4 load balancer: it accepts client connections on a
@@ -19,16 +21,17 @@ import (
 // and every decision is a pure function of (virtual time, byte streams),
 // so farm runs replay byte-identically from their seed.
 type LB struct {
-	net       *netstack.Stack
-	listener  *netstack.Listener
-	reqSize   int
-	respSize  int
-	backends  []*lbBackend
-	sessions  []*session
-	rr        int
-	buf       []byte
-	probeReq  []byte
-	stats     LBStats
+	net      *netstack.Stack
+	listener *netstack.Listener
+	reqSize  int
+	respSize int
+	backends []*lbBackend
+	sessions []*session
+	rr       int
+	buf      []byte
+	probeReq []byte
+	stats    LBStats
+	trace    *otrace.Tracer
 
 	probeInterval  uint64
 	probeTimeout   uint64
@@ -96,6 +99,7 @@ type lbConfig struct {
 	unhealthyAfter int
 	healthyAfter   int
 	probeRequest   []byte
+	trace          *otrace.Tracer
 }
 
 func newLB(net *netstack.Stack, cfg lbConfig) (*LB, error) {
@@ -114,6 +118,7 @@ func newLB(net *netstack.Stack, cfg lbConfig) (*LB, error) {
 		probeTimeout:   cfg.probeTimeout,
 		unhealthyAfter: cfg.unhealthyAfter,
 		healthyAfter:   cfg.healthyAfter,
+		trace:          cfg.trace,
 	}
 	for i, p := range cfg.backendPorts {
 		lb.backends = append(lb.backends, &lbBackend{idx: i, port: p, healthy: true})
@@ -155,11 +160,11 @@ func (l *LB) Step(now uint64) {
 		if err != nil {
 			break
 		}
-		l.route(client)
+		l.route(client, now)
 	}
 	live := l.sessions[:0]
 	for _, s := range l.sessions {
-		l.pump(s)
+		l.pump(s, now)
 		if !s.closed {
 			live = append(live, s)
 		}
@@ -172,7 +177,7 @@ func (l *LB) Step(now uint64) {
 // fails (killed mid-restart, backlog full) is skipped synchronously. If
 // no backend is routable the client is dropped — the client's retry
 // budget, not the LB, owns recovery.
-func (l *LB) route(client *netstack.Endpoint) {
+func (l *LB) route(client *netstack.Endpoint, now uint64) {
 	n := len(l.backends)
 	for t := 0; t < n; t++ {
 		b := l.backends[(l.rr+t)%n]
@@ -189,18 +194,37 @@ func (l *LB) route(client *netstack.Endpoint) {
 		}
 		l.sessions = append(l.sessions, &session{backend: b, client: client, upstream: up})
 		l.stats.Routed++
+		if l.trace != nil {
+			ctx := client.TraceCtx()
+			l.trace.Span(otrace.Span{
+				Trace: otrace.CtxTrace(ctx), Ctx: ctx, Kind: otrace.KindLB,
+				Name: "route", Start: now, Note: fmt.Sprintf("backend %d", b.idx),
+			})
+		}
 		return
 	}
 	client.Close()
 	l.stats.Refused++
+	if l.trace != nil {
+		ctx := client.TraceCtx()
+		l.trace.Span(otrace.Span{
+			Trace: otrace.CtxTrace(ctx), Ctx: ctx, Kind: otrace.KindLB,
+			Name: "refuse", Start: now, Note: "no routable backend",
+		})
+	}
 }
 
 // pump moves bytes both ways through a session and applies teardown and
 // draining rules.
-func (l *LB) pump(s *session) {
+func (l *LB) pump(s *session, now uint64) {
 	if s.closed {
 		return
 	}
+	// Propagate the request context across the splice: whatever the
+	// client stamped for its next request rides onto the backend
+	// connection, where the serving task adopts it. Unconditional — a
+	// pair of atomic word ops, part of the inertness contract.
+	s.upstream.StampPeerTraceCtx(s.client.TraceCtx())
 	// Flush pending first so backpressure releases before new reads.
 	if dead := flushPending(s.upstream, &s.toBackend); dead {
 		l.closeSession(s)
@@ -210,7 +234,10 @@ func (l *LB) pump(s *session) {
 		l.closeSession(s)
 		return
 	}
-	if done := l.copyDir(s, s.client, s.upstream, &s.toBackend, &s.reqBytes); done {
+	prevReqs := s.reqBytes
+	done := l.copyDir(s, s.client, s.upstream, &s.toBackend, &s.reqBytes)
+	l.noteForwards(s, prevReqs, now)
+	if done {
 		return
 	}
 	if done := l.copyDir(s, s.upstream, s.client, &s.toClient, &s.respBytes); done {
@@ -229,6 +256,32 @@ func (l *LB) pump(s *session) {
 		} else {
 			l.stats.EjectClosed++
 		}
+	}
+}
+
+// noteForwards emits one LB span per complete request the session just
+// finished forwarding to its backend — named "retry" when the
+// context's attempt number says the client is on its second or later
+// try, which is the span the kill-drill acceptance gate looks for.
+func (l *LB) noteForwards(s *session, prevReqBytes uint64, now uint64) {
+	if l.trace == nil {
+		return
+	}
+	rq := uint64(l.reqSize)
+	crossed := s.reqBytes/rq - prevReqBytes/rq
+	if crossed == 0 {
+		return
+	}
+	ctx := s.client.TraceCtx()
+	name := "forward"
+	if otrace.CtxAttempt(ctx) > 1 {
+		name = "retry"
+	}
+	for i := uint64(0); i < crossed; i++ {
+		l.trace.Span(otrace.Span{
+			Trace: otrace.CtxTrace(ctx), Ctx: ctx, Kind: otrace.KindLB,
+			Name: name, Start: now, Note: fmt.Sprintf("backend %d", s.backend.idx),
+		})
 	}
 }
 
@@ -319,6 +372,9 @@ func (l *LB) stepProbes(now uint64) {
 		if l.OnBackendDial != nil {
 			l.OnBackendDial(b.idx, ep.ConnID())
 		}
+		// Probes carry the reserved probe context so the syscalls that
+		// serve them never attribute to a client request's tree.
+		ep.StampPeerTraceCtx(otrace.Ctx(otrace.ProbeTrace, 1))
 		if _, werr := ep.Write(l.probeReq); werr != nil {
 			ep.Close()
 			l.probeResult(b, false, now)
@@ -368,6 +424,7 @@ func (l *LB) probeResult(b *lbBackend, ok bool, now uint64) {
 		if !b.healthy && b.consecOK >= l.healthyAfter {
 			b.healthy = true
 			l.stats.Readmissions++
+			l.noteHealth(b, "readmit", now)
 		}
 		return
 	}
@@ -377,6 +434,18 @@ func (l *LB) probeResult(b *lbBackend, ok bool, now uint64) {
 	if b.healthy && b.consecFail >= l.unhealthyAfter {
 		b.healthy = false
 		l.stats.Ejections++
+		l.noteHealth(b, "eject", now)
+	}
+}
+
+// noteHealth emits a global (traceless) LB event for a health
+// transition, visible alongside the request trees in the export.
+func (l *LB) noteHealth(b *lbBackend, name string, now uint64) {
+	if l.trace != nil {
+		l.trace.Span(otrace.Span{
+			Kind: otrace.KindLB, Name: name, Start: now,
+			Note: fmt.Sprintf("backend %d", b.idx),
+		})
 	}
 }
 

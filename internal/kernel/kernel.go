@@ -13,6 +13,7 @@ import (
 	"lazypoline/internal/loader"
 	"lazypoline/internal/mem"
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/otrace"
 	"lazypoline/internal/telemetry"
 )
 
@@ -118,6 +119,14 @@ type Config struct {
 	// byte-identical in guest-visible behaviour — console, exit codes,
 	// cycle counts, interposer traces — to one without (DESIGN.md §9).
 	Telemetry *telemetry.Sink
+	// Trace, if non-nil, receives request-scoped spans: every syscall
+	// that retires while the task carries a trace context (stamped onto
+	// its socket by the fleet/webbench request plane) is attributed to
+	// the owning request's span tree with its dispatch path, and a
+	// flight-recorder ring of recent spans is dumped on policy
+	// violations and tree kills. Same inertness contract as Telemetry:
+	// nil ⇒ the only residue is plain field writes on the task.
+	Trace *otrace.Tracer
 	// Policy, if non-nil, configures the syscall-policy enforcement
 	// layers (privilege regions and/or SFIP; see kernel/policy.go). A
 	// nil Policy — or a PolicyConfig with both layers off — charges no
@@ -158,8 +167,10 @@ type Kernel struct {
 	current *Task
 
 	// tel is the telemetry sink (nil when disabled); quanta counts
-	// completed scheduler quanta for its collector.
+	// completed scheduler quanta for its collector. trace is the
+	// request-plane tracer (nil when disabled).
 	tel    *telemetry.Sink
+	trace  *otrace.Tracer
 	quanta uint64
 
 	// policy is the syscall-policy configuration (nil when disabled);
@@ -207,6 +218,7 @@ func New(cfg Config) *Kernel {
 		noTraces:      cfg.DisableTraces,
 		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
 		tel:           cfg.Telemetry,
+		trace:         cfg.Trace,
 		policy:        cfg.Policy.normalize(),
 	}
 	if k.Costs == (CostModel{}) {
@@ -531,6 +543,7 @@ func (k *Kernel) KillTree(root *Task) {
 	if root == nil {
 		return
 	}
+	k.traceFlightDump(fmt.Sprintf("killtree:%s/%d", root.Name, root.ID))
 	seen := make(map[*Task]bool)
 	tgids := make(map[int]bool)
 	var mark func(t *Task)

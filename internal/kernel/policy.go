@@ -195,6 +195,7 @@ func (k *Kernel) policyKill(t *Task, path DispatchPath, nr int64, reason string)
 		k.pstats.sfipViolations++
 	}
 	k.telAbort(t, path, nr)
+	k.traceFlightDump("policy:" + reason)
 	k.exitGroup(t, 128+SIGSYS)
 }
 

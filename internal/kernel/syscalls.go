@@ -264,6 +264,7 @@ func (k *Kernel) sysRead(t *Task, args [6]uint64) sysResult {
 		if fd.Sock == nil {
 			return sysErr(EBADF)
 		}
+		t.telAdoptCtx(fd.Sock.TraceCtx())
 		var err error
 		n, err = fd.Sock.Read(buf)
 		if errors.Is(err, netstack.ErrWouldBlock) {
@@ -325,6 +326,7 @@ func (k *Kernel) sysWrite(t *Task, args [6]uint64) sysResult {
 		if fd.Sock == nil {
 			return sysErr(EBADF)
 		}
+		t.telAdoptCtx(fd.Sock.TraceCtx())
 		var err error
 		n, err = fd.Sock.Write(buf)
 		if errors.Is(err, netstack.ErrWouldBlock) {
@@ -363,6 +365,7 @@ func (k *Kernel) sysSendfile(t *Task, args [6]uint64) sysResult {
 	if !ok || out.Kind != FDSocket || out.Sock == nil {
 		return sysErr(EBADF)
 	}
+	t.telAdoptCtx(out.Sock.TraceCtx())
 	in, ok := t.Files.Get(int(args[1]))
 	if !ok || in.Kind != FDFile {
 		return sysErr(EBADF)

@@ -380,6 +380,12 @@ type Task struct {
 	telActive bool
 	telLabel  string
 
+	// traceCtx is the request-plane trace context the task most
+	// recently adopted from a socket it touched (otrace trace|attempt
+	// word; 0 = none). Same plain-field discipline as the tel* fields:
+	// updated identically whether or not a tracer is attached.
+	traceCtx uint64
+
 	k *Kernel
 }
 

@@ -10,7 +10,9 @@ import (
 	"fmt"
 
 	"lazypoline/internal/chaos"
+	"lazypoline/internal/isa"
 	"lazypoline/internal/mem"
+	"lazypoline/internal/otrace"
 	"lazypoline/internal/telemetry"
 )
 
@@ -135,12 +137,29 @@ func (t *Task) telRefinePath(p DispatchPath) {
 
 // telSyscallEnd closes the open measurement: per-path and per-syscall
 // counters, the latency histogram, and a timeline slice spanning the
-// whole kernel residence of the call.
+// whole kernel residence of the call. When a request tracer is
+// attached, the same measurement is also emitted as a kernel span
+// attributed to the task's adopted trace context — the join between
+// the fleet's request lifecycle and the paper's dispatch-path
+// attribution.
 func (k *Kernel) telSyscallEnd(t *Task, nr int64) {
 	if !t.telActive {
 		return
 	}
 	t.telActive = false
+	if k.trace != nil {
+		delta := t.CPU.Cycles - t.telStart
+		k.trace.KernelSpan(otrace.Span{
+			Ctx:   t.traceCtx,
+			Kind:  otrace.KindSys,
+			Name:  SyscallName(nr),
+			Start: t.telStart,
+			Dur:   delta,
+			Lane:  t.ID,
+			Path:  t.telPath.String(),
+			Ret:   int64(t.CPU.Regs[isa.RAX]),
+		})
+	}
 	tel := k.tel
 	if tel == nil {
 		return
@@ -157,6 +176,33 @@ func (k *Kernel) telSyscallEnd(t *Task, nr int64) {
 	}
 	if tl := tel.Timeline; tl != nil {
 		tl.Span(telemetry.PIDMachine, t.ID, SyscallName(nr), path, t.telStart, delta)
+	}
+}
+
+// telAdoptCtx makes the task adopt the request context stamped on a
+// socket it is about to read or write — from then on, syscalls the
+// task retires are attributed to that request's span tree. A plain
+// field write (inert without a tracer); a zero stamp is ignored so a
+// task keeps its attribution across non-request syscalls like accept
+// on an idle listener.
+func (t *Task) telAdoptCtx(ctx uint64) {
+	if ctx != 0 {
+		t.traceCtx = ctx
+	}
+}
+
+// TraceCtx exposes the task's adopted request context (0 = none).
+func (t *Task) TraceCtx() uint64 { return t.traceCtx }
+
+// Trace returns the request tracer the kernel was built with (nil when
+// the request plane is disabled).
+func (k *Kernel) Trace() *otrace.Tracer { return k.trace }
+
+// traceFlightDump dumps the flight-recorder ring under the given
+// reason (no-op without a tracer).
+func (k *Kernel) traceFlightDump(reason string) {
+	if k.trace != nil {
+		k.trace.DumpFlight(reason, k.Now())
 	}
 }
 

@@ -397,6 +397,33 @@ type Endpoint struct {
 
 	// stats points at the owning stack's counters (nil for pipes).
 	stats *StackStats
+
+	// traceCtx is the request-plane trace context (internal/otrace's
+	// trace|attempt word) most recently stamped for this endpoint's
+	// reader. Writers stamp their peer before sending a request so the
+	// serving side can attribute the syscalls it runs to the request it
+	// is handling. A plain atomic word with no behavioural coupling:
+	// stamping never blocks, wakes, or reorders anything, so the
+	// request plane stays inert when no tracer consumes the values.
+	traceCtx atomic.Uint64
+}
+
+// SetTraceCtx stamps this endpoint's trace context.
+func (e *Endpoint) SetTraceCtx(ctx uint64) { e.traceCtx.Store(ctx) }
+
+// TraceCtx reads the endpoint's current trace context (0 = none).
+func (e *Endpoint) TraceCtx() uint64 { return e.traceCtx.Load() }
+
+// StampPeerTraceCtx stamps the peer endpoint — the side that will read
+// the bytes being written — with the given context. Safe on closed or
+// peerless endpoints.
+func (e *Endpoint) StampPeerTraceCtx(ctx uint64) {
+	e.mu.Lock()
+	p := e.peer
+	e.mu.Unlock()
+	if p != nil {
+		p.traceCtx.Store(ctx)
+	}
 }
 
 // stagedSegment is an in-flight segment awaiting (re)delivery.

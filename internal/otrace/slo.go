@@ -1,0 +1,184 @@
+package otrace
+
+// Virtual-time SLO engine: windowed availability/latency objectives
+// over the generator's offered load, with multi-window burn-rate
+// alerts. The shape follows the SRE workbook's paired-window rule ("5m
+// AND 1h burning >14.4x"), but windows are virtual cycles scaled to
+// the run, so the whole engine is a pure function of the request
+// outcome sequence — same (config, seed) ⇒ identical alerts, byte for
+// byte. The fleet driver feeds it every finished request in completion
+// order and asserts the report pre/mid/post-drill.
+
+import "sort"
+
+// BurnRule is one multi-window burn-rate alert: fire when the error
+// budget burns at >= Threshold x over BOTH windows; resolve when the
+// short window drops back below.
+type BurnRule struct {
+	Name      string  `json:"name"`
+	Short     uint64  `json:"short_cycles"` // fast window (detects)
+	Long      uint64  `json:"long_cycles"`  // slow window (confirms)
+	Threshold float64 `json:"threshold"`    // burn-rate multiple
+}
+
+// SLOConfig defines the objective. A request is "good" when it
+// completed within LatencyObjective cycles; everything else (lost or
+// slow) spends error budget. Target is the availability goal the
+// budget derives from.
+type SLOConfig struct {
+	LatencyObjective uint64     `json:"objective_cycles"`
+	Target           float64    `json:"target"`
+	Rules            []BurnRule `json:"rules"`
+}
+
+// DefaultBurnRules scales the classic SRE 5m/1h + 30m/6h pairs to a
+// run of the given virtual duration.
+func DefaultBurnRules(duration uint64) []BurnRule {
+	return []BurnRule{
+		{Name: "page", Short: duration / 20, Long: duration / 5, Threshold: 14.4},
+		{Name: "ticket", Short: duration / 10, Long: duration / 2, Threshold: 6},
+	}
+}
+
+// Alert is one fired burn-rate alert. ResolvedAt is 0 while active at
+// end of run.
+type Alert struct {
+	Rule       string  `json:"rule"`
+	FiredAt    uint64  `json:"fired_at"`
+	ResolvedAt uint64  `json:"resolved_at"`
+	Burn       float64 `json:"burn"` // short-window burn at fire time
+}
+
+// SLOPhase summarises one drill phase (pre/mid/post).
+type SLOPhase struct {
+	Name    string  `json:"phase"`
+	Good    int     `json:"good"`
+	Bad     int     `json:"bad"`
+	MaxBurn float64 `json:"max_burn"` // peak short-window burn (rule 0) in phase
+}
+
+// SLOReport is the end-of-run summary the fleet embeds in its Result.
+type SLOReport struct {
+	Objective uint64     `json:"objective_cycles"`
+	Target    float64    `json:"target"`
+	Good      int        `json:"good"`
+	Bad       int        `json:"bad"`
+	Phases    []SLOPhase `json:"phases"`
+	Alerts    []Alert    `json:"alerts"`
+}
+
+// SLOEngine accumulates request outcomes in completion-time order and
+// evaluates the burn rules after each one. Not safe for concurrent
+// use; the fleet driver is single-goroutine.
+type SLOEngine struct {
+	cfg SLOConfig
+
+	times     []uint64  // completion times, nondecreasing
+	badPrefix []int     // badPrefix[i] = bad outcomes among the first i
+	burns     []float64 // rule-0 short-window burn after each record
+
+	active []bool // per-rule alert currently firing
+	alerts []Alert
+}
+
+// NewSLOEngine builds an engine; Target defaults to 0.99.
+func NewSLOEngine(cfg SLOConfig) *SLOEngine {
+	if cfg.Target == 0 {
+		cfg.Target = 0.99
+	}
+	return &SLOEngine{cfg: cfg, badPrefix: []int{0}, active: make([]bool, len(cfg.Rules))}
+}
+
+// Record feeds one finished request. latency is ignored for lost
+// requests (they are always bad). Times must be nondecreasing — the
+// driver completes requests in virtual-time order.
+func (e *SLOEngine) Record(t, latency uint64, lost bool) {
+	bad := lost || latency > e.cfg.LatencyObjective
+	e.times = append(e.times, t)
+	last := e.badPrefix[len(e.badPrefix)-1]
+	if bad {
+		last++
+	}
+	e.badPrefix = append(e.badPrefix, last)
+
+	var shortBurn0 float64
+	for i, r := range e.cfg.Rules {
+		short := e.burnRate(t, r.Short)
+		long := e.burnRate(t, r.Long)
+		if i == 0 {
+			shortBurn0 = short
+		}
+		switch {
+		case !e.active[i] && short >= r.Threshold && long >= r.Threshold:
+			e.active[i] = true
+			e.alerts = append(e.alerts, Alert{Rule: r.Name, FiredAt: t, Burn: short})
+		case e.active[i] && short < r.Threshold:
+			e.active[i] = false
+			for j := len(e.alerts) - 1; j >= 0; j-- {
+				if e.alerts[j].Rule == r.Name && e.alerts[j].ResolvedAt == 0 {
+					e.alerts[j].ResolvedAt = t
+					break
+				}
+			}
+		}
+	}
+	e.burns = append(e.burns, shortBurn0)
+}
+
+// burnRate is (error rate over the trailing window) / (error budget).
+func (e *SLOEngine) burnRate(now, window uint64) float64 {
+	lo := uint64(0)
+	if now > window {
+		lo = now - window
+	}
+	i := sort.Search(len(e.times), func(k int) bool { return e.times[k] >= lo })
+	total := len(e.times) - i
+	if total == 0 {
+		return 0
+	}
+	bad := e.badPrefix[len(e.times)] - e.badPrefix[i]
+	budget := 1 - e.cfg.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return float64(bad) / float64(total) / budget
+}
+
+// Report slices the run into pre/mid/post phases at the given
+// boundaries (matching the fleet's drill accounting) and returns the
+// deterministic summary.
+func (e *SLOEngine) Report(preEnd, midEnd uint64) SLOReport {
+	rep := SLOReport{
+		Objective: e.cfg.LatencyObjective,
+		Target:    e.cfg.Target,
+		Good:      len(e.times) - e.badPrefix[len(e.times)],
+		Bad:       e.badPrefix[len(e.times)],
+		Alerts:    append([]Alert(nil), e.alerts...),
+	}
+	bounds := []struct {
+		name   string
+		lo, hi uint64
+	}{
+		{"pre", 0, preEnd},
+		{"mid", preEnd, midEnd},
+		{"post", midEnd, ^uint64(0)},
+	}
+	for _, b := range bounds {
+		p := SLOPhase{Name: b.name}
+		for i, t := range e.times {
+			if t < b.lo || t >= b.hi {
+				continue
+			}
+			if e.badPrefix[i+1] > e.badPrefix[i] {
+				p.Bad++
+			} else {
+				p.Good++
+			}
+			if e.burns[i] > p.MaxBurn {
+				p.MaxBurn = e.burns[i]
+			}
+		}
+		rep.Phases = append(rep.Phases, p)
+	}
+	return rep
+}

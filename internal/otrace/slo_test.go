@@ -1,0 +1,117 @@
+package otrace
+
+import "testing"
+
+// sloEngine builds an engine with one tight paired-window rule so tests
+// can drive it through fire and resolve with a handful of records.
+func sloEngine() *SLOEngine {
+	return NewSLOEngine(SLOConfig{
+		LatencyObjective: 100,
+		Target:           0.9, // 10% error budget: burn = 10 x error rate
+		Rules:            []BurnRule{{Name: "page", Short: 100, Long: 400, Threshold: 5}},
+	})
+}
+
+func TestSLOBurnRateWindows(t *testing.T) {
+	e := sloEngine()
+	// 10 good requests spread over [0, 900].
+	for i := 0; i < 10; i++ {
+		e.Record(uint64(i)*100, 50, false)
+	}
+	if got := e.burnRate(900, 1000); got != 0 {
+		t.Errorf("all-good burn = %v, want 0", got)
+	}
+	// Two bad among the last four in the trailing 400 cycles.
+	e.Record(950, 500, false)
+	e.Record(960, 50, true)
+	// Window [560,960]: records at 600,700,800,900,950,960 → 2 bad of 6.
+	want := (2.0 / 6.0) / 0.1
+	if got := e.burnRate(960, 400); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("trailing burn = %v, want %v", got, want)
+	}
+}
+
+// TestSLOAlertFireResolve drives a burst of bad outcomes through the
+// paired-window rule: it must stay quiet while only the short window
+// burns, fire when both windows burn, and resolve once the short window
+// recovers — the exact mid-drill/post-drill shape the fleet asserts.
+func TestSLOAlertFireResolve(t *testing.T) {
+	e := sloEngine()
+	// Pre phase: healthy traffic filling the long window.
+	for i := 0; i < 8; i++ {
+		e.Record(uint64(i)*50, 50, false) // t = 0..350
+	}
+	// Mid phase: every request bad. The short window (100) saturates
+	// immediately; the long window (400) needs enough bad mass.
+	tm := uint64(400)
+	fired := -1
+	for i := 0; i < 8; i++ {
+		e.Record(tm, 50, true)
+		if len(e.alerts) > 0 && fired < 0 {
+			fired = i
+		}
+		tm += 50
+	}
+	if fired < 0 {
+		t.Fatal("paged alert never fired under 100% errors")
+	}
+	if fired == 0 {
+		t.Error("alert fired before the long window confirmed the burn")
+	}
+	a := e.alerts[0]
+	if a.Rule != "page" || a.Burn < 5 {
+		t.Errorf("fired alert: %+v", a)
+	}
+	if a.ResolvedAt != 0 {
+		t.Fatalf("alert resolved during the burst: %+v", a)
+	}
+	// Post phase: healthy again. Once the short window holds only good
+	// outcomes, the alert must resolve.
+	for i := 0; i < 10; i++ {
+		e.Record(tm, 50, false)
+		tm += 50
+	}
+	if e.alerts[0].ResolvedAt == 0 {
+		t.Fatal("alert never resolved after recovery")
+	}
+
+	rep := e.Report(400, 800)
+	if len(rep.Phases) != 3 {
+		t.Fatalf("phases: %+v", rep.Phases)
+	}
+	pre, mid, post := rep.Phases[0], rep.Phases[1], rep.Phases[2]
+	if pre.Bad != 0 || pre.MaxBurn != 0 {
+		t.Errorf("pre phase saw burn: %+v", pre)
+	}
+	if mid.Bad != 8 || mid.MaxBurn < 5 {
+		t.Errorf("mid phase missed the burn: %+v", mid)
+	}
+	if post.Bad != 0 {
+		t.Errorf("post phase bad: %+v", post)
+	}
+	if rep.Good != 18 || rep.Bad != 8 {
+		t.Errorf("totals: good %d bad %d", rep.Good, rep.Bad)
+	}
+	if len(rep.Alerts) != 1 {
+		t.Errorf("alerts: %+v", rep.Alerts)
+	}
+}
+
+func TestSLODeterministicReport(t *testing.T) {
+	run := func() SLOReport {
+		e := sloEngine()
+		for i := 0; i < 50; i++ {
+			e.Record(uint64(i)*37, uint64(i%7)*30, i%11 == 0)
+		}
+		return e.Report(600, 1200)
+	}
+	a, b := run(), run()
+	if a.Good != b.Good || a.Bad != b.Bad || len(a.Alerts) != len(b.Alerts) {
+		t.Errorf("same inputs, different reports:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Phases {
+		if a.Phases[i] != b.Phases[i] {
+			t.Errorf("phase %d differs: %+v vs %+v", i, a.Phases[i], b.Phases[i])
+		}
+	}
+}

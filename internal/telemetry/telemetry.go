@@ -19,6 +19,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/bits"
 	"sort"
@@ -101,13 +102,25 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 const histBuckets = 65
 
 // Histogram accumulates a distribution of virtual-cycle measurements in
-// power-of-two buckets. All fields update atomically.
+// power-of-two buckets. All fields update atomically; the exemplar
+// table has its own mutex and is only touched by ObserveEx.
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	min     atomic.Uint64 // stores ^value so zero-init means "unset"
 	max     atomic.Uint64
 	buckets [histBuckets]atomic.Uint64
+
+	exMu      sync.Mutex
+	exemplars [histBuckets]histExemplar
+}
+
+// histExemplar pairs a bucket's largest observed value with the trace
+// ID that produced it.
+type histExemplar struct {
+	val   uint64
+	trace uint64
+	set   bool
 }
 
 // Observe records one value.
@@ -127,6 +140,65 @@ func (h *Histogram) Observe(v uint64) {
 			break
 		}
 	}
+}
+
+// ObserveEx records one value and attaches a trace-ID exemplar to its
+// bucket: each bucket keeps the trace of its largest observation
+// (running maximum, later ties win), so any percentile read off the
+// histogram is one lookup away from a concrete span tree. Returns
+// whether this observation became (or replaced) its bucket's exemplar.
+// A zero trace records the value without competing for the exemplar.
+func (h *Histogram) ObserveEx(v, trace uint64) bool {
+	h.Observe(v)
+	if trace == 0 {
+		return false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	e := &h.exemplars[bits.Len64(v)]
+	if !e.set || v >= e.val {
+		e.val, e.trace, e.set = v, trace, true
+		return true
+	}
+	return false
+}
+
+// Exemplar returns bucket i's exemplar, if one was attached.
+func (h *Histogram) Exemplar(i int) (val, trace uint64, ok bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	e := h.exemplars[i]
+	return e.val, e.trace, e.set
+}
+
+// BucketExemplar is one bucket's exemplar in export form: the bucket's
+// range and population, plus the retained observation and its trace ID
+// in the same zero-padded hex the trace files use.
+type BucketExemplar struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+	Value uint64 `json:"value"`
+	Trace string `json:"trace"`
+}
+
+// Exemplars returns every bucket that has an exemplar, in bucket order.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	var out []BucketExemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i]
+		if !e.set {
+			continue
+		}
+		lo, hi := BucketRange(i)
+		out = append(out, BucketExemplar{
+			Lo: lo, Hi: hi, Count: h.buckets[i].Load(),
+			Value: e.val, Trace: fmt.Sprintf("%016x", e.trace),
+		})
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -196,11 +268,14 @@ func (r *Registry) AddCollector(fn func(*Registry)) {
 	r.mu.Unlock()
 }
 
-// HistBucket is one non-empty histogram bucket in a snapshot.
+// HistBucket is one non-empty histogram bucket in a snapshot. Exemplar
+// fields are present only when ObserveEx attached one.
 type HistBucket struct {
-	Lo    uint64 `json:"lo"`
-	Hi    uint64 `json:"hi"`
-	Count uint64 `json:"count"`
+	Lo            uint64 `json:"lo"`
+	Hi            uint64 `json:"hi"`
+	Count         uint64 `json:"count"`
+	Exemplar      string `json:"exemplar,omitempty"`
+	ExemplarValue uint64 `json:"exemplar_value,omitempty"`
 }
 
 // HistSnapshot is the exported state of one histogram.
@@ -248,12 +323,19 @@ func (r *Registry) Snapshot() Snapshot {
 		if hs.Count > 0 {
 			hs.Min = ^h.min.Load()
 		}
+		h.exMu.Lock()
 		for i := range h.buckets {
 			if n := h.buckets[i].Load(); n > 0 {
 				lo, hi := BucketRange(i)
-				hs.Buckets = append(hs.Buckets, HistBucket{Lo: lo, Hi: hi, Count: n})
+				b := HistBucket{Lo: lo, Hi: hi, Count: n}
+				if e := h.exemplars[i]; e.set {
+					b.Exemplar = fmt.Sprintf("%016x", e.trace)
+					b.ExemplarValue = e.val
+				}
+				hs.Buckets = append(hs.Buckets, b)
 			}
 		}
+		h.exMu.Unlock()
 		s.Histograms[name] = hs
 	}
 	return s

@@ -11,10 +11,12 @@ package webbench
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"lazypoline/internal/guest"
 	"lazypoline/internal/kernel"
 	"lazypoline/internal/netstack"
+	"lazypoline/internal/otrace"
 	"lazypoline/internal/telemetry"
 )
 
@@ -28,6 +30,12 @@ type Client struct {
 	conns     []*clientConn
 	completed int
 	sent      int
+
+	// Request-plane tracing (nil trace = off): IDs derive from
+	// (traceSeed, request index); now supplies virtual time.
+	trace     *otrace.Tracer
+	traceSeed uint64
+	now       func() uint64
 }
 
 type clientConn struct {
@@ -37,6 +45,15 @@ type clientConn struct {
 	request  []byte
 	retries  int // reconnects performed after injected RSTs (bounded)
 	backoff  int // Step() calls to sit out before the next reconnect
+
+	// Debug bookkeeping for the fail-fast error path: the request
+	// index currently on the wire (-1 = idle), the index that was in
+	// flight when the connection last died, and why it died.
+	reqIdx     int
+	deadReqIdx int
+	lastErr    string
+
+	inflight uint64 // open trace ID riding this connection (0 = none)
 }
 
 // maxReconnects bounds how often a connection re-dials after an injected
@@ -51,11 +68,24 @@ func NewClient(stack *netstack.Stack, port uint16, nconns, respSize, target int)
 	c := &Client{stack: stack, port: port, respSize: respSize, target: target}
 	for i := 0; i < nconns; i++ {
 		c.conns = append(c.conns, &clientConn{
-			buf:     make([]byte, 64*1024),
-			request: []byte(requestLine),
+			buf:        make([]byte, 64*1024),
+			request:    []byte(requestLine),
+			reqIdx:     -1,
+			deadReqIdx: -1,
 		})
 	}
 	return c
+}
+
+// EnableTrace attaches a request tracer: each issued request gets a
+// deterministic trace ID from (seed, request index), stamps it onto
+// the server-bound connection so kernel syscall spans attribute to it,
+// and opens/closes a span tree around the exchange. now supplies
+// virtual time (the kernel clock).
+func (c *Client) EnableTrace(tr *otrace.Tracer, seed uint64, now func() uint64) {
+	c.trace = tr
+	c.traceSeed = seed
+	c.now = now
 }
 
 // Connect establishes all connections; the server must be listening.
@@ -92,17 +122,25 @@ func (c *Client) Step() {
 			continue
 		}
 		if cc.awaiting == 0 && c.sent < c.target {
+			if c.trace != nil {
+				// Stamp the serving side before the bytes land so the
+				// worker's syscalls attribute to this request.
+				id := otrace.ID(c.traceSeed, c.sent)
+				cc.ep.StampPeerTraceCtx(otrace.Ctx(id, cc.retries+1))
+			}
 			_, err := cc.ep.Write(cc.request)
 			if err == nil {
+				cc.reqIdx = c.sent
 				c.sent++
 				cc.awaiting = c.respSize
+				c.traceSend(cc)
 			} else if errors.Is(err, netstack.ErrReset) ||
 				errors.Is(err, netstack.ErrPipe) ||
 				errors.Is(err, netstack.ErrClosed) {
 				// The endpoint is dead — injected RST, server-side close
 				// of a keep-alive connection, or a killed backend. The
 				// write can never succeed; re-dial with backoff.
-				c.dropConn(cc)
+				c.dropConn(cc, errName(err))
 				continue
 			}
 			// EAGAIN: the peer's buffer is full, retry on a later step.
@@ -120,7 +158,11 @@ func (c *Client) Step() {
 				// arrive. Treat like an injected RST — drop the
 				// connection, return the request to the send budget,
 				// and reconnect after backoff.
-				c.dropConn(cc)
+				reason := "eof"
+				if err != nil {
+					reason = errName(err)
+				}
+				c.dropConn(cc, reason)
 				break
 			}
 			if err != nil {
@@ -131,27 +173,117 @@ func (c *Client) Step() {
 			if cc.awaiting <= 0 {
 				cc.awaiting = 0
 				c.completed++
+				cc.reqIdx = -1
+				c.traceDone(cc)
 			}
 		}
 	}
 }
 
+// traceSend opens (or resumes, for a re-issued request) the span tree
+// for the request just written on cc.
+func (c *Client) traceSend(cc *clientConn) {
+	if c.trace == nil {
+		return
+	}
+	id := otrace.ID(c.traceSeed, cc.reqIdx)
+	now := c.now()
+	c.trace.StartRequest(id, now)
+	cc.inflight = id
+	name := "attempt"
+	if cc.retries > 0 {
+		name = "retry"
+	}
+	c.trace.Span(otrace.Span{
+		Trace: id, Ctx: otrace.Ctx(id, cc.retries+1),
+		Kind: otrace.KindAttempt, Name: name, Start: now,
+	})
+}
+
+// traceDone closes the span tree for the response cc just finished.
+func (c *Client) traceDone(cc *clientConn) {
+	if c.trace == nil || cc.inflight == 0 {
+		return
+	}
+	c.trace.EndRequest(cc.inflight, otrace.Outcome{
+		End: c.now(), Attempts: cc.retries + 1,
+	})
+	cc.inflight = 0
+}
+
+// errName maps a netstack error to the short label used in spans and
+// fail-fast diagnostics.
+func errName(err error) string {
+	switch {
+	case errors.Is(err, netstack.ErrReset):
+		return "reset"
+	case errors.Is(err, netstack.ErrPipe):
+		return "pipe"
+	case errors.Is(err, netstack.ErrClosed):
+		return "closed"
+	case err == nil:
+		return "eof"
+	}
+	return err.Error()
+}
+
 // dropConn tears down a connection killed by an injected RST. The
 // in-flight request (if any) is returned to the send budget so it gets
-// re-issued once the connection is re-established.
-func (c *Client) dropConn(cc *clientConn) {
+// re-issued once the connection is re-established. reason labels the
+// failure for spans and the fail-fast error path.
+func (c *Client) dropConn(cc *clientConn, reason string) {
 	cc.ep.Close()
 	cc.ep = nil
+	cc.lastErr = reason
 	if cc.awaiting > 0 {
 		cc.awaiting = 0
 		c.sent--
+		cc.deadReqIdx = cc.reqIdx
+		if c.trace != nil && cc.inflight != 0 {
+			c.trace.Span(otrace.Span{
+				Trace: cc.inflight, Ctx: otrace.Ctx(cc.inflight, cc.retries+1),
+				Kind: otrace.KindAttempt, Name: "fail", Start: c.now(),
+				Note: reason,
+			})
+		}
 	}
+	cc.reqIdx = -1
 	cc.retries++
 	if cc.retries > maxReconnects {
 		return // permanently dead; remaining conns carry the load
 	}
 	// Deterministic exponential backoff: 1, 2, 4, ... Step calls.
 	cc.backoff = 1 << uint(cc.retries-1)
+}
+
+// DeadDetail describes, per permanently-failed connection, the request
+// that was in flight when it last died and the final error — enough to
+// debug a failed run from the error string alone. Capped at 8 entries.
+func (c *Client) DeadDetail() string {
+	var b strings.Builder
+	n := 0
+	for i, cc := range c.conns {
+		if cc.ep != nil || cc.retries <= maxReconnects {
+			continue
+		}
+		if n == 8 {
+			b.WriteString("; ...")
+			break
+		}
+		if n > 0 {
+			b.WriteString("; ")
+		}
+		if cc.deadReqIdx >= 0 {
+			fmt.Fprintf(&b, "conn %d: req #%d in flight, last error %q", i, cc.deadReqIdx, cc.lastErr)
+		} else {
+			fmt.Fprintf(&b, "conn %d: idle, last error %q", i, cc.lastErr)
+		}
+		n++
+	}
+	if n == 0 {
+		return "no per-connection detail recorded"
+	}
+	return b.String()
 }
 
 // stepReconnect advances a dropped connection's backoff and re-dials
@@ -255,6 +387,11 @@ type Config struct {
 	// (DESIGN.md §12). nil — or a config with both layers off — is
 	// byte-identical to a kernel without the layer.
 	Policy *kernel.PolicyConfig
+	// Trace attaches a request tracer (DESIGN.md §14): each request gets
+	// a deterministic ID from (TraceSeed, index) and the serving worker's
+	// syscalls attribute to it. nil is byte-identical to no tracer.
+	Trace     *otrace.Tracer
+	TraceSeed uint64
 }
 
 // Result is one run's outcome.
@@ -316,6 +453,7 @@ func Run(cfg Config) (Result, error) {
 		ChaosRate:          cfg.ChaosRate,
 		Telemetry:          cfg.Telemetry,
 		Policy:             cfg.Policy,
+		Trace:              cfg.Trace,
 	})
 
 	// Static content.
@@ -351,6 +489,9 @@ func Run(cfg Config) (Result, error) {
 
 	// Boot: run until the listener is up and the workers are parked.
 	client := NewClient(k.Net, port, cfg.Connections, guest.ResponseHeaderSize+cfg.FileSize, cfg.Requests)
+	if cfg.Trace != nil {
+		client.EnableTrace(cfg.Trace, cfg.TraceSeed, k.Now)
+	}
 	booted := false
 	for i := 0; i < 1000; i++ {
 		k.RunSlice(200_000)
@@ -384,8 +525,8 @@ func Run(cfg Config) (Result, error) {
 			break
 		}
 		if client.AllDead() {
-			return Result{}, fmt.Errorf("webbench: all %d connections permanently failed (reconnect budget %d exhausted) at %d/%d requests",
-				cfg.Connections, maxReconnects, client.Completed(), cfg.Requests)
+			return Result{}, fmt.Errorf("webbench: all %d connections permanently failed (reconnect budget %d exhausted) at %d/%d requests: %s",
+				cfg.Connections, maxReconnects, client.Completed(), cfg.Requests, client.DeadDetail())
 		}
 		if !k.RunSlice(500_000) {
 			return Result{}, errors.New("webbench: all server tasks exited")

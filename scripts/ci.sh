@@ -153,3 +153,34 @@ if grep -E '"lost": [1-9]' /tmp/ci_fleet_a.json; then
 fi
 grep -q '"drill": "kill"' /tmp/ci_fleet_a.json
 grep -q '"ejections": 1' /tmp/ci_fleet_a.json
+
+# Request-scoped tracing (DESIGN.md §14). The trace plane must be inert:
+# a fleetbench cell with tracing attached must produce a byte-identical
+# BENCH snapshot to the untraced run, the same seed must produce a
+# byte-identical trace file, and the kill-drill trace must show the
+# balancer retrying an in-flight request on a surviving backend.
+otr="-requests 60 -rate 200 -drills kill -mechs lazypoline"
+go run ./cmd/fleetbench $otr -out /tmp/ci_otr_plain.json
+go run ./cmd/fleetbench $otr -out /tmp/ci_otr_traced.json \
+    -trace-out /tmp/ci_otr_a.jsonl -slo-out /tmp/ci_otr_slo.txt
+strip_wall /tmp/ci_otr_plain.json > /tmp/ci_otr_plain.stripped
+strip_wall /tmp/ci_otr_traced.json > /tmp/ci_otr_traced.stripped
+diff -u /tmp/ci_otr_plain.stripped /tmp/ci_otr_traced.stripped
+go run ./cmd/fleetbench $otr -out '' -trace-out /tmp/ci_otr_b.jsonl
+diff -u /tmp/ci_otr_a.jsonl /tmp/ci_otr_b.jsonl
+grep -q 'fleet-slo' /tmp/ci_otr_slo.txt
+grep -q '"exemplar_count"' /tmp/ci_otr_traced.json
+
+# Figure 5 must be equally blind to request tracing (-reqtrace only adds
+# request span trees to the separate -trace-out file).
+go run ./cmd/macrobench $tsmoke -reqtrace -out /tmp/ci_fig5_reqtrace.json
+strip_wall /tmp/ci_fig5_reqtrace.json > /tmp/ci_fig5_reqtrace.stripped
+diff -u /tmp/ci_fig5_tel_off.stripped /tmp/ci_fig5_reqtrace.stripped
+
+# tracecat must render the request trees (retry visible) and round-trip
+# the fleet trace through the Chrome envelope without loss.
+go run ./cmd/tracecat -requests /tmp/ci_otr_a.jsonl | grep -q 'lb/retry'
+go run ./cmd/tracecat -requests /tmp/ci_otr_a.jsonl | grep -q 'otrace stats:'
+go run ./cmd/tracecat -format chrome -o /tmp/ci_otr_a.json /tmp/ci_otr_a.jsonl
+go run ./cmd/tracecat -format jsonl /tmp/ci_otr_a.json > /tmp/ci_otr_rt.jsonl
+diff -u /tmp/ci_otr_a.jsonl /tmp/ci_otr_rt.jsonl
