@@ -3,7 +3,7 @@
 # experiment harness is exercised by tests, so -race guards the per-cell
 # isolation contract).
 
-.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fleet-smoke obs-smoke fuzz
+.PHONY: ci test bench snapshots chaos-smoke profile-smoke tlb-smoke chain-smoke policy-smoke fleet-smoke obs-smoke par-smoke fuzz
 
 ci:
 	./scripts/ci.sh
@@ -74,6 +74,19 @@ obs-smoke:
 	go run ./cmd/tracecat -requests -o /tmp/obs_smoke_trees.txt /tmp/obs_smoke_trace.jsonl
 	head -25 /tmp/obs_smoke_trees.txt
 
+# Fast parallel-scheduler check (DESIGN.md §15): the kernel round/shard
+# suite and the webbench/fleet cross-core byte-identity suites under
+# -race, then a small parbench sweep that must keep -cores N
+# byte-identical while actually engaging the shards. The -minscale
+# ratchet only binds on hosts with >= 8 cores (parbench skips it and
+# says so on smaller machines).
+par-smoke:
+	go test -race ./internal/kernel -run 'TestRound|TestMidRound|TestPlanShards|TestParallel|TestRunParks|TestRunDeadlock' -count 1
+	go test -race ./internal/webbench -run 'TestCores' -count 1
+	go test -race ./internal/fleet -run 'TestFleetCores' -count 1
+	go run ./cmd/parbench -requests 300 -conns 8 -workers 4 -mechs baseline,lazypoline \
+		-cores 1,2,4 -repeat 2 -minscale 2.5 -out /tmp/par_smoke_BENCH_parallel.json
+
 # Longer fuzz of the instruction decoder (CI runs a few seconds of it).
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
@@ -90,3 +103,4 @@ snapshots:
 	go run ./cmd/cpubench -out BENCH_cpu.json
 	go run ./cmd/policybench -out BENCH_policy.json
 	go run ./cmd/fleetbench -out BENCH_fleet.json
+	go run ./cmd/parbench -minscale 2.5 -out BENCH_parallel.json

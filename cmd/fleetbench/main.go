@@ -45,6 +45,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos engine seed (0 disables)")
 	chaosRate := flag.Float64("chaos-rate", 0, "chaos engine per-site fault probability")
 	parallel := flag.Int("j", experiments.DefaultParallelism(), "sweep cells measured concurrently")
+	cores := flag.Int("cores", 1, "host cores each cell's kernel scheduler may use (results are byte-identical for every value)")
 	out := flag.String("out", "BENCH_fleet.json", "machine-readable result file (empty disables)")
 	traceOut := flag.String("trace-out", "", "write per-cell request span trees (.jsonl = compact lines, else Chrome/Perfetto JSON)")
 	sloOut := flag.String("slo-out", "", "write per-cell SLO burn-rate reports to this benchfmt file")
@@ -61,6 +62,7 @@ func main() {
 	cfg.ChaosSeed = *chaosSeed
 	cfg.ChaosRate = *chaosRate
 	cfg.Parallelism = *parallel
+	cfg.Cores = *cores
 	cfg.Drills = nil
 	for _, s := range splitList(*drills) {
 		d, err := fleet.ParseDrill(s)
@@ -128,6 +130,7 @@ func main() {
 		err := benchfmt.Write(*out, benchfmt.File{
 			Name:        "fleet",
 			Parallelism: *parallel,
+			Cores:       *cores,
 			WallSeconds: wall.Seconds(),
 			Config:      cfg,
 			Results:     rows,
@@ -166,6 +169,7 @@ func main() {
 		err := benchfmt.Write(*sloOut, benchfmt.File{
 			Name:        "fleet-slo",
 			Parallelism: *parallel,
+			Cores:       *cores,
 			WallSeconds: wall.Seconds(),
 			Config:      cfg,
 			Results:     srows,

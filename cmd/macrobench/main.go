@@ -46,6 +46,7 @@ func main() {
 	policyRegions := flag.Bool("policy-regions", false, "enforce the privilege-region syscall policy in every cell")
 	policySFIP := flag.Bool("policy-sfip", false, "enforce a per-cell learned SFIP syscall policy (learn-then-enforce double run)")
 	reqTrace := flag.Bool("reqtrace", false, "attach a request tracer to every cell (results are identical either way; the instrumented -trace-out run gains request span trees)")
+	cores := flag.Int("cores", 1, "host cores each cell's kernel scheduler may use (results are byte-identical for every value)")
 	out := flag.String("out", "BENCH_figure5.json", "machine-readable result file (empty disables)")
 	metricsOut := flag.String("metrics-out", "", "record per-dispatch-path cycle breakdowns for every cell into this benchfmt file")
 	traceOut := flag.String("trace-out", "", "write a timeline trace of one instrumented webserver run (.jsonl = compact lines, else Chrome/Perfetto JSON)")
@@ -68,6 +69,7 @@ func main() {
 		PolicyRegions:      *policyRegions,
 		PolicySFIP:         *policySFIP,
 		RequestTraces:      *reqTrace,
+		Cores:              *cores,
 	}
 	var err error
 	if cfg.FileSizes, err = parseInts(*sizes); err != nil {
@@ -122,6 +124,7 @@ func main() {
 		err := benchfmt.Write(*out, benchfmt.File{
 			Name:        "figure5",
 			Parallelism: *parallel,
+			Cores:       *cores,
 			WallSeconds: wall.Seconds(),
 			Config:      cfg,
 			Results:     points,
@@ -139,6 +142,7 @@ func main() {
 		err := benchfmt.Write(*metricsOut, benchfmt.File{
 			Name:        "figure5-metrics",
 			Parallelism: *parallel,
+			Cores:       *cores,
 			WallSeconds: wall.Seconds(),
 			Config:      cfg,
 			Results:     cellMetrics,
@@ -179,6 +183,7 @@ func instrumentedRun(cfg experiments.Figure5Config, traceOut, profileOut string,
 		Attach:      experiments.AttachFunc(experiments.MechLazypoline),
 		Costs:       cfg.Costs,
 		Telemetry:   sink,
+		Cores:       cfg.Cores,
 	}
 	var tracer *otrace.Tracer
 	if reqTrace {

@@ -1,0 +1,238 @@
+// Command parbench measures the parallel scheduler's wall-clock scaling
+// (DESIGN.md §15): the webbench workload swept over -cores × workers ×
+// mechanism. Every cell is first checked for the §15 contract — the
+// simulated Result at -cores N must be byte-identical to -cores 1 —
+// and then timed; the snapshot records host throughput (requests per
+// wall second, best of -repeat) and each cell's speedup over its own
+// 1-core run.
+//
+// Usage:
+//
+//	parbench [-requests N] [-conns N] [-size B] [-workers 4,8] [-mechs baseline,lazypoline] [-cores 1,2,4,8] [-repeat N] [-out BENCH_parallel.json]
+//	parbench -minscale 2.5   # fail unless every cell scales >= 2.5x at the largest core count (skipped on small hosts)
+//
+// Unlike the other BENCH_*.json files, this snapshot's payload is
+// wall-clock data and so varies run to run; what is ratcheted is the
+// -minscale floor the run was gated on, recorded in the config block.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"lazypoline/internal/benchfmt"
+	"lazypoline/internal/experiments"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/webbench"
+)
+
+// minScaleHostCores is the smallest host on which -minscale is
+// enforced: below this the largest swept core count oversubscribes the
+// machine (the coordinator and client run alongside the shards) and
+// wall-clock scaling is not the scheduler's to deliver.
+const minScaleHostCores = 8
+
+type cellResult struct {
+	Server    string  `json:"server"`
+	Workers   int     `json:"workers"`
+	Mechanism string  `json:"mechanism"`
+	Cores     int     `json:"cores"`
+	Requests  int     `json:"requests"`
+	WallMs    float64 `json:"wall_ms"`
+	WallRPS   float64 `json:"wall_rps"`
+	// Scaling is this cell's wall-clock speedup over the same
+	// (server, workers, mechanism) cell at -cores 1.
+	Scaling float64 `json:"scaling_vs_1core"`
+	// ParallelRounds is the shard-engagement diagnostic: zero at
+	// -cores 1 by construction, and must be non-zero above it for
+	// Scaling to mean anything.
+	ParallelRounds uint64 `json:"parallel_rounds"`
+}
+
+type parConfig struct {
+	Requests    int      `json:"requests"`
+	Connections int      `json:"connections"`
+	FileSize    int      `json:"file_size"`
+	Workers     []int    `json:"workers"`
+	Mechanisms  []string `json:"mechanisms"`
+	CoreCounts  []int    `json:"core_counts"`
+	Repeat      int      `json:"repeat"`
+	// MinScale is the scaling floor this snapshot was gated on (0 =
+	// ungated). Ratchet: CI passes the floor explicitly and raises it
+	// as the scheduler improves, never lowers it.
+	MinScale float64 `json:"min_scale"`
+	// MinScaleEnforced records whether the host was large enough for
+	// the gate to actually apply.
+	MinScaleEnforced bool `json:"min_scale_enforced"`
+}
+
+func main() {
+	requests := flag.Int("requests", 1200, "requests per measured run")
+	conns := flag.Int("conns", 24, "keep-alive client connections")
+	size := flag.Int("size", 16384, "static file size in bytes")
+	workers := flag.String("workers", "4,8", "worker process counts")
+	mechs := flag.String("mechs", "baseline,lazypoline", "mechanisms to measure")
+	cores := flag.String("cores", "1,2,4,8", "scheduler core counts to sweep (1 is required: it is the identity baseline)")
+	repeat := flag.Int("repeat", 3, "timed repetitions per cell (best is kept)")
+	minScale := flag.Float64("minscale", 0, "fail unless every cell's scaling at the largest core count meets this floor (0 disables; skipped when the host has fewer than 8 cores)")
+	out := flag.String("out", "BENCH_parallel.json", "machine-readable result file (empty disables)")
+	flag.Parse()
+
+	cfg := parConfig{
+		Requests:    *requests,
+		Connections: *conns,
+		FileSize:    *size,
+		Repeat:      *repeat,
+		MinScale:    *minScale,
+		Mechanisms:  splitList(*mechs),
+	}
+	var err error
+	if cfg.Workers, err = parseInts(*workers); err != nil {
+		fatal(err)
+	}
+	if cfg.CoreCounts, err = parseInts(*cores); err != nil {
+		fatal(err)
+	}
+	if len(cfg.CoreCounts) == 0 || cfg.CoreCounts[0] != 1 {
+		fatal(fmt.Errorf("-cores must start with 1 (the identity baseline), got %q", *cores))
+	}
+	cfg.MinScaleEnforced = *minScale > 0 && runtime.NumCPU() >= minScaleHostCores
+
+	fmt.Printf("Parallel scheduler scaling — %d requests, %d connections, %dB files, host has %d cores\n",
+		cfg.Requests, cfg.Connections, cfg.FileSize, runtime.NumCPU())
+
+	begin := time.Now()
+	var rows []cellResult
+	gateFailures := 0
+	maxCores := cfg.CoreCounts[len(cfg.CoreCounts)-1]
+	for _, w := range cfg.Workers {
+		for _, mech := range cfg.Mechanisms {
+			base := webbench.Config{
+				Style:       guest.StyleNginx,
+				Workers:     w,
+				FileSize:    cfg.FileSize,
+				Connections: cfg.Connections,
+				Requests:    cfg.Requests,
+				Attach:      experiments.AttachFunc(mech),
+			}
+			fmt.Printf("\nnginx, %d workers, %s\n", w, mech)
+			var refRes webbench.Result
+			var base1 float64
+			for _, c := range cfg.CoreCounts {
+				res, st, wall, err := measure(base, c, cfg.Repeat)
+				if err != nil {
+					fatal(fmt.Errorf("cores=%d workers=%d %s: %w", c, w, mech, err))
+				}
+				if c == 1 {
+					refRes, base1 = res, wall
+				} else if !reflect.DeepEqual(res, refRes) {
+					fatal(fmt.Errorf("DETERMINISM VIOLATION: workers=%d %s cores=%d Result differs from cores=1:\n got %+v\nwant %+v",
+						w, mech, c, res, refRes))
+				}
+				row := cellResult{
+					Server:         "nginx",
+					Workers:        w,
+					Mechanism:      mech,
+					Cores:          c,
+					Requests:       res.Requests,
+					WallMs:         wall * 1e3,
+					WallRPS:        float64(res.Requests) / wall,
+					Scaling:        base1 / wall,
+					ParallelRounds: st.ParallelRounds,
+				}
+				rows = append(rows, row)
+				fmt.Printf("  cores=%d  %8.1fms  %10.0f req/s  %5.2fx  (%d parallel rounds)\n",
+					c, row.WallMs, row.WallRPS, row.Scaling, row.ParallelRounds)
+				if c > 1 && row.ParallelRounds == 0 {
+					fatal(fmt.Errorf("cores=%d workers=%d %s never engaged the parallel scheduler", c, w, mech))
+				}
+				if cfg.MinScaleEnforced && c == maxCores && row.Scaling < cfg.MinScale {
+					fmt.Printf("  ^ below the -minscale %.2f floor\n", cfg.MinScale)
+					gateFailures++
+				}
+			}
+		}
+	}
+	wall := time.Since(begin)
+	fmt.Printf("\n%d cells in %.1fs\n", len(rows), wall.Seconds())
+	if *minScale > 0 && !cfg.MinScaleEnforced {
+		fmt.Printf("-minscale %.2f not enforced: host has %d cores (< %d)\n", *minScale, runtime.NumCPU(), minScaleHostCores)
+	}
+
+	if *out != "" {
+		err := benchfmt.Write(*out, benchfmt.File{
+			Name:        "parallel",
+			Cores:       maxCores,
+			WallSeconds: wall.Seconds(),
+			Config:      cfg,
+			Results:     rows,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if gateFailures > 0 {
+		fatal(fmt.Errorf("%d cell(s) below the -minscale %.2f floor at cores=%d", gateFailures, cfg.MinScale, maxCores))
+	}
+}
+
+// measure times cfg at the given core count repeat times and returns
+// the (identical) simulated Result plus the best wall time in seconds.
+// One untimed warmup run absorbs host JIT/page-cache noise.
+func measure(cfg webbench.Config, cores, repeat int) (webbench.Result, webbench.RunStats, float64, error) {
+	cfg.Cores = cores
+	var st webbench.RunStats
+	cfg.Stats = &st
+	if _, err := webbench.Run(cfg); err != nil {
+		return webbench.Result{}, st, 0, err
+	}
+	var res webbench.Result
+	best := 0.0
+	for i := 0; i < repeat; i++ {
+		begin := time.Now()
+		r, err := webbench.Run(cfg)
+		wall := time.Since(begin).Seconds()
+		if err != nil {
+			return res, st, 0, err
+		}
+		if i == 0 || wall < best {
+			best = wall
+		}
+		res = r
+	}
+	return res, st, best, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parbench:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 // Version is the BENCH_*.json schema version.
@@ -26,6 +27,14 @@ type File struct {
 	Version int `json:"version"`
 	// Parallelism is the sweep worker-pool width the run used.
 	Parallelism int `json:"parallelism"`
+	// HostCores is the generating machine's logical CPU count
+	// (auto-filled by Write). Together with Cores it makes wall-clock
+	// numbers comparable across machines; like WallSeconds it may vary
+	// between byte-identical result sets.
+	HostCores int `json:"host_cores"`
+	// Cores is the kernel scheduler's -cores setting for runs that take
+	// one (0 = the benchmark does not parallelise inside a kernel).
+	Cores int `json:"cores,omitempty"`
 	// WallSeconds is the measured wall-clock duration of the sweep. It is
 	// the one field expected to vary between byte-identical result sets.
 	WallSeconds float64 `json:"wall_seconds"`
@@ -39,6 +48,9 @@ type File struct {
 func Write(path string, f File) error {
 	if f.Version == 0 {
 		f.Version = Version
+	}
+	if f.HostCores == 0 {
+		f.HostCores = runtime.NumCPU()
 	}
 	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -128,8 +128,16 @@ type Runtime struct {
 func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer, opts Options) (*Runtime, error) {
 	rt := &Runtime{K: k, Opts: opts, userIP: ip}
 	rt.Binder = interpose.NewBinder(&coreInterposer{rt: rt, user: ip})
-	rt.enterID = k.RegisterHcall(rt.binderEnter)
-	rt.exitID = k.RegisterHcall(rt.Binder.Exit)
+	// The fast-path payloads run on shard goroutines when the user
+	// interposer vouches for itself (DESIGN.md §15); the slow path
+	// always serialises — it mutates rt.Stats and the rewrite-site list
+	// and emits timeline spans, and it only runs once per syscall site.
+	reg := k.RegisterHcall
+	if rt.Binder.Concurrent() {
+		reg = k.RegisterHcallConcurrent
+	}
+	rt.enterID = reg(rt.binderEnter)
+	rt.exitID = reg(rt.Binder.Exit)
 	rt.slowID = k.RegisterHcall(rt.slowPath)
 
 	if err := rt.injectImage(t); err != nil {

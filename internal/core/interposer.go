@@ -37,16 +37,28 @@ type coreInterposer struct {
 
 var _ interpose.Interposer = (*coreInterposer)(nil)
 
+// ConcurrentInterposer implements interpose.ConcurrentSafe: the wrapper
+// adds no shared state on the common-syscall path (the rare complex
+// branches in Enter park on the frontier themselves before touching
+// rt.Stats or registering through the kernel), so the payloads are
+// shard-safe exactly when the wrapped user interposer is.
+func (ci *coreInterposer) ConcurrentInterposer() bool {
+	cs, ok := ci.user.(interpose.ConcurrentSafe)
+	return ok && cs.ConcurrentInterposer()
+}
+
 // Enter implements interpose.Interposer.
 func (ci *coreInterposer) Enter(c *interpose.Call) interpose.Action {
 	switch c.Nr {
 	case kernel.SysRtSigaction:
+		ci.rt.K.Serialize(c.Task)
 		if act := ci.enterSigaction(c); act == interpose.Emulate {
 			// The user interposer still observes the call.
 			ci.user.Enter(c)
 			return interpose.Emulate
 		}
 	case kernel.SysRtSigreturn:
+		ci.rt.K.Serialize(c.Task)
 		ci.enterSigreturn(c)
 		// The real rt_sigreturn executes in the stub; the user interposer
 		// observes it first (it cannot modify the semantics meaningfully).

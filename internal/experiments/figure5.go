@@ -92,6 +92,10 @@ type Figure5Config struct {
 	// (DESIGN.md §14). Execution machinery, excluded from snapshots: the
 	// CI gate diffs a -reqtrace sweep against a plain one.
 	RequestTraces bool `json:"-"`
+	// Cores is each cell's host-parallelism budget (DESIGN.md §15).
+	// Execution machinery, excluded from snapshots: any value must
+	// produce byte-identical points to Cores == 1.
+	Cores int `json:"-"`
 	// PolicyRegions and PolicySFIP enable the syscall-policy layers in
 	// every cell (DESIGN.md §12). Like chaos they are experiment
 	// parameters — the checks cost cycles — but the omitempty tags keep
@@ -217,6 +221,7 @@ func figure5Run(cfg Figure5Config, withMetrics bool) ([]Figure5Point, []Figure5C
 			ChaosSeed:          cfg.ChaosSeed,
 			ChaosRate:          cfg.ChaosRate,
 			Telemetry:          sink,
+			Cores:              cfg.Cores,
 		}
 		if cfg.RequestTraces {
 			wcfg.Trace = otrace.New(otrace.Config{})

@@ -64,6 +64,10 @@ type FleetBenchConfig struct {
 	// from the snapshot: rows are byte-identical with tracing on or off
 	// (DESIGN.md §14), and CI diffs the two to prove it.
 	Trace func(drill fleet.DrillKind, mech string) *otrace.Tracer `json:"-"`
+	// Cores is each cell's host-parallelism budget (DESIGN.md §15).
+	// Execution machinery, excluded from snapshots: any value must
+	// produce byte-identical rows to Cores == 1.
+	Cores int `json:"-"`
 }
 
 // DefaultFleetBenchConfig returns the snapshot configuration.
@@ -165,6 +169,7 @@ func FleetBench(cfg FleetBenchConfig) ([]FleetBenchRow, error) {
 			ChaosSeed:     cfg.ChaosSeed,
 			ChaosRate:     cfg.ChaosRate,
 			Trace:         tracer,
+			Cores:         cfg.Cores,
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: fleetbench %s/%s: %w", c.drill, c.mech, err)

@@ -104,6 +104,10 @@ type Config struct {
 	// is identical with or without a tracer attached.
 	SLOObjective uint64
 	SLOTarget    float64
+	// Cores is the host-parallelism budget for the kernel's scheduler
+	// (DESIGN.md §15). Result is byte-identical for every value; only
+	// wall-clock time changes. <= 1 selects the sequential scheduler.
+	Cores int
 }
 
 // DefaultSLOObjective is the default latency objective: ~1ms at the
@@ -233,6 +237,7 @@ func Run(cfg Config) (Result, error) {
 		ChaosRate: cfg.ChaosRate,
 		Telemetry: cfg.Telemetry,
 		Trace:     cfg.Trace,
+		Cores:     cfg.Cores,
 	})
 
 	content := make([]byte, cfg.FileSize)
@@ -245,6 +250,9 @@ func Run(cfg Config) (Result, error) {
 	if err := k.FS.WriteFile("/www/static", content, 0o644); err != nil {
 		return Result{}, err
 	}
+	// Content is final: seal the filesystem so backend file reads are
+	// pure and can run concurrently (kernel/parallel.go).
+	k.FS.Seal()
 
 	masters := make([]*kernel.Task, cfg.Backends)
 	ports := make([]uint16, cfg.Backends)

@@ -166,3 +166,23 @@ func TestFleetSeedSensitivity(t *testing.T) {
 		t.Fatal("seed change did not change the run")
 	}
 }
+
+// TestFleetCoresByteIdentical: a farm run is byte-identical at every
+// Cores setting (DESIGN.md §15), including through a kill drill — the
+// case that exercises exit/SIGCHLD/health-check ordering under shard
+// execution.
+func TestFleetCoresByteIdentical(t *testing.T) {
+	for _, drill := range []Drill{{}, {Kind: DrillKill, Backend: 2}} {
+		cfg := testConfig()
+		cfg.Requests = 80
+		cfg.Drill = drill
+		ref := runOrFatal(t, cfg)
+		for _, cores := range []int{2, 4} {
+			c := cfg
+			c.Cores = cores
+			if got := runOrFatal(t, c); !reflect.DeepEqual(got, ref) {
+				t.Errorf("drill %q cores=%d diverged:\n got=%+v\n want=%+v", drill.Kind, cores, got, ref)
+			}
+		}
+	}
+}

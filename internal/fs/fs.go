@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode bits (a small subset of POSIX).
@@ -36,6 +37,7 @@ var (
 	ErrBadPath     = errors.New("fs: invalid path")              // EINVAL
 	ErrReadOnly    = errors.New("fs: bad file descriptor mode")  // EBADF
 	ErrNameTooLong = errors.New("fs: name too long")             // ENAMETOOLONG
+	ErrSealed      = errors.New("fs: read-only file system")     // EROFS
 )
 
 // MaxNameLen bounds a single path component.
@@ -57,12 +59,29 @@ type Inode struct {
 func (i *Inode) IsDir() bool { return i.Mode&ModeDir != 0 }
 
 // FS is one filesystem instance. All methods are safe for concurrent use.
+//
+// A filesystem may be sealed (Seal) once its content is final: every
+// mutation then fails uniformly with ErrSealed — checked before path
+// resolution, so a sealed filesystem's error responses depend only on
+// the request, never on tree state — and read paths take the read lock
+// and skip access-time maintenance (atime is not guest-observable: stat
+// serialises only ino/mode/size/mtime). Sealing makes every fs
+// operation a pure function of (path, flags), which is what lets the
+// parallel scheduler (internal/kernel/parallel.go) run file reads from
+// concurrent guest quanta without serialising them.
 type FS struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	root    *Inode
 	nextIno uint64
 	clock   func() uint64
+	sealed  atomic.Bool
 }
+
+// Seal marks the filesystem read-only. There is no unseal.
+func (f *FS) Seal() { f.sealed.Store(true) }
+
+// Sealed reports whether the filesystem has been sealed.
+func (f *FS) Sealed() bool { return f.sealed.Load() }
 
 // New returns an empty filesystem. clock supplies the current cycle count
 // for timestamps; a nil clock freezes time at zero.
@@ -149,8 +168,8 @@ func (f *FS) walkParent(path string) (*Inode, string, error) {
 
 // Stat returns a snapshot of the inode's metadata.
 func (f *FS) Stat(path string) (Stat, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	ino, err := f.walk(path)
 	if err != nil {
 		return Stat{}, err
@@ -173,6 +192,9 @@ func statOf(i *Inode) Stat {
 
 // Mkdir creates a directory.
 func (f *FS) Mkdir(path string, perm Mode) error {
+	if f.Sealed() {
+		return ErrSealed
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parent, name, err := f.walkParent(path)
@@ -233,8 +255,8 @@ func (f *FS) WriteFile(path string, data []byte, perm Mode) error {
 
 // ReadFile returns a copy of a file's contents.
 func (f *FS) ReadFile(path string) ([]byte, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	ino, err := f.walk(path)
 	if err != nil {
 		return nil, err
@@ -249,6 +271,9 @@ func (f *FS) ReadFile(path string) ([]byte, error) {
 
 // Unlink removes a file (not a directory).
 func (f *FS) Unlink(path string) error {
+	if f.Sealed() {
+		return ErrSealed
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parent, name, err := f.walkParent(path)
@@ -270,6 +295,9 @@ func (f *FS) Unlink(path string) error {
 
 // Rmdir removes an empty directory.
 func (f *FS) Rmdir(path string) error {
+	if f.Sealed() {
+		return ErrSealed
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parent, name, err := f.walkParent(path)
@@ -293,6 +321,9 @@ func (f *FS) Rmdir(path string) error {
 
 // Rename moves oldpath to newpath (replacing a non-directory target).
 func (f *FS) Rename(oldpath, newpath string) error {
+	if f.Sealed() {
+		return ErrSealed
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	op, oname, err := f.walkParent(oldpath)
@@ -321,6 +352,9 @@ func (f *FS) Rename(oldpath, newpath string) error {
 
 // Chmod updates permission bits.
 func (f *FS) Chmod(path string, perm Mode) error {
+	if f.Sealed() {
+		return ErrSealed
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ino, err := f.walk(path)
@@ -334,6 +368,9 @@ func (f *FS) Chmod(path string, perm Mode) error {
 
 // Utimens updates the access and modification times (touch).
 func (f *FS) Utimens(path string, atime, mtime uint64) error {
+	if f.Sealed() {
+		return ErrSealed
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ino, err := f.walk(path)
@@ -346,8 +383,8 @@ func (f *FS) Utimens(path string, atime, mtime uint64) error {
 
 // ReadDir lists a directory in name order.
 func (f *FS) ReadDir(path string) ([]DirEnt, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	ino, err := f.walk(path)
 	if err != nil {
 		return nil, err
@@ -397,10 +434,27 @@ type File struct {
 
 	mu  sync.Mutex
 	off uint64
+
+	// sharedFork is set when a descriptor referencing this open file is
+	// duplicated across a fork boundary: the two tasks then share the
+	// offset, which the parallel scheduler treats as order-sensitive
+	// state (internal/kernel/parallel.go).
+	sharedFork atomic.Bool
 }
+
+// MarkSharedAcrossFork records that this open file description crossed a
+// fork boundary.
+func (h *File) MarkSharedAcrossFork() { h.sharedFork.Store(true) }
+
+// SharedAcrossFork reports whether the description crossed a fork
+// boundary.
+func (h *File) SharedAcrossFork() bool { return h.sharedFork.Load() }
 
 // Open opens path. With OpenCreate the file is created if missing.
 func (f *FS) Open(path string, flags OpenFlag, perm Mode) (*File, error) {
+	if f.Sealed() {
+		return f.openSealed(path, flags)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ino, err := f.walk(path)
@@ -435,13 +489,42 @@ func (f *FS) Open(path string, flags OpenFlag, perm Mode) (*File, error) {
 	return &File{fs: f, inode: ino, flags: flags}, nil
 }
 
+// openSealed is Open on a sealed filesystem: no inode can be created,
+// truncated or time-stamped, so the whole operation runs under the read
+// lock. Opening a missing file for creation, or an existing one with
+// OpenTrunc, fails with ErrSealed; handles opened for writing are
+// permitted (write attempts through them fail in WriteAt), matching
+// Linux, which refuses O_CREAT/O_TRUNC on a read-only mount at open
+// time.
+func (f *FS) openSealed(path string, flags OpenFlag) (*File, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ino, err := f.walk(path)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) && flags&OpenCreate != 0 {
+			return nil, ErrSealed
+		}
+		return nil, err
+	}
+	if flags&(OpenCreate|OpenExcl) == OpenCreate|OpenExcl {
+		return nil, ErrExist
+	}
+	if ino.IsDir() && flags&OpenWrite != 0 {
+		return nil, ErrIsDir
+	}
+	if flags&OpenTrunc != 0 && !ino.IsDir() {
+		return nil, ErrSealed
+	}
+	return &File{fs: f, inode: ino, flags: flags}, nil
+}
+
 // Inode exposes the file's inode number.
 func (h *File) Inode() uint64 { return h.inode.Ino }
 
 // Size returns the current file size.
 func (h *File) Size() uint64 {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
 	return h.inode.Size
 }
 
@@ -450,8 +533,8 @@ func (h *File) IsDir() bool { return h.inode.IsDir() }
 
 // Stat returns the handle's inode metadata (fstat).
 func (h *File) Stat() Stat {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
 	return statOf(h.inode)
 }
 
@@ -469,6 +552,19 @@ func (h *File) Read(p []byte) (int, error) {
 func (h *File) ReadAt(p []byte, off uint64) (int, error) {
 	if h.flags&OpenRead == 0 {
 		return 0, ErrReadOnly
+	}
+	if h.fs.Sealed() {
+		// No atime maintenance on a sealed tree (atime is not
+		// guest-observable), so the read takes the read lock.
+		h.fs.mu.RLock()
+		defer h.fs.mu.RUnlock()
+		if h.inode.IsDir() {
+			return 0, ErrIsDir
+		}
+		if off >= h.inode.Size {
+			return 0, nil
+		}
+		return copy(p, h.inode.Data[off:]), nil
 	}
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
@@ -500,6 +596,9 @@ func (h *File) Write(p []byte) (int, error) {
 func (h *File) WriteAt(p []byte, off uint64) (int, error) {
 	if h.flags&OpenWrite == 0 {
 		return 0, ErrReadOnly
+	}
+	if h.fs.Sealed() {
+		return 0, ErrSealed
 	}
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()

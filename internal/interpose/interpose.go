@@ -77,6 +77,17 @@ type Interposer interface {
 	Exit(c *Call)
 }
 
+// ConcurrentSafe marks an Interposer whose Enter/Exit may run
+// concurrently from parallel scheduling shards (DESIGN.md §15). An
+// implementation returning true promises that its hooks touch only the
+// call's own task state (registers, address space, gs region) — no
+// shared counters, logs or cross-task reads. Interposers without the
+// marker are serialised on the deterministic frontier before every
+// hook, which is always correct but forfeits multi-core scaling.
+type ConcurrentSafe interface {
+	ConcurrentInterposer() bool
+}
+
 // Dummy is the paper's benchmark interposer: it executes every syscall
 // unmodified. All performance numbers are measured with it.
 type Dummy struct{}
@@ -87,7 +98,11 @@ func (Dummy) Enter(*Call) Action { return Continue }
 // Exit implements Interposer.
 func (Dummy) Exit(*Call) {}
 
+// ConcurrentInterposer implements ConcurrentSafe: Dummy is stateless.
+func (Dummy) ConcurrentInterposer() bool { return true }
+
 var _ Interposer = Dummy{}
+var _ ConcurrentSafe = Dummy{}
 
 // FuncInterposer adapts plain functions.
 type FuncInterposer struct {

@@ -2,6 +2,7 @@ package interpose
 
 import (
 	"fmt"
+	"sync"
 
 	"lazypoline/internal/isa"
 	"lazypoline/internal/kernel"
@@ -133,7 +134,12 @@ func patchRel32(e *isa.Enc, insnOff, target int) {
 // a per-task stack of in-flight calls (nested interposition happens when
 // a signal arrives during an interposed syscall).
 type Binder struct {
-	ip      Interposer
+	ip Interposer
+	// pending is keyed by task ID; a task's frames are pushed and
+	// popped only from that task's own quanta, so under concurrent
+	// shards the per-key operation streams commute and the mutex alone
+	// keeps the map deterministic (DESIGN.md §15).
+	mu      sync.Mutex
 	pending map[int][]*Call
 }
 
@@ -144,6 +150,15 @@ func NewBinder(ip Interposer) *Binder {
 
 // Interposer returns the bound interposer.
 func (b *Binder) Interposer() Interposer { return b.ip }
+
+// Concurrent reports whether the Binder's hcall payloads may be
+// registered shard-concurrent: true only when the bound interposer
+// vouches for itself via ConcurrentSafe. The Binder's own state is
+// safe either way (see pending).
+func (b *Binder) Concurrent() bool {
+	cs, ok := b.ip.(ConcurrentSafe)
+	return ok && cs.ConcurrentInterposer()
+}
 
 // Enter is the stub's pre-syscall hcall payload.
 func (b *Binder) Enter(hc *kernel.HcallCtx) error {
@@ -169,7 +184,9 @@ func (b *Binder) Enter(hc *kernel.HcallCtx) error {
 	if action != Emulate && noReturnSyscall(c.Nr) {
 		return nil
 	}
+	b.mu.Lock()
 	b.pending[t.ID] = append(b.pending[t.ID], c)
+	b.mu.Unlock()
 	return nil
 }
 
@@ -186,12 +203,15 @@ func noReturnSyscall(nr int64) bool {
 // Exit is the stub's post-syscall hcall payload.
 func (b *Binder) Exit(hc *kernel.HcallCtx) error {
 	t := hc.Task
+	b.mu.Lock()
 	stack := b.pending[t.ID]
 	var c *Call
 	if n := len(stack); n > 0 {
 		c = stack[n-1]
 		b.pending[t.ID] = stack[:n-1]
-	} else {
+	}
+	b.mu.Unlock()
+	if c == nil {
 		// No pending frame: the stub context was resumed without a
 		// matching Enter (a clone child continuing past its parent's
 		// fork). Nr -1 marks the call as synthetic.

@@ -146,6 +146,7 @@ const (
 	ENAMETOOLONG = 36
 	ENOTEMPTY    = 39
 	EPIPE        = 32
+	EROFS        = 30
 	EADDRINUSE   = 98
 	ECONNRESET   = 104
 	ECONNREFUSED = 111
@@ -157,7 +158,7 @@ var errnoNames = map[int64]string{
 	EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY", EEXIST: "EEXIST",
 	ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL", EMFILE: "EMFILE",
 	ENOSYS: "ENOSYS", ENAMETOOLONG: "ENAMETOOLONG", ENOTEMPTY: "ENOTEMPTY",
-	EPIPE: "EPIPE", EADDRINUSE: "EADDRINUSE", ECONNRESET: "ECONNRESET",
+	EPIPE: "EPIPE", EROFS: "EROFS", EADDRINUSE: "EADDRINUSE", ECONNRESET: "ECONNRESET",
 	ECONNREFUSED: "ECONNREFUSED",
 }
 

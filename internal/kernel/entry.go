@@ -255,6 +255,11 @@ func (k *Kernel) finishSyscall(t *Task, nr int64, args [6]uint64, res sysResult)
 		// Context replaced or task gone; nothing to write back.
 		k.telSyscallEnd(t, nr)
 	case resBlocked:
+		// A runnable→blocked flip must be frontier-ordered: the round
+		// coordinator reads blocked tasks' state inline, and the slot
+		// where the task parks determines when its poll is first
+		// evaluated. (No-op in sequential rounds.)
+		k.serialize(t)
 		t.state = TaskBlocked
 		t.blocked = blockedState{
 			poll: res.poll,

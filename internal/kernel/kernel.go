@@ -3,7 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
-	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"lazypoline/internal/chaos"
@@ -114,6 +114,15 @@ type Config struct {
 	// fault schedule is reproducible from (seed, rate) alone.
 	ChaosSeed uint64
 	ChaosRate float64
+	// Cores is the number of host worker goroutines a scheduling round
+	// may spread runnable tasks across (see kernel/parallel.go). <= 1
+	// selects the sequential scheduler. Like the fast-path toggles it is
+	// execution machinery, not an experiment parameter: any value
+	// produces byte-identical guest-visible output (console, strace,
+	// cycle counts, traces, BENCH snapshots) to Cores == 1 — the
+	// epoch-barrier merge orders every side effect in canonical slot
+	// order, and CI diffs -cores 4 against -cores 1 to enforce it.
+	Cores int
 	// Telemetry, if non-nil, receives metrics, timeline events and
 	// profiler samples. Strictly observational: a kernel with a sink is
 	// byte-identical in guest-visible behaviour — console, exit codes,
@@ -146,7 +155,8 @@ type Kernel struct {
 	order   []*Task // scheduling order
 	nextTID int
 
-	hcalls        map[int64]HcallHandler
+	hcalls        map[int64]hcallEntry
+	hcallsMu      sync.RWMutex
 	nextHcall     int64
 	rrOffset      int
 	images        map[string]*loader.Image
@@ -159,19 +169,38 @@ type Kernel struct {
 	noChaining    bool
 	noTraces      bool
 
-	// chaos is the fault-injection engine; nil means disabled. current
-	// is the task whose quantum is executing — the mem.AllocGate closures
-	// consult it to attribute allocations to the right chaos stream (the
-	// kernel serialises guest execution, so a plain field suffices).
-	chaos   *chaos.Engine
-	current *Task
+	// cores is the scheduling-round parallelism (Config.Cores; <= 1 =
+	// sequential). tracerCount tracks attached ptrace-style tracers —
+	// tracer callbacks run host code at arbitrary points, so any
+	// attached tracer forces the sequential scheduler.
+	cores       int
+	tracerCount int
+
+	// inRound is true while a scheduling round is visiting task slots
+	// (sequential or parallel). Cross-task signals posted during a round
+	// are deferred to the round barrier in BOTH modes — that is what
+	// makes the parallel schedule reproduce the sequential one exactly
+	// (see parallel.go). roundListenerHot is recomputed at each parallel
+	// round's start: while any listener has a pending connection,
+	// accept/epoll ordering matters and those syscalls serialise.
+	inRound          bool
+	havePendingNext  bool
+	roundListenerHot bool
+	// parRounds counts rounds that actually ran on shards — an
+	// engagement diagnostic (ParallelRounds) for tests and parbench,
+	// never an input to anything the guest can observe.
+	parRounds uint64
+
+	// chaos is the fault-injection engine; nil means disabled.
+	chaos *chaos.Engine
 
 	// tel is the telemetry sink (nil when disabled); quanta counts
-	// completed scheduler quanta for its collector. trace is the
-	// request-plane tracer (nil when disabled).
+	// completed scheduler quanta for its collector (atomic: quanta
+	// retire on shard goroutines). trace is the request-plane tracer
+	// (nil when disabled).
 	tel    *telemetry.Sink
 	trace  *otrace.Tracer
-	quanta uint64
+	quanta atomic.Uint64
 
 	// policy is the syscall-policy configuration (nil when disabled);
 	// pstats accumulates the policy.* telemetry counters.
@@ -207,7 +236,7 @@ func New(cfg Config) *Kernel {
 		Net:           cfg.Net,
 		tasks:         make(map[int]*Task),
 		nextTID:       1000,
-		hcalls:        make(map[int64]HcallHandler),
+		hcalls:        make(map[int64]hcallEntry),
 		nextHcall:     1,
 		images:        make(map[string]*loader.Image),
 		randState:     cfg.RandSeed | 1,
@@ -217,9 +246,13 @@ func New(cfg Config) *Kernel {
 		noChaining:    cfg.DisableChaining,
 		noTraces:      cfg.DisableTraces,
 		chaos:         chaos.New(cfg.ChaosSeed, cfg.ChaosRate),
+		cores:         cfg.Cores,
 		tel:           cfg.Telemetry,
 		trace:         cfg.Trace,
 		policy:        cfg.Policy.normalize(),
+	}
+	if k.cores < 1 {
+		k.cores = 1
 	}
 	if k.Costs == (CostModel{}) {
 		k.Costs = DefaultCostModel()
@@ -248,13 +281,56 @@ func New(cfg Config) *Kernel {
 // Now returns the maximum cycle count across tasks — the kernel's clock.
 func (k *Kernel) Now() uint64 { return k.maxCycles }
 
+// hcallEntry is a registered host callback plus its concurrency grade.
+type hcallEntry struct {
+	h HcallHandler
+	// concurrent marks a payload proven safe to run on shard
+	// goroutines; everything else is parked on the frontier first.
+	concurrent bool
+}
+
 // RegisterHcall installs a host callback and returns its HCALL id.
+// Registration happens at serialised points (attach-time setup, clone
+// and execve hooks); the lock exists because parallel rounds dispatch
+// hcalls from shard goroutines while a frontier task may register one.
+//
+// Payloads registered here are serialised: during a parallel round the
+// invoking task is parked until the deterministic frontier reaches it
+// (DESIGN.md §15), so the payload may freely touch cross-task host
+// state — mechanism counters, shared maps, the telemetry sink — and
+// observe it in canonical schedule order. Payloads that only touch
+// their own task's state should use RegisterHcallConcurrent instead.
 func (k *Kernel) RegisterHcall(h HcallHandler) int64 {
+	return k.registerHcall(h, false)
+}
+
+// RegisterHcallConcurrent installs a host callback that is safe to run
+// on shard goroutines during parallel rounds, without frontier
+// serialisation. The payload must only touch state owned by the
+// invoking task's share-group (its registers, its address space, its
+// gs region) or state guarded by a lock whose per-task operation
+// streams commute (e.g. a map keyed by task ID). Anything that reads
+// or writes ordered cross-task state — shared counters, telemetry,
+// other tasks — must call (*Kernel).Serialize first or register with
+// RegisterHcall.
+func (k *Kernel) RegisterHcallConcurrent(h HcallHandler) int64 {
+	return k.registerHcall(h, true)
+}
+
+func (k *Kernel) registerHcall(h HcallHandler, concurrent bool) int64 {
+	k.hcallsMu.Lock()
+	defer k.hcallsMu.Unlock()
 	id := k.nextHcall
 	k.nextHcall++
-	k.hcalls[id] = h
+	k.hcalls[id] = hcallEntry{h: h, concurrent: concurrent}
 	return id
 }
+
+// Serialize parks the calling task's shard until the deterministic
+// frontier reaches this task's slot (DESIGN.md §15). A no-op outside
+// parallel rounds and for tasks already on the frontier. Concurrent
+// hcall payloads call it before their rare ordered-state branches.
+func (k *Kernel) Serialize(t *Task) { k.serialize(t) }
 
 // RegisterImage makes an executable image available to execve under path.
 func (k *Kernel) RegisterImage(path string, img *loader.Image) {
@@ -267,7 +343,11 @@ func (k *Kernel) RegisterImage(path string, img *loader.Image) {
 // Drivers that interleave with RunSlice (webbench) do not need it.
 func (k *Kernel) AddExternalWaiter() func() {
 	atomic.AddInt32(&k.extWaiters, 1)
-	return func() { atomic.AddInt32(&k.extWaiters, -1) }
+	return func() {
+		atomic.AddInt32(&k.extWaiters, -1)
+		// A parked Run must re-evaluate the deadlock condition.
+		k.Net.BumpActivity()
+	}
 }
 
 // SpawnOpts configures SpawnImage.
@@ -351,16 +431,20 @@ func (k *Kernel) newTask(name string, as *mem.AddressSpace) *Task {
 }
 
 // installAllocGate wires an address space's allocation path to the
-// chaos engine's SiteAllocFail stream. Host-side setup (no current
+// chaos engine's SiteAllocFail stream. Host-side setup (no owning
 // task) and host-synthesised syscalls (Kernel.Syscall) are exempt —
 // only application-level allocations may fault, which is what keeps
-// the fault schedule identical across interposition mechanisms.
+// the fault schedule identical across interposition mechanisms. The
+// owning task is recorded on the address space itself rather than in a
+// kernel-wide field: with parallel rounds several quanta execute at
+// once, but an address space only ever runs on one shard (tasks that
+// share it are scheduled as one group), so the per-AS owner is exact.
 func (k *Kernel) installAllocGate(as *mem.AddressSpace) {
 	if k.chaos == nil || as.AllocGate != nil {
 		return
 	}
 	as.AllocGate = func(pages uint64) bool {
-		t := k.current
+		t, _ := as.Owner().(*Task)
 		if t == nil || t.hostSyscall {
 			return true
 		}
@@ -407,11 +491,25 @@ func (k *Kernel) Tasks() []*Task {
 	return out
 }
 
-// AttachTracer attaches a ptrace-style tracer to a task.
-func (k *Kernel) AttachTracer(t *Task, tr *Tracer) { t.tracer = tr }
+// AttachTracer attaches a ptrace-style tracer to a task. While any
+// tracer is attached the scheduler stays sequential: tracer callbacks
+// run arbitrary host code mid-quantum.
+func (k *Kernel) AttachTracer(t *Task, tr *Tracer) {
+	if t.tracer == nil && tr != nil {
+		k.tracerCount++
+	} else if t.tracer != nil && tr == nil {
+		k.tracerCount--
+	}
+	t.tracer = tr
+}
 
 // DetachTracer removes the tracer.
-func (k *Kernel) DetachTracer(t *Task) { t.tracer = nil }
+func (k *Kernel) DetachTracer(t *Task) {
+	if t.tracer != nil {
+		k.tracerCount--
+	}
+	t.tracer = nil
+}
 
 // ConfigSUD configures Syscall User Dispatch on a task (the kernel-side
 // equivalent of prctl(PR_SET_SYSCALL_USER_DISPATCH)).
@@ -431,47 +529,23 @@ func (k *Kernel) ConfigSUD(t *Task, cfg SUDConfig) error {
 func (k *Kernel) Run(maxSteps int64) error {
 	var steps int64
 	for {
-		alive := false
-		progress := false
-		// Snapshot: quanta may spawn tasks (appended to k.order). The
-		// start index rotates each round so wakeups (notably accept on a
-		// shared listener) are distributed fairly across workers.
-		snapshot := k.order
-		k.rrOffset++
-		for i := range snapshot {
-			t := snapshot[(i+k.rrOffset)%len(snapshot)]
-			switch t.state {
-			case TaskZombie:
-				continue
-			case TaskBlocked:
-				alive = true
-				if t.blocked.poll != nil && t.blocked.poll() {
-					retry := t.blocked.retry
-					t.state = TaskRunnable
-					t.blocked = blockedState{}
-					if retry != nil {
-						retry()
-					}
-					progress = true
-				}
-				continue
-			case TaskRunnable:
-				alive = true
-				progress = true
-				n := k.runQuantum(t)
-				steps += n
-			}
-		}
-		if !alive {
+		// Capture the activity generation before the round: a driver
+		// action between this read and a park below re-runs the round
+		// instead of being lost.
+		gen := k.Net.ActivityGen()
+		r := k.scheduleRound()
+		steps += r.steps
+		if !r.alive {
 			return nil
 		}
-		if !progress {
+		if !r.progress {
 			if atomic.LoadInt32(&k.extWaiters) == 0 {
 				return ErrDeadlock
 			}
 			// An external driver (load generator) will eventually make a
-			// pollable ready; yield to it.
-			runtime.Gosched()
+			// pollable ready; park until it touches the stack or the
+			// clock rather than burning host CPU in a yield spin.
+			k.Net.AwaitActivity(gen)
 		}
 		if maxSteps > 0 && steps >= maxSteps {
 			return ErrStepLimit
@@ -487,36 +561,12 @@ func (k *Kernel) Run(maxSteps int64) error {
 func (k *Kernel) RunSlice(maxSteps int64) bool {
 	var steps int64
 	for {
-		alive := false
-		progress := false
-		snapshot := k.order
-		k.rrOffset++
-		for i := range snapshot {
-			t := snapshot[(i+k.rrOffset)%len(snapshot)]
-			switch t.state {
-			case TaskZombie:
-				continue
-			case TaskBlocked:
-				alive = true
-				if t.blocked.poll != nil && t.blocked.poll() {
-					retry := t.blocked.retry
-					t.state = TaskRunnable
-					t.blocked = blockedState{}
-					if retry != nil {
-						retry()
-					}
-					progress = true
-				}
-			case TaskRunnable:
-				alive = true
-				progress = true
-				steps += k.runQuantum(t)
-			}
-		}
-		if !alive {
+		r := k.scheduleRound()
+		steps += r.steps
+		if !r.alive {
 			return false
 		}
-		if !progress || steps >= maxSteps {
+		if !r.progress || steps >= maxSteps {
 			return true
 		}
 	}
@@ -579,16 +629,22 @@ func (k *Kernel) KillTree(root *Task) {
 // clock, and arrival-timed events (offered traffic, health probes,
 // retry backoffs) would never fire. On hardware this is the interval
 // timer ticking while the CPUs sit in the idle loop.
-func (k *Kernel) AdvanceClock(n uint64) { k.maxCycles += n }
+func (k *Kernel) AdvanceClock(n uint64) {
+	k.maxCycles += n
+	// Clock motion is externally observable progress: wake a parked Run.
+	k.Net.BumpActivity()
+}
 
 // runQuantum runs one scheduling quantum of t and returns the number of
 // CPU steps executed.
 func (k *Kernel) runQuantum(t *Task) int64 {
 	var n int64
 	// Context switch: install the task's protection-key rights (PKRU is
-	// per logical CPU on hardware; here, per scheduled task).
+	// per logical CPU on hardware; here, per scheduled task). The task
+	// also claims its address space for the quantum — the AllocGate and
+	// any host-side inspection attribute activity to it.
 	t.AS.SetActivePKRU(t.CPU.PKRU)
-	k.current = t
+	t.AS.SetOwner(t)
 	k.checkSignals(t)
 	// Scheduler-quantum jitter: the chaos engine may shorten this
 	// quantum, forcing preemption at points the normal schedule never
@@ -608,15 +664,18 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 		ev, steps, pre := t.CPU.StepBlock(quantum - q)
 		q += steps
 		n += int64(steps)
-		if steps > 1 && pre > k.maxCycles {
+		if steps > 1 {
 			// The per-Step loop refreshed the clock after every retired
 			// instruction, so when an event entered the kernel the clock
 			// held the count through the instruction *before* it. Replay
 			// that here so Now()-derived state (file timestamps) cannot
 			// depend on batching. steps==1 means no instruction retired
 			// before the event in this batch — the old loop had made no
-			// refresh since the previous event either.
-			k.maxCycles = pre
+			// refresh since the previous event either. clockPropose is a
+			// plain max-merge of k.maxCycles in sequential rounds; on a
+			// parallel shard it accumulates into the task's pending clock,
+			// flushed in canonical slot order (parallel.go).
+			k.clockPropose(t, pre)
 		}
 		switch ev {
 		case cpu.EvNone:
@@ -627,6 +686,7 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 		case cpu.EvHcall:
 			k.handleHcall(t)
 		case cpu.EvHlt:
+			k.serialize(t)
 			k.exitTask(t, 0)
 		case cpu.EvTrap:
 			k.postSignal(t, pendingSignal{sig: SIGTRAP, force: true})
@@ -642,34 +702,38 @@ func (k *Kernel) runQuantum(t *Task) int64 {
 			k.postSignal(t, pendingSignal{sig: sig, force: true, callAddr: t.CPU.RIP})
 			k.checkSignals(t)
 		}
-		if t.CPU.Cycles > k.maxCycles {
-			k.maxCycles = t.CPU.Cycles
-		}
+		k.clockPropose(t, t.CPU.Cycles)
 	}
 	// Quantum expiry is a context switch: the timer interrupt drains the
 	// pipeline, so a half-filled NOP batch is billed here rather than
 	// carried into this task's (or, via the old shared residue, another
 	// task's) next run.
 	t.CPU.FlushNopBatch()
-	if t.CPU.Cycles > k.maxCycles {
-		k.maxCycles = t.CPU.Cycles
-	}
-	k.quanta++
+	k.clockPropose(t, t.CPU.Cycles)
+	k.quanta.Add(1)
 	k.telQuantum(t, startCycles)
-	k.current = nil
+	t.AS.SetOwner(nil)
 	return n
 }
 
-// handleHcall runs a registered host callback.
+// handleHcall runs a registered host callback. Payloads are arbitrary
+// host code, so unless the registration vouched for shard-safety the
+// invoking task is serialised on the frontier first — the payload then
+// sees all cross-task host state in canonical schedule order.
 func (k *Kernel) handleHcall(t *Task) {
-	h, ok := k.hcalls[t.CPU.HcallID]
+	k.hcallsMu.RLock()
+	e, ok := k.hcalls[t.CPU.HcallID]
+	k.hcallsMu.RUnlock()
 	if !ok {
 		k.postSignal(t, pendingSignal{sig: SIGILL, force: true})
 		k.checkSignals(t)
 		return
 	}
+	if !e.concurrent {
+		k.serialize(t)
+	}
 	t.CPU.Cycles += k.Costs.HcallBody
-	if err := h(&HcallCtx{Task: t, K: k}); err != nil {
+	if err := e.h(&HcallCtx{Task: t, K: k}); err != nil {
 		// A failing interposer payload is a guest bug: surface it like a
 		// fault rather than silently continuing.
 		k.postSignal(t, pendingSignal{sig: SIGABRT, force: true})
@@ -685,12 +749,19 @@ func (k *Kernel) exitTask(t *Task, code int) {
 	t.state = TaskZombie
 	t.ExitCode = code
 	if t.parent != nil && t.parent.Alive() {
-		k.postSignal(t.parent, pendingSignal{sig: SIGCHLD})
+		k.postSignalCross(t, t.parent, pendingSignal{sig: SIGCHLD})
 	}
 }
 
-// exitGroup terminates every task in t's thread group.
+// exitGroup terminates every task in t's thread group. t is always the
+// currently executing task (every caller is a kill path reached from
+// t's own quantum), so serializing t orders the whole group teardown —
+// including state flips of blocked siblings the round coordinator may
+// poll — at t's canonical slot. Runnable siblings share t's shard (the
+// share-group planner merges thread groups), so their state is never
+// touched from two goroutines even mid-teardown.
 func (k *Kernel) exitGroup(t *Task, code int) {
+	k.serialize(t)
 	for _, o := range k.order {
 		if o.Tgid == t.Tgid && o.state != TaskZombie {
 			k.exitTask(o, code)

@@ -18,6 +18,9 @@ const maxIOChunk = 1 << 20
 // microbenchmark's syscall 500 — return -ENOSYS after a full kernel
 // round trip, exactly the "non-existent syscall" the paper measures.
 func (k *Kernel) dispatch(t *Task, nr int64, args [6]uint64) sysResult {
+	// Parallel rounds: order-sensitive syscalls wait for the round
+	// frontier before executing (no-op in sequential rounds).
+	k.syscallGate(t, nr, args)
 	switch nr {
 	case SysRead:
 		return k.sysRead(t, args)
@@ -196,6 +199,8 @@ func fsErrno(err error) int64 {
 		return ENAMETOOLONG
 	case errors.Is(err, fs.ErrReadOnly):
 		return EBADF
+	case errors.Is(err, fs.ErrSealed):
+		return EROFS
 	default:
 		return EINVAL
 	}
@@ -667,7 +672,7 @@ func (k *Kernel) sysKill(t *Task, nr int64, args [6]uint64) sysResult {
 	if sig >= NumSignals {
 		return sysErr(EINVAL)
 	}
-	k.postSignal(target, pendingSignal{sig: int(sig)})
+	k.postSignalCross(t, target, pendingSignal{sig: int(sig)})
 	return sysRet(0)
 }
 
@@ -757,6 +762,12 @@ func (k *Kernel) sysUtimensat(t *Task, args [6]uint64) sysResult {
 	path, ok := k.readPath(t, args[1])
 	if !ok {
 		return sysErr(EFAULT)
+	}
+	// Sealed check before reading the clock: on a sealed filesystem the
+	// result must not depend on k.Now(), which an off-frontier parallel
+	// quantum is not allowed to observe (kernel/parallel.go).
+	if k.FS.Sealed() {
+		return sysErr(EROFS)
 	}
 	now := k.Now()
 	if err := k.FS.Utimens(path, now, now); err != nil {

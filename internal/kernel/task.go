@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lazypoline/internal/bpf"
 	"lazypoline/internal/cpu"
@@ -236,7 +237,11 @@ func (t *FDTable) CloseAll() {
 }
 
 // clone duplicates the table (fork without CLONE_FILES), bumping the
-// reference counts of shared socket/listener descriptions.
+// reference counts of shared socket/listener descriptions and marking
+// the underlying open files, endpoints and epoll instances as crossing
+// a fork boundary — the parallel scheduler serializes operations on
+// shared objects (kernel/parallel.go) since parent and child may land
+// on different shards.
 func (t *FDTable) clone() *FDTable {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -244,6 +249,15 @@ func (t *FDTable) clone() *FDTable {
 	for k, v := range t.fds {
 		cp := *v
 		cp.addRefs()
+		if cp.File != nil {
+			cp.File.MarkSharedAcrossFork()
+		}
+		if cp.Sock != nil {
+			cp.Sock.MarkSharedAcrossFork()
+		}
+		if cp.Epoll != nil {
+			cp.Epoll.shared.Store(true)
+		}
 		c.fds[k] = &cp
 	}
 	return c
@@ -264,6 +278,22 @@ func (f *FD) addRefs() {
 type Epoll struct {
 	mu      sync.Mutex
 	watches map[int]uint32 // fd -> event mask
+	// shared is set when the instance crosses a fork boundary (the
+	// parent and child then race on the watch set from the parallel
+	// scheduler's point of view — see kernel/parallel.go).
+	shared atomic.Bool
+}
+
+// sortedFds returns the watched fds in ascending order.
+func (e *Epoll) sortedFds() []int {
+	e.mu.Lock()
+	fds := make([]int, 0, len(e.watches))
+	for fd := range e.watches {
+		fds = append(fds, fd)
+	}
+	e.mu.Unlock()
+	sort.Ints(fds)
+	return fds
 }
 
 // Epoll event bits (subset of the Linux ABI).
@@ -385,6 +415,31 @@ type Task struct {
 	// word; 0 = none). Same plain-field discipline as the tel* fields:
 	// updated identically whether or not a tracer is attached.
 	traceCtx uint64
+
+	// Parallel-round bookkeeping (kernel/parallel.go). par is non-nil
+	// while the task is owned by a shard of the current round; parSlot
+	// is its canonical slot in the round's rotated order; parOnFrontier
+	// records that serialize() already granted it the frontier this
+	// quantum; parRan/parSteps report back to the coordinator whether
+	// the shard actually ran the quantum (it skips tasks a same-group
+	// sibling killed) and how many steps it took; parDone is closed by
+	// the shard when the slot is finished either way. Only the owning
+	// shard and the coordinator (after <-parDone) touch these.
+	par           *parRound
+	parSlot       int
+	parOnFrontier bool
+	parRan        bool
+	parSteps      int64
+	parDone       chan struct{}
+	// pendingClock accumulates virtual-clock proposals made off the
+	// frontier; deferred holds order-sensitive sink emissions. Both are
+	// flushed in program order when the task reaches the frontier.
+	pendingClock uint64
+	deferred     []func()
+	// pendingNext holds cross-task signals posted to this task during
+	// the current round, delivered at the round barrier in canonical
+	// order (identically in both scheduler modes).
+	pendingNext []pendingSignal
 
 	k *Kernel
 }

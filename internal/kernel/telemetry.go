@@ -147,36 +147,44 @@ func (k *Kernel) telSyscallEnd(t *Task, nr int64) {
 		return
 	}
 	t.telActive = false
-	if k.trace != nil {
-		delta := t.CPU.Cycles - t.telStart
-		k.trace.KernelSpan(otrace.Span{
-			Ctx:   t.traceCtx,
-			Kind:  otrace.KindSys,
-			Name:  SyscallName(nr),
-			Start: t.telStart,
-			Dur:   delta,
-			Lane:  t.ID,
-			Path:  t.telPath.String(),
-			Ret:   int64(t.CPU.Regs[isa.RAX]),
-		})
-	}
-	tel := k.tel
-	if tel == nil {
+	if k.trace == nil && k.tel == nil {
 		return
 	}
+	// Measurement now, emission at the frontier: the values are captured
+	// at call time so only the ordering of the shared-sink appends is
+	// deferred (kernel/parallel.go).
+	start, delta := t.telStart, t.CPU.Cycles-t.telStart
 	path := t.telPath.String()
-	delta := t.CPU.Cycles - t.telStart
-	if m := tel.Metrics; m != nil {
-		m.Counter("kernel.dispatch." + path + ".calls").Add(1)
-		m.Counter("kernel.dispatch." + path + ".cycles").Add(delta)
-		m.Histogram("kernel.latency." + path).Observe(delta)
-		name := SyscallName(nr)
-		m.Counter("kernel.syscall." + name + "." + path + ".calls").Add(1)
-		m.Counter("kernel.syscall." + name + "." + path + ".cycles").Add(delta)
-	}
-	if tl := tel.Timeline; tl != nil {
-		tl.Span(telemetry.PIDMachine, t.ID, SyscallName(nr), path, t.telStart, delta)
-	}
+	ctx, lane, ret := t.traceCtx, t.ID, int64(t.CPU.Regs[isa.RAX])
+	k.deferEmit(t, func() {
+		if k.trace != nil {
+			k.trace.KernelSpan(otrace.Span{
+				Ctx:   ctx,
+				Kind:  otrace.KindSys,
+				Name:  SyscallName(nr),
+				Start: start,
+				Dur:   delta,
+				Lane:  lane,
+				Path:  path,
+				Ret:   ret,
+			})
+		}
+		tel := k.tel
+		if tel == nil {
+			return
+		}
+		if m := tel.Metrics; m != nil {
+			m.Counter("kernel.dispatch." + path + ".calls").Add(1)
+			m.Counter("kernel.dispatch." + path + ".cycles").Add(delta)
+			m.Histogram("kernel.latency." + path).Observe(delta)
+			name := SyscallName(nr)
+			m.Counter("kernel.syscall." + name + "." + path + ".calls").Add(1)
+			m.Counter("kernel.syscall." + name + "." + path + ".cycles").Add(delta)
+		}
+		if tl := tel.Timeline; tl != nil {
+			tl.Span(telemetry.PIDMachine, lane, SyscallName(nr), path, start, delta)
+		}
+	})
 }
 
 // telAdoptCtx makes the task adopt the request context stamped on a
@@ -254,12 +262,15 @@ func (k *Kernel) telQuantum(t *Task, startCycles uint64) {
 	if delta == 0 {
 		return
 	}
-	if p := tel.Profiler; p != nil {
-		p.Sample(t.ID, t.CPU.RIP, delta)
-	}
-	if tl := tel.Timeline; tl != nil {
-		tl.Span(telemetry.PIDScheduler, t.ID, t.telLabel, "quantum", startCycles, delta)
-	}
+	lane, rip, label := t.ID, t.CPU.RIP, t.telLabel
+	k.deferEmit(t, func() {
+		if p := tel.Profiler; p != nil {
+			p.Sample(lane, rip, delta)
+		}
+		if tl := tel.Timeline; tl != nil {
+			tl.Span(telemetry.PIDScheduler, lane, label, "quantum", startCycles, delta)
+		}
+	})
 }
 
 // telSignalDelivered opens a signal-frame slice on the task's lane and
@@ -269,13 +280,16 @@ func (k *Kernel) telSignalDelivered(t *Task, sig int) {
 	if tel == nil {
 		return
 	}
-	if m := tel.Metrics; m != nil {
-		m.Counter("kernel.signals.delivered").Add(1)
-		m.Counter("kernel.signal." + SignalName(sig) + ".delivered").Add(1)
-	}
-	if tl := tel.Timeline; tl != nil {
-		tl.Begin(telemetry.PIDMachine, t.ID, SignalName(sig), "signal", t.CPU.Cycles)
-	}
+	lane, at := t.ID, t.CPU.Cycles
+	k.deferEmit(t, func() {
+		if m := tel.Metrics; m != nil {
+			m.Counter("kernel.signals.delivered").Add(1)
+			m.Counter("kernel.signal." + SignalName(sig) + ".delivered").Add(1)
+		}
+		if tl := tel.Timeline; tl != nil {
+			tl.Begin(telemetry.PIDMachine, lane, SignalName(sig), "signal", at)
+		}
+	})
 }
 
 func (k *Kernel) telSigreturn(t *Task, sig int) {
@@ -283,12 +297,15 @@ func (k *Kernel) telSigreturn(t *Task, sig int) {
 	if tel == nil {
 		return
 	}
-	if m := tel.Metrics; m != nil {
-		m.Counter("kernel.sigreturns").Add(1)
-	}
-	if tl := tel.Timeline; tl != nil {
-		tl.End(telemetry.PIDMachine, t.ID, SignalName(sig), "signal", t.CPU.Cycles)
-	}
+	lane, at := t.ID, t.CPU.Cycles
+	k.deferEmit(t, func() {
+		if m := tel.Metrics; m != nil {
+			m.Counter("kernel.sigreturns").Add(1)
+		}
+		if tl := tel.Timeline; tl != nil {
+			tl.End(telemetry.PIDMachine, lane, SignalName(sig), "signal", at)
+		}
+	})
 }
 
 // telCollect is the kernel's registry collector: it publishes the
@@ -369,7 +386,7 @@ func (k *Kernel) telCollect(r *telemetry.Registry) {
 	r.Counter("mem.page_faults").Set(faults)
 	r.Counter("mem.generation_bumps").Set(gens)
 	r.Counter("mem.code_mutations").Set(codeMut)
-	r.Counter("sched.quanta").Set(k.quanta)
+	r.Counter("sched.quanta").Set(k.quanta.Load())
 
 	ns := k.Net.Stats()
 	r.Counter("net.conns_accepted").Set(ns.Accepted.Load())

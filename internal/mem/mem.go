@@ -163,7 +163,21 @@ type AddressSpace struct {
 	// sequence. Clone does not copy it — the owner re-installs it on
 	// the copy. It is only read from the kernel's scheduling goroutine.
 	AllocGate func(pages uint64) bool
+
+	// owner is an opaque scheduler cookie: the task currently executing
+	// on this address space, set for the duration of each quantum. It is
+	// written and read only by the goroutine running that quantum (the
+	// AllocGate fires from inside the quantum's own allocation calls),
+	// and cross-quantum ordering is given by the scheduler's round
+	// barrier, so a plain field suffices. Clone does not copy it.
+	owner any
 }
+
+// SetOwner records the scheduler cookie (see the owner field).
+func (as *AddressSpace) SetOwner(v any) { as.owner = v }
+
+// Owner returns the scheduler cookie (see the owner field).
+func (as *AddressSpace) Owner() any { return as.owner }
 
 // NewAddressSpace returns an empty address space. Anonymous (non-fixed)
 // mappings are placed from 0x4000_0000 upward.

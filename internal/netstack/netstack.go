@@ -183,6 +183,84 @@ type Stack struct {
 	faults   FaultPlan
 
 	stats StackStats
+
+	// hub is the stack's activity signal: a generation counter bumped on
+	// every event that could unblock a parked scheduler (data written or
+	// drained, a connection enqueued or closed, virtual time advanced).
+	// Kernel.Run parks on it instead of busy-spinning when every task is
+	// blocked but an external driver still holds a waiter registration.
+	hub activityHub
+}
+
+// activityHub is a lost-wakeup-free park/notify primitive. A waiter
+// captures the generation BEFORE scanning for work; if the scan comes up
+// empty it parks on that generation, and any bump() after the capture —
+// even one that raced with the scan — leaves gen != captured, so await
+// returns immediately instead of sleeping through the event.
+type activityHub struct {
+	gen     atomic.Uint64
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+func (h *activityHub) bump() {
+	h.gen.Add(1)
+	if h.waiters.Load() != 0 {
+		h.mu.Lock()
+		if h.cond != nil {
+			h.cond.Broadcast()
+		}
+		h.mu.Unlock()
+	}
+}
+
+func (h *activityHub) await(old uint64) {
+	h.mu.Lock()
+	if h.cond == nil {
+		h.cond = sync.NewCond(&h.mu)
+	}
+	h.waiters.Add(1)
+	for h.gen.Load() == old {
+		h.cond.Wait()
+	}
+	h.waiters.Add(-1)
+	h.mu.Unlock()
+}
+
+// ActivityGen returns the current activity generation. Capture it before
+// scanning for runnable work; pass it to AwaitActivity if the scan finds
+// none.
+func (s *Stack) ActivityGen() uint64 { return s.hub.gen.Load() }
+
+// AwaitActivity parks until the activity generation moves past old.
+func (s *Stack) AwaitActivity(old uint64) { s.hub.await(old) }
+
+// BumpActivity signals activity from outside the stack (the kernel's
+// clock advance, an external waiter releasing its registration).
+func (s *Stack) BumpActivity() { s.hub.bump() }
+
+// AnyPendingAccepts reports whether any listener in the stack has a
+// non-empty accept queue. The parallel scheduler calls it at round start
+// to decide whether accept() ordering matters this round; the answer is
+// a bool over all shards, so shard-map iteration order cannot leak into
+// the result.
+func (s *Stack) AnyPendingAccepts() bool {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, l := range sh.listeners {
+			l.mu.Lock()
+			depth := len(l.queue)
+			l.mu.Unlock()
+			if depth > 0 {
+				sh.mu.Unlock()
+				return true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return false
 }
 
 // Stats exposes the stack's counters. The pointer stays valid for the
@@ -253,6 +331,12 @@ func (s *Stack) Connect(port uint16) (*Endpoint, error) {
 	client, server := newPair()
 	client.faults, server.faults = faults, faults
 	client.stats, server.stats = &s.stats, &s.stats
+	client.hub, server.hub = &s.hub, &s.hub
+	// Every Connect caller in the tree is host-side (load generators,
+	// balancer upstreams, health probes) — guests only listen/accept.
+	// Marked before enqueue publishes the pair, so the guest side can
+	// read peer.hostSide without synchronisation.
+	client.hostSide = true
 	if err := l.enqueue(server); err != nil {
 		return nil, err
 	}
@@ -299,6 +383,7 @@ func (l *Listener) enqueue(e *Endpoint) error {
 	l.mu.Unlock()
 	stats.setMax(&stats.AcceptHighWater, depth)
 	l.notif.wake()
+	l.stack.hub.bump()
 	return nil
 }
 
@@ -398,6 +483,21 @@ type Endpoint struct {
 	// stats points at the owning stack's counters (nil for pipes).
 	stats *StackStats
 
+	// hub points at the owning stack's activity hub (nil for pipes —
+	// pipes are guest-driven, so a parked scheduler can never be waiting
+	// on pipe activity). Read/Write/Close bump it.
+	hub *activityHub
+
+	// hostSide marks endpoints owned by host-side harness code (set by
+	// Stack.Connect before the pair is published). sharedFork is set
+	// when a descriptor referencing this endpoint is duplicated across a
+	// fork boundary. Both feed the parallel scheduler's order-
+	// sensitivity classification (kernel/parallel.go): I/O on a private
+	// guest endpoint whose peer is the host commutes with other tasks'
+	// work inside a round; everything else serializes.
+	hostSide   bool
+	sharedFork atomic.Bool
+
 	// traceCtx is the request-plane trace context (internal/otrace's
 	// trace|attempt word) most recently stamped for this endpoint's
 	// reader. Writers stamp their peer before sending a request so the
@@ -414,6 +514,23 @@ func (e *Endpoint) SetTraceCtx(ctx uint64) { e.traceCtx.Store(ctx) }
 // TraceCtx reads the endpoint's current trace context (0 = none).
 func (e *Endpoint) TraceCtx() uint64 { return e.traceCtx.Load() }
 
+// MarkSharedAcrossFork records that a descriptor referencing this
+// endpoint was duplicated across a fork boundary.
+func (e *Endpoint) MarkSharedAcrossFork() { e.sharedFork.Store(true) }
+
+// SharedAcrossFork reports whether the endpoint crossed a fork boundary.
+func (e *Endpoint) SharedAcrossFork() bool { return e.sharedFork.Load() }
+
+// PeerIsHost reports whether the peer endpoint is owned by host-side
+// harness code (a load generator, balancer or probe) rather than by a
+// guest task.
+func (e *Endpoint) PeerIsHost() bool {
+	e.mu.Lock()
+	p := e.peer
+	e.mu.Unlock()
+	return p != nil && p.hostSide
+}
+
 // StampPeerTraceCtx stamps the peer endpoint — the side that will read
 // the bytes being written — with the given context. Safe on closed or
 // peerless endpoints.
@@ -423,6 +540,15 @@ func (e *Endpoint) StampPeerTraceCtx(ctx uint64) {
 	e.mu.Unlock()
 	if p != nil {
 		p.traceCtx.Store(ctx)
+	}
+}
+
+// bumpHub signals stack-level activity (no-op for pipes). Called on
+// every transition that could satisfy a parked scheduler's wait: data
+// moved in either direction, a close, a reset.
+func (e *Endpoint) bumpHub() {
+	if e.hub != nil {
+		e.hub.bump()
 	}
 }
 
@@ -484,6 +610,7 @@ func (e *Endpoint) Read(p []byte) (int, error) {
 		// Our buffer drained: the peer may be writable again.
 		peer.notif.wake()
 	}
+	e.bumpHub()
 	return n, nil
 }
 
@@ -550,6 +677,7 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 		e.mu.Unlock()
 		// Accepted into the send buffer; the peer is woken only when a
 		// segment is actually delivered (by its poll-driven ticks).
+		e.bumpHub()
 		return n, nil
 	}
 	e.mu.Unlock()
@@ -562,6 +690,7 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 		e.stats.setMax(&e.stats.RecvHighWater, depth)
 	}
 	peer.notif.wake()
+	e.bumpHub()
 	return n, nil
 }
 
@@ -625,6 +754,7 @@ func (e *Endpoint) injectReset() {
 	if peer != nil {
 		peer.notif.wake()
 	}
+	e.bumpHub()
 }
 
 // ConnID returns the connection id assigned when the connection was
@@ -681,6 +811,7 @@ func (e *Endpoint) Close() {
 	if peer != nil {
 		peer.notif.wake()
 	}
+	e.bumpHub()
 }
 
 func (e *Endpoint) isClosed() bool {

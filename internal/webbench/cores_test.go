@@ -1,0 +1,79 @@
+package webbench
+
+import (
+	"reflect"
+	"testing"
+
+	"lazypoline/internal/core"
+	"lazypoline/internal/guest"
+	"lazypoline/internal/interpose"
+	"lazypoline/internal/kernel"
+)
+
+// TestCoresByteIdentical: the whole macrobenchmark is byte-identical
+// at every -cores setting (DESIGN.md §15). The multi-worker server is
+// the workload the parallel scheduler was built for — pre-forked
+// workers are separate share-groups, so rounds actually shard — and
+// the lazypoline attach exercises the rewriter under shard execution.
+func TestCoresByteIdentical(t *testing.T) {
+	base := Config{
+		Style:       guest.StyleNginx,
+		Workers:     4,
+		FileSize:    4096,
+		Connections: 8,
+		Requests:    120,
+		Attach: func(k *kernel.Kernel, tk *kernel.Task) error {
+			_, err := core.Attach(k, tk, interpose.Dummy{}, core.Options{})
+			return err
+		},
+	}
+	run := func(cores int) (Result, RunStats) {
+		cfg := base
+		var st RunStats
+		cfg.Cores = cores
+		cfg.Stats = &st
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		return r, st
+	}
+	ref, refStats := run(1)
+	if refStats.ParallelRounds != 0 {
+		t.Fatalf("cores=1 ran %d parallel rounds", refStats.ParallelRounds)
+	}
+	for _, cores := range []int{2, 4, 8} {
+		got, st := run(cores)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("cores=%d diverged:\n got=%+v\n want=%+v", cores, got, ref)
+		}
+		if st.ParallelRounds == 0 {
+			t.Errorf("cores=%d never engaged the parallel scheduler", cores)
+		}
+	}
+}
+
+// TestCoresByteIdenticalLighttpd: same invariant for the second server
+// style (single process, epoll event loop) at baseline attach.
+func TestCoresByteIdenticalLighttpd(t *testing.T) {
+	base := Config{
+		Style:       guest.StyleLighttpd,
+		Workers:     2,
+		FileSize:    1024,
+		Connections: 6,
+		Requests:    60,
+	}
+	run := func(cores int) Result {
+		cfg := base
+		cfg.Cores = cores
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		return r
+	}
+	ref := run(1)
+	if got := run(4); !reflect.DeepEqual(got, ref) {
+		t.Errorf("cores=4 diverged:\n got=%+v\n want=%+v", got, ref)
+	}
+}

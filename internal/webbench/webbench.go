@@ -392,6 +392,22 @@ type Config struct {
 	// syscalls attribute to it. nil is byte-identical to no tracer.
 	Trace     *otrace.Tracer
 	TraceSeed uint64
+	// Cores is the host-parallelism budget for the kernel's scheduler
+	// (DESIGN.md §15). Result is byte-identical for every value; only
+	// wall-clock time changes. <= 1 selects the sequential scheduler.
+	Cores int
+	// Stats, when non-nil, receives execution diagnostics after the run.
+	// Purely observational: it never feeds back into Result.
+	Stats *RunStats
+}
+
+// RunStats reports how a run executed — wall-clock-side diagnostics
+// that, unlike Result, may legitimately vary with Cores.
+type RunStats struct {
+	// ParallelRounds is the number of scheduling rounds that ran on
+	// shard goroutines (kernel.ParallelRounds). Zero under Cores <= 1,
+	// or when the workload never had two runnable share-groups.
+	ParallelRounds uint64
 }
 
 // Result is one run's outcome.
@@ -454,6 +470,7 @@ func Run(cfg Config) (Result, error) {
 		Telemetry:          cfg.Telemetry,
 		Policy:             cfg.Policy,
 		Trace:              cfg.Trace,
+		Cores:              cfg.Cores,
 	})
 
 	// Static content.
@@ -467,6 +484,9 @@ func Run(cfg Config) (Result, error) {
 	if err := k.FS.WriteFile("/www/static", content, 0o644); err != nil {
 		return Result{}, err
 	}
+	// Content is final: seal the filesystem so worker file reads are
+	// pure and can run concurrently (kernel/parallel.go).
+	k.FS.Seal()
 
 	prog, err := guest.WebServer(guest.WebServerConfig{
 		Style:   cfg.Style,
@@ -553,5 +573,8 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.CyclesPerRequest = float64(sumDelta) / float64(res.Requests)
 	res.Throughput = float64(res.Requests) * ClockHz * float64(cfg.Workers) / float64(sumDelta)
+	if cfg.Stats != nil {
+		cfg.Stats.ParallelRounds = k.ParallelRounds()
+	}
 	return res, nil
 }

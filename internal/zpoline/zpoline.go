@@ -88,8 +88,14 @@ func Attach(k *kernel.Kernel, t *kernel.Task, ip interpose.Interposer, opts Opti
 	}
 	m := &Mechanism{Binder: interpose.NewBinder(ip)}
 
-	enterID := k.RegisterHcall(m.Binder.Enter)
-	exitID := k.RegisterHcall(m.Binder.Exit)
+	// Shard-concurrent only when the interposer vouches for itself
+	// (DESIGN.md §15); the Binder's own state is safe either way.
+	reg := k.RegisterHcall
+	if m.Binder.Concurrent() {
+		reg = k.RegisterHcallConcurrent
+	}
+	enterID := reg(m.Binder.Enter)
+	exitID := reg(m.Binder.Exit)
 
 	// gs scratch region (emulate flag, optional xstate stack).
 	gsBase, err := t.AS.MapAnon(interpose.GSSize, mem.ProtRW)

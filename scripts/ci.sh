@@ -184,3 +184,43 @@ go run ./cmd/tracecat -requests /tmp/ci_otr_a.jsonl | grep -q 'otrace stats:'
 go run ./cmd/tracecat -format chrome -o /tmp/ci_otr_a.json /tmp/ci_otr_a.jsonl
 go run ./cmd/tracecat -format jsonl /tmp/ci_otr_a.json > /tmp/ci_otr_rt.jsonl
 diff -u /tmp/ci_otr_a.jsonl /tmp/ci_otr_rt.jsonl
+
+# Parallel scheduling rounds (DESIGN.md §15): -cores N must be
+# byte-identical to -cores 1 on every invariance surface. The dedicated
+# suites run under -race with shards engaged (the kernel/webbench tests
+# assert engagement via ParallelRounds, so a silent fallback to the
+# sequential scheduler fails CI rather than passing vacuously).
+go test -race ./internal/kernel -run 'TestRound|TestMidRound|TestPlanShards|TestParallel|TestRunParks|TestRunDeadlock' -count 1
+go test -race ./internal/webbench -run 'TestCores' -count 1
+go test -race ./internal/mem ./internal/netstack -count 1
+go test -race ./internal/fleet -run 'TestFleetCores' -count 1
+
+# Figure 5 at -cores 4 must match the -cores 1 reference snapshot.
+# Besides wall_seconds, the header's "cores" line is the one intended
+# difference (host_cores is stable on a single machine).
+strip_cores() { grep -v -e '"wall_seconds"' -e '"cores"' "$1"; }
+go run ./cmd/macrobench $smoke -cores 4 -out /tmp/ci_fig5_cores4.json
+strip_cores /tmp/ci_fig5_cache_on.json > /tmp/ci_fig5_cores1.nocores
+strip_cores /tmp/ci_fig5_cores4.json > /tmp/ci_fig5_cores4.nocores
+diff -u /tmp/ci_fig5_cores1.nocores /tmp/ci_fig5_cores4.nocores
+
+# Same for the fleet snapshot, including a kill drill (exit/SIGCHLD/
+# health-check ordering under shard execution).
+go run ./cmd/fleetbench $fsmoke -cores 4 -out /tmp/ci_fleet_cores4.json
+strip_cores /tmp/ci_fleet_a.json > /tmp/ci_fleet_cores1.nocores
+strip_cores /tmp/ci_fleet_cores4.json > /tmp/ci_fleet_cores4.nocores
+diff -u /tmp/ci_fleet_cores1.nocores /tmp/ci_fleet_cores4.nocores
+
+# And for the request-trace file: traces carry per-span virtual
+# timestamps, so a single reordered quantum would show up here.
+go run ./cmd/fleetbench $otr -cores 4 -out '' -trace-out /tmp/ci_otr_cores4.jsonl
+diff -u /tmp/ci_otr_a.jsonl /tmp/ci_otr_cores4.jsonl
+
+# Scaling smoke: parbench re-proves cross-core Result identity cell by
+# cell, requires shard engagement above one core, and gates on the
+# -minscale 2.5 ratchet when the host has >= 8 cores (recorded either
+# way in the snapshot's config block; the checked-in BENCH_parallel.json
+# is refreshed manually via make snapshots).
+go run ./cmd/parbench -requests 300 -conns 8 -workers 4 -mechs baseline,lazypoline \
+    -cores 1,2,4 -repeat 2 -minscale 2.5 -out /tmp/ci_BENCH_parallel.json
+grep -q '"parallel_rounds"' /tmp/ci_BENCH_parallel.json
